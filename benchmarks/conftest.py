@@ -1,0 +1,51 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark file regenerates one table/figure of the paper: it sweeps
+the relevant configurations over the workload suite, prints the figure's
+content as a text table, and writes it to ``benchmarks/results/`` so the
+output survives pytest's capture. Results are memoized in-process
+(``repro.core.runner``), so configurations shared between figures (e.g.
+the ideal I-BTB 16 baseline) simulate once.
+
+Environment knobs:
+
+* ``REPRO_LENGTH``  — instructions per trace (default 160000)
+* ``REPRO_WARMUP``  — warm-up instructions (default 40000)
+* ``REPRO_SMOKE=1`` — 4-workload smoke suite with short traces (CI)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.trace.workloads import SERVER_SUITE, SMOKE_SUITE
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+LENGTH = int(os.environ.get("REPRO_LENGTH", "20000" if SMOKE else "160000"))
+WARMUP = int(os.environ.get("REPRO_WARMUP", "5000" if SMOKE else "40000"))
+SUITE = SMOKE_SUITE if SMOKE else SERVER_SUITE
+
+
+@pytest.fixture(scope="session")
+def bench_env():
+    """(suite, length, warmup) used by every figure."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return SUITE, LENGTH, WARMUP
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure's content and persist it under benchmarks/results."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

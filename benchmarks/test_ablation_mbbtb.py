@@ -1,0 +1,50 @@
+"""Ablations of MB-BTB design choices called out in the paper's §6.4.
+
+* last-slot pull-disable (§6.4.2: preventing the last branch slot from
+  pulling its target reduces redundancy and slightly helps);
+* immediate downgrade of always-taken conditionals that go not-taken
+  (§6.4.3: the paper chooses immediate downgrade; the alternative keeps
+  the pulled block and eats not-taken penalties);
+* B-BTB split-entry fall-through bubble (§6.3: split entries may cost a
+  bubble when the fall-through addition misses timing).
+"""
+
+from repro.analysis.report import format_table
+from repro.core.config import IDEAL_IBTB16, bbtb, mbbtb
+from repro.core.runner import compare_to_baseline
+
+from benchmarks.conftest import emit, once
+
+CONFIGS = [
+    mbbtb(2, "allbr"),
+    mbbtb(2, "allbr").with_(pull_last_slot=True, label="MB-BTB 2BS AllBr +lastpull"),
+    mbbtb(2, "allbr").with_(
+        immediate_downgrade=False, label="MB-BTB 2BS AllBr keep-pulled"
+    ),
+    mbbtb(3, "allbr"),
+    mbbtb(3, "allbr").with_(pull_last_slot=True, label="MB-BTB 3BS AllBr +lastpull"),
+    bbtb(1, splitting=True),
+    bbtb(1, splitting=True).with_(split_bubble=1, label="B-BTB 1BS Splt +1c split"),
+]
+
+
+def test_ablation_mbbtb_design_choices(benchmark, bench_env):
+    suite, length, warmup = bench_env
+
+    def run():
+        compared = compare_to_baseline(CONFIGS, IDEAL_IBTB16, suite, length, warmup)
+        rows = [
+            (
+                cc.config.label,
+                f"{cc.box.geomean:.4f}",
+                f"{cc.mean_fetch_pcs:.2f}",
+            )
+            for cc in compared
+        ]
+        return format_table(("config", "rel. IPC gmean", "fetchPCs/access"), rows)
+
+    emit(
+        "ablation_mbbtb",
+        "== Ablations: MB-BTB pull rules, downgrade policy, split bubble ==\n"
+        + once(benchmark, run),
+    )

@@ -1,0 +1,160 @@
+"""Extensions beyond the paper's evaluation.
+
+1. **Heterogeneous hierarchy** (§3.6.2, left as future work there): a
+   B-BTB L1 (1 slot, splitting) backed by a duplication-free R-BTB L2,
+   compared at iso-branch-slots against homogeneous B-BTB and I-BTB
+   hierarchies. Expected: the R-BTB L2 stores each branch once (no
+   synonym waste), trading some L2 hit rate for density.
+
+2. **Slot replacement policies** (§6.3 mentions LRU and
+   unconditional-direct-first): sweep of R-BTB 2BS and B-BTB 2BS under
+   lru / fifo / uncond_first / random victim selection. Expected:
+   uncond_first ≈ lru (losing a decode-recoverable branch is cheaper),
+   random worst.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.config import IDEAL_IBTB16, bbtb, hetero_btb, ibtb, rbtb
+from repro.core.runner import compare_to_baseline
+
+from benchmarks.conftest import emit, once
+
+HETERO_CONFIGS = [
+    ibtb(16),
+    bbtb(1, splitting=True),
+    hetero_btb(1, 2),
+    hetero_btb(1, 3),
+    hetero_btb(2, 3),
+]
+
+POLICY_CONFIGS = [
+    rbtb(2).with_(label="R-BTB 2BS lru"),
+    bbtb(2).with_(label="B-BTB 2BS lru"),
+]
+
+
+def test_ext_heterogeneous_hierarchy(benchmark, bench_env):
+    suite, length, warmup = bench_env
+
+    def run():
+        compared = compare_to_baseline(
+            HETERO_CONFIGS, IDEAL_IBTB16, suite, length, warmup
+        )
+        rows = []
+        for cc in compared:
+            results = cc.results
+            n = len(results)
+            rows.append(
+                (
+                    cc.config.label,
+                    f"{cc.box.geomean:.4f}",
+                    f"{sum(r.l1_btb_hit_rate for r in results) / n * 100:.1f}%",
+                    f"{sum(r.l2_btb_hit_rate for r in results) / n * 100:.2f}%",
+                    f"{sum(r.structure.get('l2_redundancy', 0) for r in results) / n:.3f}",
+                )
+            )
+        return format_table(
+            ("config", "rel. IPC gmean", "L1 hit", "L1+L2 hit", "L2 redundancy"),
+            rows,
+        )
+
+    emit(
+        "ext_hetero",
+        "== Extension: heterogeneous hierarchy (B-BTB L1 / R-BTB L2, "
+        "paper §3.6.2 future work) ==\n" + once(benchmark, run),
+    )
+
+
+def test_ext_overflow_slots(benchmark, bench_env):
+    """§3.5's shared overflow storage, implemented for R-BTB: displaced
+    branch slots spill to a small fully-associative pool (+1 bubble when
+    they redirect). Fig. 7's 'Geo 16BS' configs are the zero-latency
+    upper bound of this mechanism; the overflow should close most of the
+    gap between plain R-BTB and that bound."""
+    suite, length, warmup = bench_env
+    configs = [
+        rbtb(2),
+        rbtb(2, overflow=16),
+        rbtb(2, overflow=64),
+        rbtb(16).with_(geometry_slots=2, label="R-BTB 2Geo 16BS (bound)"),
+        rbtb(3),
+        rbtb(3, overflow=16),
+        rbtb(16).with_(geometry_slots=3, label="R-BTB 3Geo 16BS (bound)"),
+    ]
+
+    def run():
+        compared = compare_to_baseline(configs, IDEAL_IBTB16, suite, length, warmup)
+        rows = []
+        for cc in compared:
+            results = cc.results
+            n = len(results)
+            rows.append(
+                (
+                    cc.config.label,
+                    f"{cc.box.geomean:.4f}",
+                    f"{sum(r.l1_btb_hit_rate for r in results) / n * 100:.1f}%",
+                    f"{sum(r.misfetch_pki for r in results) / n:.2f}",
+                )
+            )
+        return format_table(
+            ("config", "rel. IPC gmean", "L1 hit", "misfetch PKI"), rows
+        )
+
+    emit(
+        "ext_overflow",
+        "== Extension: shared overflow branch slots (§3.5, z16/Bobcat/"
+        "Exynos style) ==\n" + once(benchmark, run),
+    )
+
+
+def test_ext_replacement_policies(benchmark, bench_env):
+    suite, length, warmup = bench_env
+
+    def run():
+        configs = []
+        for policy in ("lru", "fifo", "uncond_first", "random"):
+            configs.append(
+                rbtb(2).with_(label=f"R-BTB 2BS {policy}")
+            )
+        # slot_policy isn't a MachineConfig field; build via kind-specific
+        # helper below.
+        from repro.core.config import build_simulator
+        from repro.core.runner import run_suite
+        from repro.btb.base import BTBGeometry
+        from repro.btb.rbtb import RegionBTB
+        from repro.btb.bbtb import BlockBTB
+        from repro.common.stats import geomean
+        from repro.core.simulator import Simulator
+        from repro.frontend.engine import PredictionEngine
+        from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
+        from repro.backend.scoreboard import OoOBackend
+        from repro.trace.workloads import get_trace
+
+        base_cfg = rbtb(2)
+        l1, l2 = base_cfg.geometries()
+        rows = []
+        for org_name, cls, kw in (
+            ("R-BTB 2BS", RegionBTB, dict(slots_per_entry=2)),
+            ("B-BTB 2BS", BlockBTB, dict(slots_per_entry=2)),
+        ):
+            for policy in ("lru", "fifo", "uncond_first", "random"):
+                ipcs = []
+                for name in suite:
+                    trace = get_trace(name, length)
+                    memory = MemoryHierarchy(MemoryConfig(scale=base_cfg.scale))
+                    sim = Simulator(
+                        trace=trace,
+                        btb=cls(l1, l2, slot_policy=policy, **kw),
+                        engine=PredictionEngine(),
+                        backend=OoOBackend(memory=memory),
+                        memory=memory,
+                    )
+                    ipcs.append(sim.run(warmup=warmup).ipc)
+                rows.append((f"{org_name} {policy}", f"{geomean(ipcs):.4f}"))
+        return format_table(("config", "gmean IPC"), rows)
+
+    emit(
+        "ext_replacement",
+        "== Extension: branch-slot replacement policies (§6.3) ==\n"
+        + once(benchmark, run),
+    )

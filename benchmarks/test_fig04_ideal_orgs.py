@@ -1,0 +1,65 @@
+"""Figure 4: idealistic (huge, single-level, 0-cycle) BTB organizations.
+
+Paper content reproduced:
+* whisker plot of IPC relative to ideal I-BTB 16 for I-BTB 8 / 16 / 16
+  Skp, R-BTB 1/2/3/4/16 BS and B-BTB 1/2/3/4/16 BS;
+* average fetch PCs per access (paper: 5.6 / 7.7 / 15.9 for I-BTB
+  8/16/Skp; 6.2 for R-BTB with 16 slots);
+* branch-slot occupancy (paper: 1.60 for 16-slot R-BTB, 1.06 for 16-slot
+  B-BTB) and B-BTB redundancy (paper: ~1.06).
+
+Expected shape: extra fetch-PC throughput beyond I-BTB 16 buys little;
+R-BTB trails because accesses stop at region boundaries; low-slot R/B-BTB
+loses to untracked-branch events.
+"""
+
+from repro.analysis.report import format_table, whisker_table
+from repro.core.config import IDEAL_IBTB16, bbtb, ibtb, ibtb_skp, rbtb
+from repro.core.runner import compare_to_baseline, run_one
+
+from benchmarks.conftest import emit, once
+
+CONFIGS = [
+    ibtb(8, ideal_btb=True),
+    ibtb(16, ideal_btb=True),
+    ibtb_skp(ideal_btb=True),
+    rbtb(1, ideal_btb=True),
+    rbtb(2, ideal_btb=True),
+    rbtb(3, ideal_btb=True),
+    rbtb(4, ideal_btb=True),
+    rbtb(16, ideal_btb=True),
+    bbtb(1, ideal_btb=True),
+    bbtb(2, ideal_btb=True),
+    bbtb(3, ideal_btb=True),
+    bbtb(4, ideal_btb=True),
+    bbtb(16, ideal_btb=True),
+]
+
+
+def test_fig04_idealistic_organizations(benchmark, bench_env):
+    suite, length, warmup = bench_env
+
+    def run():
+        compared = compare_to_baseline(CONFIGS, IDEAL_IBTB16, suite, length, warmup)
+        boxes = [(cc.config.label, cc.box) for cc in compared]
+        parts = [whisker_table(boxes, "Fig. 4: IPC relative to ideal I-BTB 16")]
+        rows = []
+        for cc in compared:
+            sample = run_one(cc.config, suite[0], length, warmup)
+            rows.append(
+                (
+                    cc.config.label,
+                    f"{cc.mean_fetch_pcs:.2f}",
+                    f"{sample.structure.get('l1_slot_occupancy', 0.0):.2f}",
+                    f"{sample.structure.get('l1_redundancy', 0.0):.3f}",
+                )
+            )
+        parts.append(
+            format_table(
+                ("config", "fetchPCs/access", "slot occupancy", "redundancy"),
+                rows,
+            )
+        )
+        return "\n\n".join(parts)
+
+    emit("fig04_ideal_orgs", once(benchmark, run))

@@ -1,0 +1,65 @@
+"""Figure 5: realistic two-level BTB hierarchies at iso-branch-slots.
+
+Paper content reproduced: IPC of realistic I-BTB 16 and R-/B-BTB with
+1–4 branch slots per entry, normalized to the idealistic I-BTB 16;
+plus the §6.1 companion numbers: I-BTB hit rates (paper 76.3 % L1 /
+99.9 % L2), B-BTB 1BS hit rates (paper 60.8 % / 97.8 %), per-entry
+duplication (paper 1.04 L1 / 1.05 L2) and combined mispredict+misfetch
+PKI (paper 5.91 for B-BTB 1BS vs 0.84 for I-BTB).
+
+Expected shape: I-BTB best; B-BTB close behind at 1 slot and degrading
+with more slots; R-BTB poor at 1 slot, best near 3 slots.
+"""
+
+from repro.analysis.report import format_table, whisker_table
+from repro.core.config import IDEAL_IBTB16, bbtb, ibtb, rbtb
+from repro.core.runner import compare_to_baseline
+
+from benchmarks.conftest import emit, once
+
+CONFIGS = [
+    ibtb(16),
+    rbtb(1), rbtb(2), rbtb(3), rbtb(4),
+    bbtb(1), bbtb(2), bbtb(3), bbtb(4),
+]
+
+
+def test_fig05_realistic_hierarchies(benchmark, bench_env):
+    suite, length, warmup = bench_env
+
+    def run():
+        compared = compare_to_baseline(CONFIGS, IDEAL_IBTB16, suite, length, warmup)
+        boxes = [(cc.config.label, cc.box) for cc in compared]
+        parts = [
+            whisker_table(
+                boxes, "Fig. 5: realistic hierarchies, IPC relative to ideal I-BTB 16"
+            )
+        ]
+        rows = []
+        for cc in compared:
+            results = cc.results
+            n = len(results)
+            l1 = sum(r.l1_btb_hit_rate for r in results) / n
+            l2 = sum(r.l2_btb_hit_rate for r in results) / n
+            mpki = sum(r.branch_mpki + r.misfetch_pki for r in results) / n
+            red = sum(
+                r.structure.get("l1_redundancy", 0.0) for r in results
+            ) / n
+            rows.append(
+                (
+                    cc.config.label,
+                    f"{l1 * 100:.1f}%",
+                    f"{l2 * 100:.2f}%",
+                    f"{mpki:.2f}",
+                    f"{red:.3f}",
+                )
+            )
+        parts.append(
+            format_table(
+                ("config", "L1 hit", "L1+L2 hit", "mispred+misfetch PKI", "L1 redundancy"),
+                rows,
+            )
+        )
+        return "\n\n".join(parts)
+
+    emit("fig05_realistic", once(benchmark, run))

@@ -1,0 +1,66 @@
+"""Figure 8: B-BTB splitting and the MultiBlock BTB.
+
+Paper content reproduced: realistic B-BTB 1/2/3 BS with and without entry
+splitting, and MB-BTB 2/3 BS with the UncndDir / CallDir / AllBr pull
+policies — relative to ideal I-BTB 16, alongside the best R-BTB (2L1 3BS)
+and realistic I-BTB 16.
+
+Expected shape: splitting helps 1BS most (paper: +2.6 % geomean) and is
+unnecessary at 2–3 BS; MB-BTB improves strongly with pull aggressiveness
+(calls matter most); B-BTB 1BS Splt remains the best practical block
+organization, slightly ahead of MB-BTB 2BS AllBr.
+"""
+
+from repro.analysis.report import format_table, whisker_table
+from repro.core.config import IDEAL_IBTB16, bbtb, ibtb, mbbtb, rbtb
+from repro.core.runner import compare_to_baseline
+
+from benchmarks.conftest import emit, once
+
+CONFIGS = [
+    ibtb(16),
+    rbtb(3, interleaved=True),
+    bbtb(1),
+    bbtb(1, splitting=True),
+    bbtb(2),
+    bbtb(2, splitting=True),
+    mbbtb(2, "uncond"),
+    mbbtb(2, "calldir"),
+    mbbtb(2, "allbr"),
+    bbtb(3),
+    bbtb(3, splitting=True),
+    mbbtb(3, "uncond"),
+    mbbtb(3, "calldir"),
+    mbbtb(3, "allbr"),
+]
+
+
+def test_fig08_bbtb_and_mbbtb(benchmark, bench_env):
+    suite, length, warmup = bench_env
+
+    def run():
+        compared = compare_to_baseline(CONFIGS, IDEAL_IBTB16, suite, length, warmup)
+        boxes = [(cc.config.label, cc.box) for cc in compared]
+        parts = [
+            whisker_table(
+                boxes, "Fig. 8: B-BTB splitting + MB-BTB vs ideal I-BTB 16"
+            )
+        ]
+        rows = [
+            (
+                cc.config.label,
+                f"{cc.mean_fetch_pcs:.2f}",
+                f"{cc.geomean_ipc:.3f}",
+                f"{sum(r.misfetch_pki + r.branch_mpki for r in cc.results) / len(cc.results):.2f}",
+            )
+            for cc in compared
+        ]
+        parts.append(
+            format_table(
+                ("config", "fetchPCs/access", "gmean IPC", "mispred+misfetch PKI"),
+                rows,
+            )
+        )
+        return "\n\n".join(parts)
+
+    emit("fig08_bbtb_mbbtb", once(benchmark, run))

@@ -1,0 +1,41 @@
+"""Figure 9: increasing entry reach (block size) for B- and MB-BTB.
+
+Paper content reproduced: B-BTB 1BS Splt with 16/32-instruction blocks
+and MB-BTB 2/3 BS AllBr with 16/32/64-instruction blocks, relative to
+the ideal I-BTB 16.
+
+Expected shape: B-BTB 1BS gains nothing from bigger blocks (an
+unconditional branch usually terminates the block early); MB-BTB 2BS
+gains a little from 16 -> 32; MB-BTB 3BS gains the most from larger
+reach (paper: +6.8 % geomean from 16 -> 64).
+"""
+
+from repro.analysis.report import whisker_table
+from repro.core.config import IDEAL_IBTB16, bbtb, mbbtb
+from repro.core.runner import compare_to_baseline
+
+from benchmarks.conftest import emit, once
+
+CONFIGS = [
+    bbtb(1, splitting=True, block_insts=16),
+    bbtb(1, splitting=True, block_insts=32),
+    mbbtb(2, "allbr", block_insts=16),
+    mbbtb(2, "allbr", block_insts=32),
+    mbbtb(2, "allbr", block_insts=64),
+    mbbtb(3, "allbr", block_insts=16),
+    mbbtb(3, "allbr", block_insts=32),
+    mbbtb(3, "allbr", block_insts=64),
+]
+
+
+def test_fig09_entry_reach(benchmark, bench_env):
+    suite, length, warmup = bench_env
+
+    def run():
+        compared = compare_to_baseline(CONFIGS, IDEAL_IBTB16, suite, length, warmup)
+        boxes = [(cc.config.label, cc.box) for cc in compared]
+        return whisker_table(
+            boxes, "Fig. 9: entry reach (block size) vs ideal I-BTB 16"
+        )
+
+    emit("fig09_reach", once(benchmark, run))

@@ -1,0 +1,54 @@
+"""Figure 10: fetch PCs per BTB access and geomean IPC, all realistic
+configurations.
+
+Paper content reproduced: the summary pairing of average fetch PCs
+provided per BTB access with geomean IPC across the main realistic
+configurations. Expected shape: MB-BTB dominates fetch-PC throughput
+(it partially compensates misses by providing multiple blocks per hit)
+without winning IPC in the contended setting; R-BTB sits lowest in
+fetch PCs per access.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.config import IDEAL_IBTB16, bbtb, ibtb, mbbtb, rbtb
+from repro.core.runner import compare_to_baseline
+
+from benchmarks.conftest import emit, once
+
+CONFIGS = [
+    ibtb(16),
+    rbtb(2), rbtb(3),
+    rbtb(2, interleaved=True), rbtb(3, interleaved=True),
+    bbtb(1), bbtb(1, splitting=True),
+    bbtb(2), bbtb(2, splitting=True),
+    mbbtb(2, "uncond"), mbbtb(2, "calldir"), mbbtb(2, "allbr"),
+    mbbtb(3, "allbr"),
+    mbbtb(2, "allbr", block_insts=64),
+    mbbtb(3, "allbr", block_insts=64),
+]
+
+
+def test_fig10_fetch_pcs_and_ipc(benchmark, bench_env):
+    suite, length, warmup = bench_env
+
+    def run():
+        compared = compare_to_baseline(CONFIGS, IDEAL_IBTB16, suite, length, warmup)
+        rows = [
+            (
+                cc.config.label,
+                f"{cc.mean_fetch_pcs:.2f}",
+                f"{cc.geomean_ipc:.3f}",
+                f"{cc.box.geomean:.4f}",
+            )
+            for cc in compared
+        ]
+        return format_table(
+            ("config", "fetchPCs/access", "gmean IPC", "rel. to ideal"),
+            rows,
+        )
+
+    emit(
+        "fig10_fetchpcs",
+        "== Fig. 10: fetch PCs per BTB access and geomean IPC ==\n"
+        + once(benchmark, run),
+    )

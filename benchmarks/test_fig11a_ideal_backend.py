@@ -1,0 +1,53 @@
+"""Figure 11a: MB-BTB 64 AllBr vs I-BTB 16 under an ideal back end.
+
+Paper content reproduced: with idealistic 512K-entry BTBs and a back end
+limited only by data dependencies in an 8K-instruction window, the
+speedup of MB-BTB 64 AllBr over I-BTB 16 per workload, sorted by average
+dynamic basic-block size.
+
+Expected shape: significant speedups (paper: 13.4 % geomean, up to
+15.6 %) that anti-correlate with basic-block size — small blocks cannot
+use I-BTB 16's bandwidth, so MB-BTB's multi-block accesses pay off most
+there.
+"""
+
+from repro.analysis.report import format_table
+from repro.common.stats import geomean
+from repro.core.config import ibtb, mbbtb
+from repro.core.runner import run_one
+from repro.trace.workloads import get_trace
+
+from benchmarks.conftest import emit, once
+
+
+def test_fig11a_ideal_backend_limit_study(benchmark, bench_env):
+    suite, length, warmup = bench_env
+    base_cfg = ibtb(16, ideal_btb=True, ideal_backend=True)
+    mb_cfg = mbbtb(2, "allbr", block_insts=64, ideal_btb=True, ideal_backend=True)
+
+    def run():
+        points = []
+        for name in suite:
+            bb = get_trace(name, length).mean_basic_block_size()
+            base = run_one(base_cfg, name, length, warmup)
+            mb = run_one(mb_cfg, name, length, warmup)
+            points.append((bb, name, mb.ipc / base.ipc, base.ipc, mb.ipc))
+        points.sort()
+        rows = [
+            (name, f"{bb:.2f}", f"{b_ipc:.2f}", f"{m_ipc:.2f}", f"{(sp - 1) * 100:+.1f}%")
+            for bb, name, sp, b_ipc, m_ipc in points
+        ]
+        speedups = [sp for _bb, _n, sp, _b, _m in points]
+        rows.append(("GEOMEAN", "", "", "", f"{(geomean(speedups) - 1) * 100:+.1f}%"))
+        rows.append(("MIN", "", "", "", f"{(min(speedups) - 1) * 100:+.1f}%"))
+        rows.append(("MAX", "", "", "", f"{(max(speedups) - 1) * 100:+.1f}%"))
+        return format_table(
+            ("workload (sorted by BB size)", "dynBB", "I-BTB16 IPC", "MB-BTB64 IPC", "speedup"),
+            rows,
+        )
+
+    emit(
+        "fig11a_ideal_backend",
+        "== Fig. 11a: MB-BTB 64 AllBr over I-BTB 16, ideal backend "
+        "(paper: +13.4% geomean) ==\n" + once(benchmark, run),
+    )

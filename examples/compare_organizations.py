@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Compare the four BTB organizations on the server suite (mini Fig. 5/8).
+
+Sweeps realistic I-BTB 16, the best R-BTB (2L1 3BS), B-BTB 1BS with
+splitting and MB-BTB 2BS AllBr over a subset of the workload suite,
+normalizes per-workload IPC to the idealistic I-BTB 16 and prints the
+paper-style whisker summary.
+
+Usage::
+
+    python examples/compare_organizations.py [--full] [--length N]
+"""
+
+import argparse
+
+from repro import IDEAL_IBTB16, SERVER_SUITE, SMOKE_SUITE, bbtb, ibtb, mbbtb, rbtb
+from repro.analysis import whisker_table
+from repro.core.runner import compare_to_baseline
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="use the full 12-workload suite")
+    parser.add_argument("--length", type=int, default=80_000, help="instructions per trace")
+    args = parser.parse_args()
+
+    suite = SERVER_SUITE if args.full else SMOKE_SUITE
+    configs = [
+        ibtb(16),
+        rbtb(3, interleaved=True),
+        bbtb(1, splitting=True),
+        mbbtb(2, "allbr"),
+    ]
+    print(f"running {len(configs)} configs x {len(suite)} workloads "
+          f"({args.length} instructions each)...\n")
+    compared = compare_to_baseline(
+        configs, IDEAL_IBTB16, suite, length=args.length, warmup=args.length // 4
+    )
+    boxes = [(cc.config.label, cc.box) for cc in compared]
+    print(whisker_table(boxes, "IPC relative to ideal I-BTB 16"))
+    print()
+    for cc in compared:
+        print(
+            f"{cc.config.label:22s} gmean IPC {cc.geomean_ipc:6.3f}   "
+            f"fetch PCs/access {cc.mean_fetch_pcs:5.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

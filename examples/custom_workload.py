@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Define a custom synthetic workload and study BTB sensitivity on it.
+
+Shows the full workload pipeline the library exposes: build a
+:class:`~repro.trace.ProgramSpec` describing your binary's shape (block
+sizes, branch mix, loop behaviour, footprint), synthesize a dynamic
+trace, characterize it, then sweep MB-BTB pull policies on it.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+from repro.core.config import build_simulator, mbbtb
+from repro.trace import ProgramSpec, build_program, synthesize_trace
+
+
+def main() -> None:
+    # A microservice-like binary: tiny basic blocks, very call-heavy,
+    # with wide virtual dispatch and modest loops.
+    spec = ProgramSpec(
+        seed=1234,
+        n_functions=180,
+        blocks_per_function_mean=12,
+        block_body_mean=3.2,
+        w_call=0.24,
+        w_indirect_call=0.05,
+        w_never_taken=0.40,
+        loop_trips_mean=6,
+        dispatch_fanout=32,
+    )
+    program = build_program(spec)
+    print(f"static program: {len(program.functions)} functions, "
+          f"{program.static_instructions()} instructions "
+          f"({program.static_instructions() * 4 / 1024:.1f} KB)")
+
+    trace = synthesize_trace(program, 120_000, seed=42, name="microservice")
+    stats = trace.stats()
+    print(f"dynamic trace: {len(trace)} instructions, "
+          f"mean BB size {trace.mean_basic_block_size():.2f}, "
+          f"touched footprint {stats.get('code_footprint_bytes') / 1024:.1f} KB\n")
+
+    for policy in ("uncond", "calldir", "allbr"):
+        sim = build_simulator(mbbtb(2, policy), trace)
+        result = sim.run(warmup=30_000)
+        print(
+            f"MB-BTB 2BS {policy:8s}  IPC {result.ipc:6.3f}   "
+            f"fetch PCs/access {result.fetch_pcs_per_access:5.2f}   "
+            f"misfetch PKI {result.misfetch_pki:5.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Explore BTB hierarchy design: homogeneous vs heterogeneous, and slot
+replacement policies.
+
+Part 1 compares homogeneous hierarchies against the heterogeneous
+B-BTB-L1 / R-BTB-L2 design the paper sketches as future work (§3.6.2).
+Part 2 sweeps the victim-selection policy for R-BTB branch slots (§6.3).
+
+Usage::
+
+    python examples/hierarchy_explorer.py [--length N]
+"""
+
+import argparse
+
+from repro.analysis import format_table, geomean
+from repro.backend.scoreboard import OoOBackend
+from repro.btb.rbtb import RegionBTB
+from repro.core.config import bbtb, build_simulator, hetero_btb, ibtb, rbtb
+from repro.core.runner import run_suite
+from repro.core.simulator import Simulator
+from repro.frontend.engine import PredictionEngine
+from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
+from repro.trace import SMOKE_SUITE, get_trace
+
+
+def part1_hierarchies(length: int) -> None:
+    rows = []
+    for cfg in (ibtb(16), bbtb(1, splitting=True), hetero_btb(1, 2), hetero_btb(1, 3)):
+        results = run_suite(cfg, SMOKE_SUITE, length=length, warmup=length // 4)
+        rows.append(
+            (
+                cfg.label,
+                f"{geomean([r.ipc for r in results]):.3f}",
+                f"{sum(r.l1_btb_hit_rate for r in results) / len(results) * 100:.1f}%",
+                f"{sum(r.l2_btb_hit_rate for r in results) / len(results) * 100:.1f}%",
+                f"{sum(r.structure.get('l2_redundancy', 0) for r in results) / len(results):.3f}",
+            )
+        )
+    print(format_table(("hierarchy", "gmean IPC", "L1 hit", "L1+L2 hit", "L2 dup"), rows))
+
+
+def part2_policies(length: int) -> None:
+    base = rbtb(2)
+    l1, l2 = base.geometries()
+    rows = []
+    for policy in ("lru", "fifo", "uncond_first", "random"):
+        ipcs = []
+        for name in SMOKE_SUITE:
+            trace = get_trace(name, length)
+            memory = MemoryHierarchy(MemoryConfig(scale=base.scale))
+            sim = Simulator(
+                trace=trace,
+                btb=RegionBTB(l1, l2, slots_per_entry=2, slot_policy=policy),
+                engine=PredictionEngine(),
+                backend=OoOBackend(memory=memory),
+                memory=memory,
+            )
+            ipcs.append(sim.run(warmup=length // 4).ipc)
+        rows.append((policy, f"{geomean(ipcs):.4f}"))
+    print(format_table(("R-BTB 2BS slot policy", "gmean IPC"), rows))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--length", type=int, default=60_000)
+    args = parser.parse_args()
+    print("== homogeneous vs heterogeneous hierarchies ==")
+    part1_hierarchies(args.length)
+    print("\n== branch-slot replacement policies ==")
+    part2_policies(args.length)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one BTB configuration on one server workload.
+
+Runs the realistic I-BTB 16 machine (Table 1, scaled) on the synthetic
+``web_frontend`` trace and prints the headline metrics the paper reports
+per configuration: IPC, branch MPKI, misfetch PKI, BTB hit rates and
+fetch PCs generated per BTB access.
+
+Usage::
+
+    python examples/quickstart.py [workload] [length]
+"""
+
+import sys
+
+from repro import ibtb, run_one
+from repro.trace import SERVER_SUITE
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "web_frontend"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 160_000
+    if workload not in SERVER_SUITE:
+        raise SystemExit(
+            f"unknown workload {workload!r}; pick one of: {', '.join(SERVER_SUITE)}"
+        )
+
+    config = ibtb(16)
+    print(f"simulating {config.label} on {workload} ({length} instructions)...")
+    result = run_one(config, workload, length=length, warmup=length // 4)
+
+    print(f"\n  IPC                  {result.ipc:8.3f}")
+    print(f"  cycles               {result.cycles:8d}")
+    print(f"  branch MPKI          {result.branch_mpki:8.2f}")
+    print(f"  misfetch PKI         {result.misfetch_pki:8.2f}")
+    print(f"  L1 BTB hit rate      {result.l1_btb_hit_rate * 100:7.1f}%")
+    print(f"  L1+L2 BTB hit rate   {result.l2_btb_hit_rate * 100:7.1f}%")
+    print(f"  fetch PCs / access   {result.fetch_pcs_per_access:8.2f}")
+    print(f"  L1 slot occupancy    {result.structure.get('l1_slot_occupancy', 0):8.2f}")
+
+
+if __name__ == "__main__":
+    main()

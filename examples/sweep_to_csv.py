@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Run a configuration sweep and export flat CSV/JSON for post-processing.
+
+Demonstrates the analysis-export API: sweep a few configurations over the
+smoke suite, flatten every (config, workload) result into rows and write
+``sweep.csv`` / ``sweep.json`` for pandas/R/spreadsheets.
+
+Usage::
+
+    python examples/sweep_to_csv.py [outdir] [--length N]
+"""
+
+import argparse
+import os
+
+from repro import SMOKE_SUITE, bbtb, ibtb, mbbtb, rbtb
+from repro.analysis import results_to_rows, write_csv, write_json
+from repro.core.runner import run_suite
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("outdir", nargs="?", default="sweep_out")
+    parser.add_argument("--length", type=int, default=40_000)
+    args = parser.parse_args()
+
+    configs = [ibtb(16), rbtb(3), bbtb(1, splitting=True), mbbtb(2, "allbr")]
+    labelled = []
+    for config in configs:
+        print(f"running {config.label} ...")
+        results = run_suite(
+            config, SMOKE_SUITE, length=args.length, warmup=args.length // 4
+        )
+        labelled.append((config.label, results))
+
+    rows = results_to_rows(labelled)
+    os.makedirs(args.outdir, exist_ok=True)
+    csv_path = os.path.join(args.outdir, "sweep.csv")
+    json_path = os.path.join(args.outdir, "sweep.json")
+    write_csv(csv_path, rows)
+    write_json(json_path, rows)
+    print(f"\nwrote {len(rows)} rows to {csv_path} and {json_path}")
+    print("columns:", ", ".join(rows[0]))
+
+
+if __name__ == "__main__":
+    main()

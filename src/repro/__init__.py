@@ -1,0 +1,57 @@
+"""repro: reproduction of "Branch Target Buffer Organizations" (MICRO 2023).
+
+Quickstart::
+
+    from repro import ibtb, mbbtb, run_one
+
+    result = run_one(ibtb(16), "web_frontend")
+    print(result.ipc, result.branch_mpki)
+
+Subpackages: ``repro.trace`` (synthetic workloads), ``repro.branch``
+(predictors), ``repro.btb`` (the four BTB organizations), ``repro.memory``
+(cache/TLB/DRAM hierarchy), ``repro.frontend`` (decoupled fetch),
+``repro.backend`` (timing models), ``repro.core`` (simulator + configs +
+runner), ``repro.analysis`` (reporting).
+"""
+
+from repro.core import (
+    IDEAL_IBTB16,
+    MachineConfig,
+    SimResult,
+    Simulator,
+    bbtb,
+    build_simulator,
+    compare_to_baseline,
+    hetero_btb,
+    ibtb,
+    ibtb_skp,
+    mbbtb,
+    rbtb,
+    run_one,
+    run_suite,
+)
+from repro.trace import SERVER_SUITE, SMOKE_SUITE, Trace, get_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IDEAL_IBTB16",
+    "MachineConfig",
+    "SERVER_SUITE",
+    "SMOKE_SUITE",
+    "SimResult",
+    "Simulator",
+    "Trace",
+    "bbtb",
+    "build_simulator",
+    "compare_to_baseline",
+    "get_trace",
+    "hetero_btb",
+    "ibtb",
+    "ibtb_skp",
+    "mbbtb",
+    "rbtb",
+    "run_one",
+    "run_suite",
+    "__version__",
+]

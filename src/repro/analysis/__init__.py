@@ -1,0 +1,25 @@
+"""Analysis helpers: whisker statistics and report rendering."""
+
+from repro.analysis.export import (
+    METRIC_FIELDS,
+    result_row,
+    results_to_rows,
+    write_csv,
+    write_json,
+)
+from repro.analysis.report import ascii_bar, format_table, series_table, whisker_table
+from repro.common.stats import BoxStats, geomean
+
+__all__ = [
+    "BoxStats",
+    "METRIC_FIELDS",
+    "result_row",
+    "results_to_rows",
+    "write_csv",
+    "write_json",
+    "ascii_bar",
+    "format_table",
+    "geomean",
+    "series_table",
+    "whisker_table",
+]

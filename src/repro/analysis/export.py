@@ -1,0 +1,68 @@
+"""Result export: flatten SimResults to rows and write CSV/JSON.
+
+Lets downstream users post-process sweeps with pandas/R instead of
+parsing the text figures.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+#: Derived metrics exported for every result.
+METRIC_FIELDS = (
+    "ipc",
+    "branch_mpki",
+    "misfetch_pki",
+    "fetch_pcs_per_access",
+    "l1_btb_hit_rate",
+    "l2_btb_hit_rate",
+)
+
+
+def result_row(config_label: str, result) -> Dict[str, object]:
+    """Flatten one (config, SimResult) pair into a plain dict."""
+    row: Dict[str, object] = {
+        "config": config_label,
+        "workload": result.name,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+    }
+    for field in METRIC_FIELDS:
+        row[field] = getattr(result, field)
+    for key, value in sorted(result.structure.items()):
+        row[key] = value
+    return row
+
+
+def results_to_rows(
+    labelled_results: Iterable[Tuple[str, Sequence]],
+) -> List[Dict[str, object]]:
+    """``[(label, [SimResult, ...]), ...]`` -> list of flat row dicts."""
+    rows = []
+    for label, results in labelled_results:
+        for result in results:
+            rows.append(result_row(label, result))
+    return rows
+
+
+def write_csv(path: str, rows: Sequence[Dict[str, object]]) -> None:
+    """Write rows to *path*; the header is the union of all keys."""
+    if not rows:
+        raise ValueError("no rows to write")
+    fields: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fields:
+                fields.append(key)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fields, restval="")
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def write_json(path: str, rows: Sequence[Dict[str, object]]) -> None:
+    """Write rows as a JSON array."""
+    with open(path, "w") as handle:
+        json.dump(list(rows), handle, indent=2, sort_keys=True)

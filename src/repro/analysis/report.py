@@ -1,0 +1,74 @@
+"""Report rendering for the benchmark harness.
+
+The paper presents results as whisker plots over the trace suite; the
+benches print the same content as aligned text tables (one row per
+configuration) plus simple ASCII bars so the shape is visible in logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned text table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if len(cell) > widths[i]:
+                widths[i] = len(cell)
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def ascii_bar(value: float, lo: float, hi: float, width: int = 30) -> str:
+    """A bar proportional to value's position in [lo, hi]."""
+    if hi <= lo:
+        return ""
+    frac = (value - lo) / (hi - lo)
+    frac = min(1.0, max(0.0, frac))
+    n = int(round(frac * width))
+    return "#" * n
+
+
+def whisker_table(labelled_boxes: Sequence, title: str) -> str:
+    """One row per (label, BoxStats): the paper's whisker-plot content.
+
+    ``labelled_boxes`` is a sequence of ``(label, BoxStats)`` pairs.
+    """
+    lo = min(b.minimum for _, b in labelled_boxes)
+    hi = max(b.maximum for _, b in labelled_boxes)
+    rows = []
+    for label, box in labelled_boxes:
+        rows.append(
+            (
+                label,
+                f"{box.geomean:.4f}",
+                f"{box.minimum:.3f}",
+                f"{box.q1:.3f}",
+                f"{box.median:.3f}",
+                f"{box.q3:.3f}",
+                f"{box.maximum:.3f}",
+                ascii_bar(box.geomean, lo, hi),
+            )
+        )
+    table = format_table(
+        ("config", "gmean", "min", "q1", "median", "q3", "max", "gmean bar"),
+        rows,
+    )
+    return f"== {title} ==\n{table}"
+
+
+def series_table(title: str, x_label: str, xs: Sequence, series: dict) -> str:
+    """Render named y-series against a shared x axis (Fig. 11 style)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        row = [x] + [f"{series[name][i]:.4f}" for name in series]
+        rows.append(row)
+    return f"== {title} ==\n{format_table(headers, rows)}"

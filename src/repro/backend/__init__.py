@@ -1,0 +1,5 @@
+"""Back-end timing models: scoreboarded OoO core and the ideal ILP limit."""
+
+from repro.backend.scoreboard import IdealBackend, OoOBackend
+
+__all__ = ["IdealBackend", "OoOBackend"]

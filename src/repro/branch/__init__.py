@@ -1,0 +1,15 @@
+"""Branch prediction substrate: direction, indirect target, RAS, history."""
+
+from repro.branch.history import MAX_HISTORY, FoldedRegister, GlobalHistory
+from repro.branch.indirect import IndirectPredictor, ReturnAddressStack
+from repro.branch.perceptron import HISTORY_LENGTHS, HashedPerceptron
+
+__all__ = [
+    "FoldedRegister",
+    "GlobalHistory",
+    "HISTORY_LENGTHS",
+    "HashedPerceptron",
+    "IndirectPredictor",
+    "MAX_HISTORY",
+    "ReturnAddressStack",
+]

@@ -1,0 +1,95 @@
+"""Global branch history with incrementally folded views.
+
+The hashed perceptron and the indirect target predictor index their tables
+with hashes of (PC, recent global history). Folding a long history into a
+table-index-sized value on every prediction would be O(history length);
+:class:`FoldedRegister` keeps the fold up to date in O(1) per history
+update, the same circular-shift-register trick TAGE uses.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Maximum global history length kept (bits).
+MAX_HISTORY = 256
+
+_HISTORY_MASK = (1 << MAX_HISTORY) - 1
+
+
+class FoldedRegister:
+    """Folds the most recent *length* history bits into *width* bits.
+
+    Maintained incrementally: :meth:`push` must be called with the new
+    history bit and the bit that just fell off position ``length - 1``.
+    """
+
+    __slots__ = ("length", "width", "value", "_out_pos")
+
+    def __init__(self, length: int, width: int) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        self.length = length
+        self.width = width
+        self.value = 0
+        self._out_pos = length % width
+
+    def push(self, new_bit: int, outgoing_bit: int) -> None:
+        """Advance the fold by one history bit (TAGE CSR update: shift in
+        the new bit, cancel the outgoing bit at ``length % width``, wrap
+        the overflow bit back with XOR)."""
+        if self.length == 0:
+            return
+        v = (self.value << 1) | (new_bit & 1)
+        v ^= (outgoing_bit & 1) << self._out_pos
+        v ^= v >> self.width
+        self.value = v & ((1 << self.width) - 1)
+
+    def rebuild(self, history: int) -> None:
+        """Recompute the fold from scratch (oldest bit first)."""
+        self.value = 0
+        for i in range(self.length - 1, -1, -1):
+            bit = (history >> i) & 1
+            v = (self.value << 1) | bit
+            v ^= v >> self.width
+            self.value = v & ((1 << self.width) - 1)
+
+
+class GlobalHistory:
+    """Global taken/not-taken history shared by the predictors.
+
+    Following common practice (and Ishii et al.'s discussion the paper
+    cites), the history is updated with the outcome of conditional
+    branches and with a constant '1' for taken unconditional branches, so
+    indirect-dispatch context is visible to the predictor.
+    """
+
+    __slots__ = ("bits", "_folds")
+
+    def __init__(self) -> None:
+        self.bits = 0
+        self._folds: List[FoldedRegister] = []
+
+    def register_fold(self, length: int, width: int) -> FoldedRegister:
+        """Create a folded view kept in sync with this history."""
+        if length > MAX_HISTORY:
+            raise ValueError(f"length {length} exceeds MAX_HISTORY {MAX_HISTORY}")
+        fold = FoldedRegister(length, width)
+        fold.rebuild(self.bits)
+        self._folds.append(fold)
+        return fold
+
+    def push(self, taken: bool) -> None:
+        """Shift one outcome bit into the history."""
+        bit = 1 if taken else 0
+        for fold in self._folds:
+            if fold.length:
+                outgoing = (self.bits >> (fold.length - 1)) & 1
+                fold.push(bit, outgoing)
+        self.bits = ((self.bits << 1) | bit) & _HISTORY_MASK
+
+    def value(self, length: int) -> int:
+        """The most recent *length* history bits as an int."""
+        return self.bits & ((1 << length) - 1)

@@ -1,0 +1,76 @@
+"""Indirect target predictor and return address stack.
+
+Table 1 specifies a 4K-entry gshare-like indirect target predictor and a
+64-entry RAS. The indirect predictor is a tagless target table indexed by
+a hash of the branch PC and folded global history; returns never consult
+it (the RAS supplies their targets).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.branch.history import GlobalHistory
+from repro.common.rng import mix_hash
+
+
+class IndirectPredictor:
+    """Gshare-style tagless indirect target table."""
+
+    #: History bits hashed into the index.
+    HISTORY_BITS = 18
+
+    def __init__(self, history: GlobalHistory, entries: int = 4096) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        self.entries = entries
+        self._mask = entries - 1
+        self._targets: List[int] = [0] * entries
+        self._fold = history.register_fold(
+            self.HISTORY_BITS, entries.bit_length() - 1
+        )
+
+    def _index(self, pc: int) -> int:
+        return (mix_hash(pc) ^ self._fold.value) & self._mask
+
+    def predict(self, pc: int) -> Optional[int]:
+        """Predicted target for the indirect branch at *pc* (None = cold)."""
+        target = self._targets[self._index(pc)]
+        return target or None
+
+    def update(self, pc: int, target: int) -> None:
+        """Record the resolved target (immediate update model)."""
+        self._targets[self._index(pc)] = target
+
+
+class ReturnAddressStack:
+    """Bounded return address stack.
+
+    Overflow discards the oldest entry (circular behaviour); underflow
+    returns None, which the simulator treats as a mispredicted return.
+    """
+
+    def __init__(self, depth: int = 64) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._stack: List[int] = []
+
+    def push(self, return_pc: int) -> None:
+        if len(self._stack) >= self.depth:
+            self._stack.pop(0)
+        self._stack.append(return_pc)
+
+    def pop(self) -> Optional[int]:
+        if not self._stack:
+            return None
+        return self._stack.pop()
+
+    def top(self) -> Optional[int]:
+        return self._stack[-1] if self._stack else None
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def clear(self) -> None:
+        self._stack.clear()

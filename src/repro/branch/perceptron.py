@@ -1,0 +1,107 @@
+"""Hashed perceptron conditional branch predictor.
+
+Models the predictor of Table 1: a 64 KB hashed perceptron in the spirit
+of Jiménez & Lin / Tarjan & Skadron as shipped with ChampSim — 16 weight
+tables indexed by hashes of the PC and geometrically spaced global-history
+segments (0–232 bits), 8-bit weights, summed and thresholded.
+
+The total size is a constructor knob because Fig. 11b shrinks the
+predictor from 64 KB down to 2 KB to raise branch MPKI.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.branch.history import GlobalHistory
+from repro.common.rng import mix_hash
+
+#: Geometrically spaced history lengths for the 16 tables (0..232 bits).
+HISTORY_LENGTHS = (0, 3, 5, 8, 12, 17, 24, 33, 44, 58, 75, 96, 121, 151, 187, 232)
+
+_WEIGHT_MAX = 127
+_WEIGHT_MIN = -128
+
+
+class HashedPerceptron:
+    """Hashed perceptron direction predictor.
+
+    Parameters
+    ----------
+    history:
+        The shared :class:`GlobalHistory` (folded views are registered on
+        construction).
+    size_kb:
+        Total storage in KB; divided evenly among the tables with one
+        byte per weight. 64 KB -> 4096 entries per table.
+    """
+
+    def __init__(self, history: GlobalHistory, size_kb: int = 64) -> None:
+        if size_kb <= 0:
+            raise ValueError("size_kb must be positive")
+        self.size_kb = size_kb
+        entries = (size_kb * 1024) // len(HISTORY_LENGTHS)
+        # Round down to a power of two, minimum 32 entries per table.
+        table_entries = 32
+        while table_entries * 2 <= entries:
+            table_entries *= 2
+        self.table_entries = table_entries
+        self._mask = table_entries - 1
+        self._index_width = table_entries.bit_length() - 1
+        self.tables: List[List[int]] = [
+            [0] * table_entries for _ in HISTORY_LENGTHS
+        ]
+        self._folds = [
+            history.register_fold(length, self._index_width) if length else None
+            for length in HISTORY_LENGTHS
+        ]
+        #: Training threshold (classic perceptron margin rule).
+        self.theta = 2 * len(HISTORY_LENGTHS) + 14
+
+    # -- prediction ------------------------------------------------------------
+
+    def _indices(self, pc: int) -> List[int]:
+        mask = self._mask
+        pc_hash = mix_hash(pc)
+        indices = []
+        for t, fold in enumerate(self._folds):
+            if fold is None:
+                indices.append(pc_hash & mask)
+            else:
+                indices.append((pc_hash ^ fold.value ^ (t << 3)) & mask)
+        return indices
+
+    def predict(self, pc: int):
+        """Return ``(taken, sum, indices)``.
+
+        The indices are returned so :meth:`update` can train the exact
+        entries that produced the prediction (the history advances between
+        prediction and update in the simulator's immediate-update model,
+        so recomputing them later would train the wrong rows).
+        """
+        indices = self._indices(pc)
+        total = 0
+        tables = self.tables
+        for t, idx in enumerate(indices):
+            total += tables[t][idx]
+        return total >= 0, total, indices
+
+    def update(self, taken: bool, total: int, indices: List[int]) -> None:
+        """Train on the resolved outcome using the prediction-time state."""
+        predicted = total >= 0
+        if predicted == taken and abs(total) > self.theta:
+            return
+        delta = 1 if taken else -1
+        tables = self.tables
+        for t, idx in enumerate(indices):
+            w = tables[t][idx] + delta
+            if w > _WEIGHT_MAX:
+                w = _WEIGHT_MAX
+            elif w < _WEIGHT_MIN:
+                w = _WEIGHT_MIN
+            tables[t][idx] = w
+
+    @property
+    def storage_bytes(self) -> int:
+        """Actual modelled storage (weights only)."""
+        return len(self.tables) * self.table_entries

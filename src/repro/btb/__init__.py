@@ -1,0 +1,44 @@
+"""BTB organizations: I-BTB, R-BTB, B-BTB and MultiBlock BTB."""
+
+from repro.btb.base import (
+    Access,
+    BTBGeometry,
+    BranchSlot,
+    L1_HIT,
+    L2_HIT,
+    MISS,
+    TwoLevelStore,
+)
+from repro.btb.bbtb import BlockBTB, BlockEntry
+from repro.btb.hetero import HeterogeneousBTB
+from repro.btb.replacement import POLICIES, pick_victim
+from repro.btb.ibtb import InstructionBTB
+from repro.btb.mbbtb import (
+    PULL_POLICIES,
+    STABILITY_THRESHOLD,
+    MBEntry,
+    MultiBlockBTB,
+)
+from repro.btb.rbtb import RegionBTB, RegionEntry
+
+__all__ = [
+    "Access",
+    "BTBGeometry",
+    "BlockBTB",
+    "BlockEntry",
+    "BranchSlot",
+    "HeterogeneousBTB",
+    "POLICIES",
+    "pick_victim",
+    "InstructionBTB",
+    "L1_HIT",
+    "L2_HIT",
+    "MBEntry",
+    "MISS",
+    "MultiBlockBTB",
+    "PULL_POLICIES",
+    "RegionBTB",
+    "RegionEntry",
+    "STABILITY_THRESHOLD",
+    "TwoLevelStore",
+]

@@ -1,0 +1,180 @@
+"""Shared BTB machinery: branch slots, access results, two-level storage.
+
+Every organization (I-, R-, B-, MB-BTB) stores :class:`BranchSlot`s inside
+entries kept in a :class:`TwoLevelStore` — an inclusive L1/L2 pair of
+set-associative arrays with the Fig.-3 bubble semantics attached by the
+PC-generation stage. Comparisons across organizations hold the total
+number of *branch slots* constant (paper §4), so constructors take the
+slot budget and derive entry counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.assoc import SetAssociative
+
+#: Lookup outcome levels.
+MISS = 0
+L1_HIT = 1
+L2_HIT = 2
+
+
+@dataclass
+class BranchSlot:
+    """Metadata for one tracked branch.
+
+    ``pc`` is absolute (entries derive offsets from their base); ``target``
+    is the last observed taken target. The MB-BTB fields (``blk_id``,
+    ``follow``, ``stabl_ctr``) are carried here so MB entries can reuse the
+    class; other organizations leave them at defaults.
+    """
+
+    pc: int
+    btype: int
+    target: int
+    blk_id: int = 0
+    follow: bool = False
+    stabl_ctr: int = 0
+
+
+@dataclass
+class Access:
+    """Result of one PC-generation BTB access (one cycle of fetch PCs)."""
+
+    #: Number of sequential trace instructions covered by this access.
+    count: int
+    #: Fetch PC for the next access (valid when event is None).
+    next_pc: int
+    #: Extra PC-generation stall cycles after this access (L2 redirect = 3,
+    #: non-return indirect = +1).
+    bubbles: int = 0
+    #: None, or 'misfetch' (resteer at decode) or 'mispredict' (at execute).
+    event: Optional[str] = None
+    #: Trace index of the faulting branch when event is set.
+    event_index: int = -1
+    #: Number of distinct BTB-level blocks this access chained through
+    #: (MB-BTB statistics; 1 for other organizations).
+    blocks: int = 1
+
+
+@dataclass
+class BTBGeometry:
+    """Sets/ways of one BTB level."""
+
+    sets: int
+    ways: int
+
+    @property
+    def entries(self) -> int:
+        return self.sets * self.ways
+
+    def scaled(self, factor: float) -> "BTBGeometry":
+        """Scale the number of sets (ways preserved, minimum 1 set)."""
+        sets = max(1, int(self.sets * factor))
+        # Round down to power of two.
+        p = 1
+        while p * 2 <= sets:
+            p *= 2
+        return BTBGeometry(sets=p, ways=self.ways)
+
+
+class TwoLevelStore:
+    """Inclusive two-level entry store with LRU at both levels.
+
+    * lookup: L1 hit wins; on L1 miss but L2 hit the entry is promoted to
+      L1 (the L1 victim is demoted, i.e. its newer content refreshes the
+      L2 copy). The caller receives ``(level, entry)``.
+    * allocate: new entries are installed in both levels (inclusive).
+    * Fill/evict latency between levels is not modelled, per paper §4.1.
+
+    A single-level "ideal" store is expressed by passing ``l2_geom=None``.
+    """
+
+    def __init__(
+        self,
+        l1_geom: BTBGeometry,
+        l2_geom: Optional[BTBGeometry],
+        index_shift: int,
+    ) -> None:
+        self._shift = index_shift
+        self.l1 = SetAssociative(l1_geom.sets, l1_geom.ways)
+        self.l2 = SetAssociative(l2_geom.sets, l2_geom.ways) if l2_geom else None
+
+    def _key(self, pc: int) -> Tuple[int, int]:
+        idx = pc >> self._shift
+        return idx, idx  # full tags: tag is the full index
+
+    def lookup(self, pc: int):
+        """Return ``(level, entry)``; level is MISS/L1_HIT/L2_HIT."""
+        key, tag = self._key(pc)
+        entry = self.l1.lookup(key, tag)
+        if entry is not None:
+            return L1_HIT, entry
+        if self.l2 is None:
+            return MISS, None
+        entry = self.l2.lookup(key, tag)
+        if entry is None:
+            return MISS, None
+        # Promote to L1; demote the L1 victim's content into L2.
+        victim = self.l1.insert(key, tag, entry)
+        if victim is not None:
+            vtag, ventry = victim
+            self.l2.insert(vtag, vtag, ventry)
+        return L2_HIT, entry
+
+    def peek_l1(self, pc: int) -> bool:
+        """True when *pc*'s entry is L1-resident (no LRU touch, no promote)."""
+        key, tag = self._key(pc)
+        return self.l1.lookup(key, tag, touch=False) is not None
+
+    def allocate(self, pc: int, entry) -> None:
+        """Install *entry* in L1 (and L2 for inclusion)."""
+        key, tag = self._key(pc)
+        victim = self.l1.insert(key, tag, entry)
+        if self.l2 is not None:
+            self.l2.insert(key, tag, entry)
+            if victim is not None:
+                vtag, ventry = victim
+                self.l2.insert(vtag, vtag, ventry)
+
+    def invalidate(self, pc: int) -> None:
+        """Drop the entry at *pc* from both levels."""
+        key, tag = self._key(pc)
+        self.l1.evict(key, tag)
+        if self.l2 is not None:
+            self.l2.evict(key, tag)
+
+    # -- structure inspection (paper's occupancy/redundancy metrics) --------
+
+    def resident_entries(self):
+        """Yield every distinct resident entry (L1 ∪ L2)."""
+        seen = set()
+        for _, tag, entry in self.l1.items():
+            if id(entry) not in seen:
+                seen.add(id(entry))
+                yield entry
+        if self.l2 is not None:
+            for _, tag, entry in self.l2.items():
+                if id(entry) not in seen:
+                    seen.add(id(entry))
+                    yield entry
+
+    def level_entries(self, level: int):
+        """Yield entries resident in one level (1 or 2)."""
+        store = self.l1 if level == 1 else self.l2
+        if store is None:
+            return
+        for _, _tag, entry in store.items():
+            yield entry
+
+
+
+def insert_sorted(slots: List[BranchSlot], slot: BranchSlot, key) -> None:
+    """Insert *slot* keeping *slots* sorted by *key*."""
+    pos = 0
+    k = key(slot)
+    while pos < len(slots) and key(slots[pos]) <= k:
+        pos += 1
+    slots.insert(pos, slot)

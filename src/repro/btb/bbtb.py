@@ -1,0 +1,239 @@
+"""Block BTB (B-BTB): one dynamic instruction block per entry.
+
+An entry is keyed by the exact PC that starts a block (the target of a
+taken branch, or the fall-through boundary of the previous block) and
+covers at most ``block_insts`` instructions (16 by default; Fig. 9 grows
+this to 32/64). Per the paper's baseline, a sometimes-taken conditional
+branch does *not* end the block — the block runs to its full reach, which
+lets the fall-through address be computed in parallel with the BTB access.
+
+With ``splitting`` enabled (§6.3) an entry that must track more branches
+than it has slots is split: it keeps its first ``slots_per_entry``
+branches in offset order and shrinks to end just after the last kept
+branch; the displaced branch is re-allocated into a new entry starting at
+the split point. Split entries carry an explicit length.
+
+Because entries are keyed by their start PC, overlapping entries tracking
+the same branch arise naturally (§3.4's redundancy, Fig. 2);
+:meth:`redundancy_ratio` measures it exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.btb.base import (
+    Access,
+    BTBGeometry,
+    BranchSlot,
+    L2_HIT,
+    TwoLevelStore,
+)
+from repro.btb.replacement import POLICIES, pick_victim
+from repro.common.types import ILEN, BranchType
+from repro.frontend.engine import REDIRECT, SEQ, PredictionEngine
+
+
+@dataclass
+class BlockEntry:
+    """One block: offset-ordered slots plus an optional split length."""
+
+    start: int
+    length: int  # instructions covered by this entry
+    slots: List[BranchSlot] = field(default_factory=list)
+    ticks: List[int] = field(default_factory=list)
+    iticks: List[int] = field(default_factory=list)
+    split: bool = False
+
+    def touch(self, slot: BranchSlot, tick: int) -> None:
+        self.ticks[self.slots.index(slot)] = tick
+
+    @property
+    def end_pc(self) -> int:
+        return self.start + self.length * ILEN
+
+    def find(self, pc: int) -> Optional[BranchSlot]:
+        for slot in self.slots:
+            if slot.pc == pc:
+                return slot
+        return None
+
+
+class BlockBTB:
+    """Block-granular BTB with optional entry splitting."""
+
+    name = "B-BTB"
+
+    def __init__(
+        self,
+        l1_geom: BTBGeometry,
+        l2_geom: Optional[BTBGeometry],
+        slots_per_entry: int = 2,
+        block_insts: int = 16,
+        splitting: bool = False,
+        split_bubble: int = 0,
+        l1_taken_bubble: int = 0,
+        slot_policy: str = "lru",
+    ) -> None:
+        if slots_per_entry < 1:
+            raise ValueError("slots_per_entry must be >= 1")
+        if block_insts < 2:
+            raise ValueError("block_insts must be >= 2")
+        if slot_policy not in POLICIES:
+            raise ValueError(f"slot_policy must be one of {POLICIES}")
+        self.store = TwoLevelStore(l1_geom, l2_geom, index_shift=2)
+        self.slots_per_entry = slots_per_entry
+        self.block_insts = block_insts
+        self.splitting = splitting
+        #: Extra bubble charged when falling through a *split* entry (the
+        #: fall-through address needs entry data, §6.3). 0 models the
+        #: "split bit" fast path.
+        self.split_bubble = split_bubble
+        self.l1_taken_bubble = l1_taken_bubble
+        self.slot_policy = slot_policy
+        self._tick = 0
+
+    # -- PC generation -------------------------------------------------------------
+
+    def scan(self, pc: int, idx: int, tr, eng: PredictionEngine) -> Access:
+        """One PC-generation access from *pc* at trace index *idx*.
+
+        Walks the correct path against the entry content, trains all
+        structures (immediate update) and returns an
+        :class:`~repro.btb.base.Access`."""
+        btypes = tr.btype
+        takens = tr.taken
+        targets = tr.target
+        n = len(btypes)
+        block_start = pc
+        level, entry = self.store.lookup(pc)
+        end_pc = entry.end_pc if entry is not None else pc + self.block_insts * ILEN
+        count = 0
+        self._tick += 1
+        while pc < end_pc:
+            j = idx + count
+            if j >= n:
+                return Access(count, pc)
+            bt = btypes[j]
+            count += 1
+            if bt == BranchType.NONE:
+                pc += ILEN
+                continue
+            slot = entry.find(pc) if entry is not None else None
+            if slot is not None:
+                entry.touch(slot, self._tick)
+            known = slot is not None
+            taken = bool(takens[j])
+            target = targets[j]
+            eng.note_btb(level if known else 0, taken)
+            res = eng.resolve(pc, bt, taken, target, known, slot)
+            entry = self._train_branch(entry, block_start, pc, bt, taken, target, slot)
+            if res == SEQ:
+                pc += ILEN
+                continue
+            if res == REDIRECT:
+                bubbles = 3 if level == L2_HIT else self.l1_taken_bubble
+                if bt in (BranchType.INDIRECT, BranchType.CALL_INDIRECT):
+                    bubbles += 1
+                return Access(count, target, bubbles)
+            return Access(count, 0, 0, event=res, event_index=j)
+        bubbles = self.split_bubble if (entry is not None and entry.split) else 0
+        return Access(count, pc, bubbles)
+
+    # -- training ----------------------------------------------------------------------
+
+    def _train_branch(
+        self,
+        entry: Optional[BlockEntry],
+        block_start: int,
+        pc: int,
+        btype: int,
+        taken: bool,
+        target: int,
+        slot: Optional[BranchSlot],
+    ) -> Optional[BlockEntry]:
+        """Immediate-update training; returns the (possibly new) entry."""
+        if not taken:
+            return entry
+        if slot is not None:
+            slot.target = target  # indirect targets may drift
+            return entry
+        if entry is None:
+            entry = BlockEntry(start=block_start, length=self.block_insts)
+            self._place(entry, BranchSlot(pc=pc, btype=btype, target=target))
+            self.store.allocate(block_start, entry)
+            return entry
+        self._insert_slot(entry, BranchSlot(pc=pc, btype=btype, target=target))
+        return entry
+
+    def _insert_slot(self, entry: BlockEntry, slot: BranchSlot) -> None:
+        if len(entry.slots) < self.slots_per_entry:
+            self._place(entry, slot)
+            return
+        if self.splitting:
+            self._split(entry, slot)
+        else:
+            victim = pick_victim(
+                self.slot_policy, entry.slots, entry.ticks, entry.iticks, self._tick
+            )
+            entry.slots.pop(victim)
+            entry.ticks.pop(victim)
+            entry.iticks.pop(victim)
+            self._place(entry, slot)
+
+    def _place(self, entry: BlockEntry, slot: BranchSlot) -> None:
+        pos = 0
+        while pos < len(entry.slots) and entry.slots[pos].pc <= slot.pc:
+            pos += 1
+        entry.slots.insert(pos, slot)
+        entry.ticks.insert(pos, self._tick)
+        entry.iticks.insert(pos, self._tick)
+
+    def _split(self, entry: BlockEntry, slot: BranchSlot) -> None:
+        """Split *entry* so no branch metadata is lost (§6.3)."""
+        staged = sorted(entry.slots + [slot], key=lambda s: s.pc)
+        keep = staged[: self.slots_per_entry]
+        spill = staged[self.slots_per_entry :]
+        split_pc = keep[-1].pc + ILEN
+        entry.slots = keep
+        entry.ticks = [self._tick] * len(keep)
+        entry.iticks = [self._tick] * len(keep)
+        entry.length = (split_pc - entry.start) // ILEN
+        entry.split = True
+        # The spilled branches live in the fall-through block; merge into
+        # an existing entry there if one is resident.
+        _level, existing = self.store.lookup(split_pc)
+        if existing is None:
+            new_entry = BlockEntry(
+                start=split_pc,
+                length=self.block_insts,
+                slots=spill,
+                ticks=[self._tick] * len(spill),
+                iticks=[self._tick] * len(spill),
+            )
+            self.store.allocate(split_pc, new_entry)
+        else:
+            for s in spill:
+                if existing.find(s.pc) is None and s.pc < existing.end_pc:
+                    self._insert_slot(existing, s)
+
+    # -- structure metrics ------------------------------------------------------------------
+
+    def slot_occupancy(self, level: int) -> float:
+        """Mean used branch slots per resident entry at *level*."""
+        entries = list(self.store.level_entries(level))
+        if not entries:
+            return 0.0
+        return sum(len(e.slots) for e in entries) / len(entries)
+
+    def redundancy_ratio(self, level: int) -> float:
+        """Average number of entries tracking each tracked branch PC —
+        the paper's §3.4/§6.1 redundancy metric (1.0 = no duplication)."""
+        counts = {}
+        for entry in self.store.level_entries(level):
+            for slot in entry.slots:
+                counts[slot.pc] = counts.get(slot.pc, 0) + 1
+        if not counts:
+            return 0.0
+        return sum(counts.values()) / len(counts)

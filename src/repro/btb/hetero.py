@@ -1,0 +1,277 @@
+"""Heterogeneous BTB hierarchy: Block-organized L1 over a Region L2.
+
+Paper §3.6.2 observes that the organization best suited for the first
+level (B-BTB: one access covers a whole block, no offset comparison on
+the critical path, agile single-slot entries) is not the one best suited
+for the larger levels (B-BTB duplicates metadata, §3.4, wasting capacity;
+R-BTB stores each branch exactly once). The paper leaves heterogeneous
+hierarchies to future work — this module implements the natural design:
+
+* **L1**: Block BTB entries keyed by exact block-start PC, with entry
+  splitting, serving 0-bubble redirects;
+* **L2**: Region BTB entries (one aligned region per entry, several
+  branch slots), duplication-free dense backing store.
+
+On an L1 miss that hits the L2, the covering region entries are used to
+*synthesize* a block entry for the missing block start (branches of the
+region(s) that fall inside the block's reach), which is installed in the
+L1 — a fill-by-reconstruction that a homogeneous hierarchy gets for free
+by copying. Taken redirects served from L2 data cost the usual 3-cycle
+bubble.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.btb.base import Access, BTBGeometry, BranchSlot, L1_HIT, L2_HIT, MISS
+from repro.btb.bbtb import BlockEntry
+from repro.btb.rbtb import RegionEntry
+from repro.btb.replacement import POLICIES, pick_victim
+from repro.common.assoc import SetAssociative
+from repro.common.types import ILEN, BranchType
+from repro.frontend.engine import REDIRECT, SEQ, PredictionEngine
+
+
+class HeterogeneousBTB:
+    """B-BTB L1 backed by an R-BTB L2 (§3.6.2 future work, implemented)."""
+
+    name = "Het-BTB"
+
+    def __init__(
+        self,
+        l1_geom: BTBGeometry,
+        l2_geom: BTBGeometry,
+        l1_slots: int = 1,
+        l2_slots: int = 4,
+        block_insts: int = 16,
+        region_bytes: int = 64,
+        l1_taken_bubble: int = 0,
+        slot_policy: str = "lru",
+    ) -> None:
+        if l1_slots < 1 or l2_slots < 1:
+            raise ValueError("slot counts must be >= 1")
+        if region_bytes & (region_bytes - 1):
+            raise ValueError("region_bytes must be a power of two")
+        if slot_policy not in POLICIES:
+            raise ValueError(f"slot_policy must be one of {POLICIES}")
+        self.l1 = SetAssociative(l1_geom.sets, l1_geom.ways)
+        self.l2 = SetAssociative(l2_geom.sets, l2_geom.ways)
+        self.l1_slots = l1_slots
+        self.l2_slots = l2_slots
+        self.block_insts = block_insts
+        self.region_bytes = region_bytes
+        self._region_shift = region_bytes.bit_length() - 1
+        self.l1_taken_bubble = l1_taken_bubble
+        self.slot_policy = slot_policy
+        self.slots_per_entry = l1_slots  # reporting convention: L1 slots
+        self.splitting = True
+        self.has_l2 = True
+        self._tick = 0
+
+    # -- lookups ------------------------------------------------------------------
+
+    def _l1_lookup(self, pc: int) -> Optional[BlockEntry]:
+        key = pc >> 2
+        return self.l1.lookup(key, key)
+
+    def _l2_region(self, region: int) -> Optional[RegionEntry]:
+        key = region >> self._region_shift
+        return self.l2.lookup(key, key)
+
+    def _synthesize_block(self, pc: int) -> Optional[BlockEntry]:
+        """Build a block entry for *pc* from the covering L2 region(s)."""
+        end = pc + self.block_insts * ILEN
+        slots: List[BranchSlot] = []
+        covered_any = False
+        region = pc & ~(self.region_bytes - 1)
+        while region < end:
+            entry = self._l2_region(region)
+            if entry is not None:
+                covered_any = True
+                for s in entry.slots:
+                    if pc <= s.pc < end:
+                        slots.append(
+                            BranchSlot(pc=s.pc, btype=s.btype, target=s.target)
+                        )
+            region += self.region_bytes
+        if not covered_any:
+            return None
+        slots.sort(key=lambda s: s.pc)
+        slots = slots[: self.l1_slots]
+        block = BlockEntry(
+            start=pc,
+            length=self.block_insts,
+            slots=slots,
+            ticks=[self._tick] * len(slots),
+            iticks=[self._tick] * len(slots),
+        )
+        return block
+
+    def _install_l1(self, block: BlockEntry) -> None:
+        key = block.start >> 2
+        self.l1.insert(key, key, block)
+
+    # -- PC generation ---------------------------------------------------------------
+
+    def scan(self, pc: int, idx: int, tr, eng: PredictionEngine) -> Access:
+        """One PC-generation access from *pc* at trace index *idx*.
+
+        Walks the correct path against the entry content, trains all
+        structures (immediate update) and returns an
+        :class:`~repro.btb.base.Access`."""
+        btypes = tr.btype
+        takens = tr.taken
+        targets = tr.target
+        n = len(btypes)
+        self._tick += 1
+        block_start = pc
+        entry = self._l1_lookup(pc)
+        level = L1_HIT if entry is not None else MISS
+        if entry is None:
+            entry = self._synthesize_block(pc)
+            if entry is not None:
+                level = L2_HIT
+                self._install_l1(entry)
+        end_pc = entry.end_pc if entry is not None else pc + self.block_insts * ILEN
+        count = 0
+        while pc < end_pc:
+            j = idx + count
+            if j >= n:
+                return Access(count, pc)
+            bt = btypes[j]
+            count += 1
+            if bt == BranchType.NONE:
+                pc += ILEN
+                continue
+            slot = entry.find(pc) if entry is not None else None
+            if slot is not None:
+                entry.touch(slot, self._tick)
+            known = slot is not None
+            taken = bool(takens[j])
+            target = targets[j]
+            eng.note_btb(level if known else MISS, taken)
+            res = eng.resolve(pc, bt, taken, target, known, slot)
+            entry = self._train(entry, block_start, pc, bt, taken, target, slot)
+            if res == SEQ:
+                pc += ILEN
+                continue
+            if res == REDIRECT:
+                bubbles = 3 if level == L2_HIT else self.l1_taken_bubble
+                if bt in (BranchType.INDIRECT, BranchType.CALL_INDIRECT):
+                    bubbles += 1
+                return Access(count, target, bubbles)
+            return Access(count, 0, 0, event=res, event_index=j)
+        bubbles = 0
+        if entry is not None and entry.split:
+            bubbles = 0  # split bit fast path (same default as B-BTB)
+        return Access(count, pc, bubbles)
+
+    # -- training --------------------------------------------------------------------
+
+    def _train(
+        self,
+        entry: Optional[BlockEntry],
+        block_start: int,
+        pc: int,
+        btype: int,
+        taken: bool,
+        target: int,
+        slot: Optional[BranchSlot],
+    ) -> Optional[BlockEntry]:
+        if not taken:
+            return entry
+        self._train_l2(pc, btype, target)
+        if slot is not None:
+            slot.target = target
+            return entry
+        if entry is None:
+            entry = BlockEntry(start=block_start, length=self.block_insts)
+            self._append_slot(entry, BranchSlot(pc=pc, btype=btype, target=target))
+            self._install_l1(entry)
+            return entry
+        if len(entry.slots) < self.l1_slots:
+            self._append_slot(entry, BranchSlot(pc=pc, btype=btype, target=target))
+            return entry
+        # Split (always enabled in the L1 block organization).
+        staged = sorted(
+            entry.slots + [BranchSlot(pc=pc, btype=btype, target=target)],
+            key=lambda s: s.pc,
+        )
+        keep = staged[: self.l1_slots]
+        spill = staged[self.l1_slots :]
+        split_pc = keep[-1].pc + ILEN
+        entry.slots = keep
+        entry.ticks = [self._tick] * len(keep)
+        entry.iticks = [self._tick] * len(keep)
+        entry.length = (split_pc - entry.start) // ILEN
+        entry.split = True
+        for s in spill:
+            if split_pc <= s.pc < split_pc + self.block_insts * ILEN:
+                fall = self._l1_lookup(split_pc)
+                if fall is None:
+                    fall = BlockEntry(start=split_pc, length=self.block_insts)
+                    self._install_l1(fall)
+                if fall.find(s.pc) is None and s.pc < fall.end_pc:
+                    if len(fall.slots) < self.l1_slots:
+                        self._append_slot(fall, s)
+        return entry
+
+    def _append_slot(self, entry: BlockEntry, slot: BranchSlot) -> None:
+        pos = 0
+        while pos < len(entry.slots) and entry.slots[pos].pc <= slot.pc:
+            pos += 1
+        entry.slots.insert(pos, slot)
+        entry.ticks.insert(pos, self._tick)
+        entry.iticks.insert(pos, self._tick)
+
+    def _train_l2(self, pc: int, btype: int, target: int) -> None:
+        """Insert/update the branch in its dense L2 region entry."""
+        region = pc & ~(self.region_bytes - 1)
+        entry = self._l2_region(region)
+        if entry is None:
+            entry = RegionEntry(base=region)
+            key = region >> self._region_shift
+            self.l2.insert(key, key, entry)
+        slot = entry.find(pc)
+        if slot is not None:
+            slot.target = target
+            entry.ticks[entry.slots.index(slot)] = self._tick
+            return
+        if len(entry.slots) >= self.l2_slots:
+            victim = pick_victim(
+                self.slot_policy, entry.slots, entry.ticks, entry.iticks, self._tick
+            )
+            entry.slots.pop(victim)
+            entry.ticks.pop(victim)
+            entry.iticks.pop(victim)
+        pos = 0
+        while pos < len(entry.slots) and entry.slots[pos].pc <= pc:
+            pos += 1
+        entry.slots.insert(pos, BranchSlot(pc=pc, btype=btype, target=target))
+        entry.ticks.insert(pos, self._tick)
+        entry.iticks.insert(pos, self._tick)
+
+    # -- structure metrics ---------------------------------------------------------------
+
+    def _entries(self, level: int):
+        array = self.l1 if level == 1 else self.l2
+        for _s, _t, entry in array.items():
+            yield entry
+
+    def slot_occupancy(self, level: int) -> float:
+        """Mean used branch slots per resident entry at *level*."""
+        entries = list(self._entries(level))
+        if not entries:
+            return 0.0
+        return sum(len(e.slots) for e in entries) / len(entries)
+
+    def redundancy_ratio(self, level: int) -> float:
+        """Entries per tracked branch PC at *level* (§3.4 metric)."""
+        counts = {}
+        for entry in self._entries(level):
+            for slot in entry.slots:
+                counts[slot.pc] = counts.get(slot.pc, 0) + 1
+        if not counts:
+            return 0.0
+        return sum(counts.values()) / len(counts)

@@ -1,0 +1,356 @@
+"""MultiBlock BTB (MB-BTB, paper §6.4): entries cache *chains* of blocks.
+
+A B-BTB entry that terminates with an unconditional direct branch is
+always followed by the block at that branch's target, so MB-BTB "pulls"
+the target block into the same entry: one access then yields fetch PCs
+for several blocks (up to ``slots_per_entry + 1``), like a trace cache
+but without coherence obligations because BTB content is speculative.
+
+Pull policies (§6.4.2):
+
+* ``'uncond'``  — only non-call unconditional direct branches pull;
+* ``'calldir'`` — direct calls pull too;
+* ``'allbr'``   — additionally, always-taken conditionals pull immediately
+  and indirect branches pull after 63 consecutive same-target updates
+  (the 6-bit ``stabl_ctr``).
+
+Two refinements from the paper are modelled: the *last* branch slot of an
+entry never pulls (it would duplicate fall-through blocks, §6.4.2), and a
+conditional that pulled its target but executes not-taken is immediately
+downgraded — its pulled block and all later blocks are removed (§6.4.3).
+
+Entry layout mirrors Fig. 6: each slot carries ``blk_id`` (which chained
+block it belongs to) and the entry stores per-block start PCs and
+instruction counts (``cnt_at_target``). Entries form one CFG path: block
+``k`` is entered through the follow-slot that terminates block ``k-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.btb.base import (
+    Access,
+    BTBGeometry,
+    BranchSlot,
+    L2_HIT,
+    TwoLevelStore,
+)
+from repro.common.types import ILEN, BranchType
+from repro.frontend.engine import REDIRECT, SEQ, PredictionEngine
+
+#: 6-bit stability counter threshold for indirect-branch pulling.
+STABILITY_THRESHOLD = 63
+
+#: Valid pull policies.
+PULL_POLICIES = ("uncond", "calldir", "allbr")
+
+
+@dataclass
+class MBEntry:
+    """A chain of blocks sharing one entry (Fig. 6 layout)."""
+
+    start: int
+    #: (start_pc, length_in_insts) per chained block; index = blk_id.
+    blocks: List[Tuple[int, int]] = field(default_factory=list)
+    #: Slots in path order: sorted by (blk_id, pc).
+    slots: List[BranchSlot] = field(default_factory=list)
+    split: bool = False
+
+    def block_end(self, blk_id: int) -> int:
+        start, length = self.blocks[blk_id]
+        return start + length * ILEN
+
+    def find(self, blk_id: int, pc: int) -> Optional[BranchSlot]:
+        for slot in self.slots:
+            if slot.blk_id == blk_id and slot.pc == pc:
+                return slot
+        return None
+
+    def path_position(self, slot: BranchSlot) -> int:
+        return self.slots.index(slot)
+
+
+class MultiBlockBTB:
+    """MB-BTB with configurable pull policy; splitting always enabled."""
+
+    name = "MB-BTB"
+
+    def __init__(
+        self,
+        l1_geom: BTBGeometry,
+        l2_geom: Optional[BTBGeometry],
+        slots_per_entry: int = 2,
+        block_insts: int = 16,
+        pull_policy: str = "allbr",
+        pull_last_slot: bool = False,
+        split_bubble: int = 0,
+        l1_taken_bubble: int = 0,
+        immediate_downgrade: bool = True,
+    ) -> None:
+        if pull_policy not in PULL_POLICIES:
+            raise ValueError(f"pull_policy must be one of {PULL_POLICIES}")
+        if slots_per_entry < 1:
+            raise ValueError("slots_per_entry must be >= 1")
+        self.store = TwoLevelStore(l1_geom, l2_geom, index_shift=2)
+        self.slots_per_entry = slots_per_entry
+        self.block_insts = block_insts
+        self.pull_policy = pull_policy
+        #: Ablation knob: allow the last slot to pull (paper found
+        #: disallowing it slightly better; default matches the paper).
+        self.pull_last_slot = pull_last_slot
+        self.split_bubble = split_bubble
+        self.l1_taken_bubble = l1_taken_bubble
+        #: Ablation knob for the §6.4.3 policy choice (True = paper's).
+        self.immediate_downgrade = immediate_downgrade
+        self.splitting = True
+
+    # -- PC generation --------------------------------------------------------------
+
+    def scan(self, pc: int, idx: int, tr, eng: PredictionEngine) -> Access:
+        """One PC-generation access from *pc* at trace index *idx*.
+
+        Walks the correct path against the entry content, trains all
+        structures (immediate update) and returns an
+        :class:`~repro.btb.base.Access`."""
+        btypes = tr.btype
+        takens = tr.taken
+        targets = tr.target
+        n = len(btypes)
+        block_start = pc
+        level, entry = self.store.lookup(pc)
+        blk = 0
+        if entry is not None:
+            end_pc = entry.block_end(0)
+        else:
+            end_pc = pc + self.block_insts * ILEN
+        count = 0
+        blocks_provided = 1
+        while pc < end_pc:
+            j = idx + count
+            if j >= n:
+                return Access(count, pc, blocks=blocks_provided)
+            bt = btypes[j]
+            count += 1
+            if bt == BranchType.NONE:
+                pc += ILEN
+                continue
+            slot = entry.find(blk, pc) if entry is not None else None
+            known = slot is not None
+            taken = bool(takens[j])
+            target = targets[j]
+            eng.note_btb(level if known else 0, taken)
+            res = eng.resolve(pc, bt, taken, target, known, slot)
+            entry = self._train_branch(entry, block_start, blk, pc, bt, taken, target, slot)
+            if res == SEQ:
+                if (
+                    slot is not None
+                    and slot.follow
+                    and self.immediate_downgrade
+                    and entry is not None
+                ):
+                    # Always-taken conditional went not-taken: §6.4.3
+                    # downgrade already performed in _train_branch; the
+                    # walk simply continues sequentially.
+                    pass
+                pc += ILEN
+                continue
+            if res == REDIRECT:
+                follow = (
+                    slot is not None
+                    and slot.follow
+                    and entry is not None
+                    and slot.blk_id + 1 < len(entry.blocks)
+                    and entry.blocks[slot.blk_id + 1][0] == target
+                )
+                if follow:
+                    # Chain into the pulled block within the same access.
+                    blk = slot.blk_id + 1
+                    pc = target
+                    end_pc = entry.block_end(blk)
+                    blocks_provided += 1
+                    continue
+                bubbles = 3 if level == L2_HIT else self.l1_taken_bubble
+                if bt in (BranchType.INDIRECT, BranchType.CALL_INDIRECT):
+                    bubbles += 1
+                return Access(count, target, bubbles, blocks=blocks_provided)
+            return Access(count, 0, 0, event=res, event_index=j, blocks=blocks_provided)
+        bubbles = self.split_bubble if (entry is not None and entry.split) else 0
+        return Access(count, pc, bubbles, blocks=blocks_provided)
+
+    # -- pull eligibility --------------------------------------------------------------
+
+    def _eligible_type(self, btype: int) -> bool:
+        if btype == BranchType.UNCOND_DIRECT:
+            return True
+        if btype == BranchType.CALL_DIRECT:
+            return self.pull_policy in ("calldir", "allbr")
+        if btype == BranchType.COND_DIRECT:
+            return self.pull_policy == "allbr"
+        if btype in (BranchType.INDIRECT, BranchType.CALL_INDIRECT):
+            return self.pull_policy == "allbr"
+        return False  # returns never pull (target varies per caller)
+
+    def _may_pull(self, entry: MBEntry, slot: BranchSlot) -> bool:
+        if not self._eligible_type(slot.btype):
+            return False
+        if len(entry.blocks) >= self.slots_per_entry + 1:
+            return False
+        # Only the path-terminating slot of the last block may pull.
+        if slot.blk_id != len(entry.blocks) - 1:
+            return False
+        if entry.slots and entry.slots[-1] is not slot:
+            return False
+        if not self.pull_last_slot and len(entry.slots) >= self.slots_per_entry:
+            # The last branch slot of a (full) entry never pulls (§6.4.2).
+            return False
+        if slot.btype in (BranchType.INDIRECT, BranchType.CALL_INDIRECT):
+            return slot.stabl_ctr >= STABILITY_THRESHOLD
+        return True
+
+    def _do_pull(self, entry: MBEntry, slot: BranchSlot) -> None:
+        slot.follow = True
+        entry.blocks.append((slot.target, self.block_insts))
+
+    # -- training -------------------------------------------------------------------------
+
+    def _train_branch(
+        self,
+        entry: Optional[MBEntry],
+        block_start: int,
+        blk: int,
+        pc: int,
+        btype: int,
+        taken: bool,
+        target: int,
+        slot: Optional[BranchSlot],
+    ) -> Optional[MBEntry]:
+        if not taken:
+            if slot is not None and slot.follow and self.immediate_downgrade:
+                # §6.4.3: downgrade to a normal conditional, drop the
+                # pulled block and everything after it.
+                self._truncate(entry, slot.blk_id + 1)
+                slot.follow = False
+            if slot is not None and slot.btype == BranchType.COND_DIRECT:
+                # Not-taken occurrence: the branch is no longer
+                # always-taken, block it from pulling in the future.
+                slot.stabl_ctr = -1
+            return entry
+        if slot is not None:
+            self._update_slot(entry, slot, target)
+            return entry
+        if entry is None:
+            entry = MBEntry(start=block_start)
+            entry.blocks.append((block_start, self.block_insts))
+            new = BranchSlot(pc=pc, btype=btype, target=target, blk_id=0)
+            entry.slots.append(new)
+            self.store.allocate(block_start, entry)
+            self._consider_pull(entry, new, first_insert=True)
+            return entry
+        self._insert_slot(entry, blk, pc, btype, target)
+        return entry
+
+    def _update_slot(self, entry: MBEntry, slot: BranchSlot, target: int) -> None:
+        if slot.btype in (BranchType.INDIRECT, BranchType.CALL_INDIRECT):
+            if slot.target == target:
+                if slot.stabl_ctr < STABILITY_THRESHOLD:
+                    slot.stabl_ctr += 1
+                if not slot.follow:
+                    self._consider_pull(entry, slot, first_insert=False)
+            else:
+                # Target changed: reset stability, drop any pulled chain.
+                slot.stabl_ctr = 0
+                if slot.follow:
+                    self._truncate(entry, slot.blk_id + 1)
+                    slot.follow = False
+                slot.target = target
+        else:
+            slot.target = target
+
+    def _consider_pull(self, entry: MBEntry, slot: BranchSlot, first_insert: bool) -> None:
+        if slot.follow:
+            return
+        if slot.btype == BranchType.COND_DIRECT and slot.stabl_ctr < 0:
+            return  # observed not-taken at least once: not always-taken
+        if self._may_pull(entry, slot):
+            self._do_pull(entry, slot)
+
+    def _insert_slot(self, entry: MBEntry, blk: int, pc: int, btype: int, target: int) -> None:
+        new = BranchSlot(pc=pc, btype=btype, target=target, blk_id=blk)
+        pos = 0
+        key = (blk, pc)
+        while pos < len(entry.slots) and (
+            entry.slots[pos].blk_id,
+            entry.slots[pos].pc,
+        ) <= key:
+            pos += 1
+        entry.slots.insert(pos, new)
+        if len(entry.slots) > self.slots_per_entry:
+            self._split(entry)
+            # The new slot may have been spilled into another entry.
+            if new in entry.slots:
+                self._consider_pull(entry, new, first_insert=True)
+            return
+        self._consider_pull(entry, new, first_insert=True)
+
+    def _truncate(self, entry: MBEntry, first_dropped_blk: int) -> None:
+        """Drop chained blocks with index >= *first_dropped_blk*."""
+        if first_dropped_blk >= len(entry.blocks):
+            return
+        entry.slots = [s for s in entry.slots if s.blk_id < first_dropped_blk]
+        entry.blocks = entry.blocks[:first_dropped_blk]
+        # The terminator that pulled the first dropped block loses follow.
+        for slot in entry.slots:
+            if slot.follow and slot.blk_id == first_dropped_blk - 1:
+                slot.follow = False
+
+    def _split(self, entry: MBEntry) -> None:
+        """Slot overflow: truncate at the last kept slot and re-allocate
+        the spilled branches into the fall-through entry (§6.3/§6.4.3)."""
+        keep = entry.slots[: self.slots_per_entry]
+        spill = entry.slots[self.slots_per_entry :]
+        last = keep[-1]
+        entry.slots = keep
+        # Truncate chained blocks after the last kept slot's block.
+        entry.blocks = entry.blocks[: last.blk_id + 1]
+        if last.follow:
+            last.follow = False
+        # Shrink the last kept block to end just after its last branch.
+        blk_start, _length = entry.blocks[last.blk_id]
+        entry.blocks[last.blk_id] = (blk_start, (last.pc + ILEN - blk_start) // ILEN)
+        entry.split = True
+        # Spilled branches restart as fresh single-block entries at the
+        # split fall-through (their block start in the old chain is gone).
+        split_pc = last.pc + ILEN
+        _level, existing = self.store.lookup(split_pc)
+        for s in spill:
+            if not split_pc <= s.pc < split_pc + self.block_insts * ILEN:
+                # Spills outside the fall-through block are dropped; they
+                # re-allocate naturally when next executed.
+                continue
+            if existing is None:
+                existing = MBEntry(start=split_pc)
+                existing.blocks.append((split_pc, self.block_insts))
+                self.store.allocate(split_pc, existing)
+            if existing.find(0, s.pc) is None and s.pc < existing.block_end(0):
+                self._insert_slot(existing, 0, s.pc, s.btype, s.target)
+
+    # -- structure metrics -------------------------------------------------------------------
+
+    def slot_occupancy(self, level: int) -> float:
+        """Mean used branch slots per resident entry at *level*."""
+        entries = list(self.store.level_entries(level))
+        if not entries:
+            return 0.0
+        return sum(len(e.slots) for e in entries) / len(entries)
+
+    def redundancy_ratio(self, level: int) -> float:
+        """Entries per tracked branch PC at *level* (§3.4 metric)."""
+        counts = {}
+        for entry in self.store.level_entries(level):
+            for slot in entry.slots:
+                counts[slot.pc] = counts.get(slot.pc, 0) + 1
+        if not counts:
+            return 0.0
+        return sum(counts.values()) / len(counts)

@@ -1,0 +1,215 @@
+"""Region BTB (R-BTB): one aligned region of code per entry.
+
+Each entry caches up to ``slots_per_entry`` branches of one aligned
+region (64 B by default, 128 B for the Fig.-7 variants). An access with an
+(unaligned) fetch PC produces fetch PCs up to the first predicted-taken
+branch or the region boundary — the structural limitation §3.2 discusses.
+The even/odd set-interleaved variant ("2L1", §6.2) chains into the next
+sequential region within the same access when that region also hits the
+L1 BTB.
+
+``overflow_entries`` enables the shared overflow storage of §3.5 (the
+approach of IBM z16, AMD Bobcat, Samsung Exynos and Confluence): a small
+fully-associative pool that receives branches displaced from full region
+entries instead of dropping them. Branches served from the overflow pool
+incur ``overflow_bubble`` extra cycles on a redirect ("'Overflow'
+branches incur extra latency"). Fig. 7's *Geo 16BS* configurations are
+the zero-latency upper bound of this mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.btb.base import (
+    Access,
+    BTBGeometry,
+    BranchSlot,
+    L2_HIT,
+    TwoLevelStore,
+)
+from repro.btb.replacement import POLICIES, pick_victim
+from repro.common.assoc import SetAssociative
+from repro.common.types import ILEN, BranchType
+from repro.frontend.engine import REDIRECT, SEQ, PredictionEngine
+
+
+@dataclass
+class RegionEntry:
+    """One region's branch slots, offset-ordered, with per-slot
+    use/insert timestamps for the replacement policies."""
+
+    base: int
+    slots: List[BranchSlot] = field(default_factory=list)
+    ticks: List[int] = field(default_factory=list)
+    iticks: List[int] = field(default_factory=list)
+
+    def find(self, pc: int) -> Optional[BranchSlot]:
+        for slot in self.slots:
+            if slot.pc == pc:
+                return slot
+        return None
+
+
+class RegionBTB:
+    """Region-granular BTB with optional even/odd interleaving."""
+
+    name = "R-BTB"
+
+    def __init__(
+        self,
+        l1_geom: BTBGeometry,
+        l2_geom: Optional[BTBGeometry],
+        slots_per_entry: int = 2,
+        region_bytes: int = 64,
+        interleaved: bool = False,
+        l1_taken_bubble: int = 0,
+        slot_policy: str = "lru",
+        overflow_entries: int = 0,
+        overflow_bubble: int = 1,
+    ) -> None:
+        if region_bytes & (region_bytes - 1):
+            raise ValueError("region_bytes must be a power of two")
+        if slots_per_entry < 1:
+            raise ValueError("slots_per_entry must be >= 1")
+        if slot_policy not in POLICIES:
+            raise ValueError(f"slot_policy must be one of {POLICIES}")
+        if overflow_entries < 0:
+            raise ValueError("overflow_entries must be >= 0")
+        shift = region_bytes.bit_length() - 1
+        self.store = TwoLevelStore(l1_geom, l2_geom, index_shift=shift)
+        self.slots_per_entry = slots_per_entry
+        self.region_bytes = region_bytes
+        self.interleaved = interleaved
+        self.l1_taken_bubble = l1_taken_bubble
+        self.slot_policy = slot_policy
+        self.overflow_bubble = overflow_bubble
+        # Shared overflow pool (§3.5): fully associative, keyed by
+        # branch PC, LRU-replaced.
+        self.overflow = (
+            SetAssociative(1, overflow_entries) if overflow_entries else None
+        )
+        self._tick = 0
+
+    # -- PC generation ------------------------------------------------------------
+
+    def scan(self, pc: int, idx: int, tr, eng: PredictionEngine) -> Access:
+        """One PC-generation access from *pc* at trace index *idx*.
+
+        Walks the correct path against the entry content, trains all
+        structures (immediate update) and returns an
+        :class:`~repro.btb.base.Access`."""
+        btypes = tr.btype
+        takens = tr.taken
+        targets = tr.target
+        n = len(btypes)
+        region_mask = ~(self.region_bytes - 1)
+        count = 0
+        max_regions = 2 if self.interleaved else 1
+        self._tick += 1
+        for region_no in range(max_regions):
+            region = pc & region_mask
+            if region_no > 0 and not self.store.peek_l1(region):
+                # Chaining requires the second region to already be L1
+                # resident ("hides latency only if both entries are found
+                # in the L1 BTB during lookup").
+                break
+            level, entry = self.store.lookup(region)
+            region_end = region + self.region_bytes
+            while pc < region_end:
+                j = idx + count
+                if j >= n:
+                    return Access(count, pc)
+                bt = btypes[j]
+                count += 1
+                if bt == BranchType.NONE:
+                    pc += ILEN
+                    continue
+                slot = entry.find(pc) if entry is not None else None
+                from_overflow = False
+                if slot is not None:
+                    self._touch_slot(entry, slot)
+                elif entry is not None and self.overflow is not None:
+                    slot = self.overflow.lookup(pc, pc)
+                    from_overflow = slot is not None
+                known = slot is not None
+                taken = bool(takens[j])
+                target = targets[j]
+                eng.note_btb(level if known else 0, taken)
+                res = eng.resolve(pc, bt, taken, target, known, slot)
+                self._train(region, entry, pc, bt, taken, target, slot)
+                if res == SEQ:
+                    pc += ILEN
+                    continue
+                if res == REDIRECT:
+                    bubbles = 3 if level == L2_HIT else self.l1_taken_bubble
+                    if from_overflow:
+                        bubbles += self.overflow_bubble
+                    if bt in (BranchType.INDIRECT, BranchType.CALL_INDIRECT):
+                        bubbles += 1
+                    return Access(count, target, bubbles)
+                return Access(count, 0, 0, event=res, event_index=j)
+            pc = region_end
+        return Access(count, pc)
+
+    # -- training ---------------------------------------------------------------------
+
+    def _touch_slot(self, entry: RegionEntry, slot: BranchSlot) -> None:
+        entry.ticks[entry.slots.index(slot)] = self._tick
+
+    def _train(
+        self,
+        region: int,
+        entry: Optional[RegionEntry],
+        pc: int,
+        btype: int,
+        taken: bool,
+        target: int,
+        slot: Optional[BranchSlot],
+    ) -> None:
+        if not taken:
+            return
+        if slot is not None:
+            slot.target = target
+            return
+        new = BranchSlot(pc=pc, btype=btype, target=target)
+        if entry is None:
+            entry = RegionEntry(base=region)
+            self._insert_slot(entry, new)
+            self.store.allocate(region, entry)
+            return
+        self._insert_slot(entry, new)
+
+    def _insert_slot(self, entry: RegionEntry, slot: BranchSlot) -> None:
+        if len(entry.slots) >= self.slots_per_entry:
+            # Displace one branch slot (BTB-hit-slot-miss thrash, §3.5).
+            victim = pick_victim(
+                self.slot_policy, entry.slots, entry.ticks, entry.iticks, self._tick
+            )
+            displaced = entry.slots.pop(victim)
+            entry.ticks.pop(victim)
+            entry.iticks.pop(victim)
+            if self.overflow is not None:
+                # Spill to the shared overflow pool instead of dropping.
+                self.overflow.insert(displaced.pc, displaced.pc, displaced)
+        pos = 0
+        while pos < len(entry.slots) and entry.slots[pos].pc <= slot.pc:
+            pos += 1
+        entry.slots.insert(pos, slot)
+        entry.ticks.insert(pos, self._tick)
+        entry.iticks.insert(pos, self._tick)
+
+    # -- structure metrics ----------------------------------------------------------------
+
+    def slot_occupancy(self, level: int) -> float:
+        """Mean used branch slots per resident entry at *level*."""
+        entries = list(self.store.level_entries(level))
+        if not entries:
+            return 0.0
+        return sum(len(e.slots) for e in entries) / len(entries)
+
+    def redundancy_ratio(self, level: int) -> float:
+        """Entries per tracked branch PC (structurally 1.0 for R-BTB)."""
+        entries = list(self.store.level_entries(level))
+        return 1.0 if entries else 0.0

@@ -1,0 +1,57 @@
+"""Branch-slot replacement policies for R-BTB and B-BTB entries.
+
+When a region/block must track more branches than it has slots (and
+splitting is off / not applicable), one resident slot is displaced. The
+paper (§6.3) notes "many replacement policies can be devised (LRU,
+unconditional direct first, etc.)"; this module implements the
+candidates:
+
+* ``lru``          — displace the least recently *used* slot (default);
+* ``fifo``         — displace the oldest-inserted slot;
+* ``uncond_first`` — prefer displacing unconditional *direct* branches:
+  losing one costs only a misfetch (recovered at decode from the
+  instruction bytes), while losing a conditional or indirect branch can
+  cost an execute-time misprediction; ties broken by LRU;
+* ``random``       — deterministic pseudo-random victim (tick-hashed).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.btb.base import BranchSlot
+from repro.common.rng import mix_hash
+from repro.common.types import BranchType
+
+POLICIES = ("lru", "fifo", "uncond_first", "random")
+
+#: Branch kinds that are cheap to lose (decode-recoverable).
+_CHEAP_TYPES = (BranchType.UNCOND_DIRECT, BranchType.CALL_DIRECT)
+
+
+def pick_victim(
+    policy: str,
+    slots: Sequence[BranchSlot],
+    use_ticks: Sequence[int],
+    insert_ticks: Sequence[int],
+    tick: int,
+) -> int:
+    """Index of the slot to displace under *policy*.
+
+    ``use_ticks``/``insert_ticks`` are parallel to ``slots``; ``tick`` is
+    the current replacement clock (used by ``random``).
+    """
+    if not slots:
+        raise ValueError("cannot pick a victim from an empty slot list")
+    n = len(slots)
+    if policy == "lru":
+        return min(range(n), key=lambda k: use_ticks[k])
+    if policy == "fifo":
+        return min(range(n), key=lambda k: insert_ticks[k])
+    if policy == "uncond_first":
+        cheap = [k for k in range(n) if slots[k].btype in _CHEAP_TYPES]
+        pool = cheap if cheap else list(range(n))
+        return min(pool, key=lambda k: use_ticks[k])
+    if policy == "random":
+        return mix_hash(tick, n) % n
+    raise ValueError(f"unknown replacement policy {policy!r}; pick from {POLICIES}")

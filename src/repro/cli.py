@@ -1,0 +1,236 @@
+"""Command-line interface: ``repro-sim``.
+
+Subcommands::
+
+    repro-sim characterize [workloads...]      workload statistics table
+    repro-sim run CONFIG WORKLOAD              one simulation, full metrics
+    repro-sim compare CONFIG [CONFIG...]       whisker table vs ideal I-BTB 16
+    repro-sim list                             workloads and config syntax
+
+Configurations are compact spec strings::
+
+    ibtb:16            16-banked Instruction BTB
+    ibtb:16:skp        ... the Fig.-4 "Skp" idealization
+    rbtb:3             Region BTB, 3 branch slots
+    rbtb:2:2l1         ... even/odd interleaved L1
+    rbtb:4:128b        ... 128-byte regions
+    bbtb:1:split       Block BTB, 1 slot, entry splitting
+    bbtb:2:32          Block BTB, 2 slots, 32-instruction blocks
+    mbbtb:2:allbr      MultiBlock BTB, 2 slots, AllBr pull policy
+    mbbtb:3:calldir:64 ... 64-instruction blocks
+    hetero:1:2         Heterogeneous: B-BTB(1) L1 over R-BTB(2) L2
+
+A trailing ``@ideal`` switches to the huge single-level BTB (Fig. 4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.analysis.report import format_table, whisker_table
+from repro.core.config import (
+    IDEAL_IBTB16,
+    MachineConfig,
+    bbtb,
+    hetero_btb,
+    ibtb,
+    ibtb_skp,
+    mbbtb,
+    rbtb,
+)
+from repro.core.config import build_simulator
+from repro.core.runner import compare_to_baseline, run_one
+from repro.trace.external import load_trace_csv
+from repro.trace.workloads import SERVER_SUITE, get_trace
+
+
+class ConfigSpecError(ValueError):
+    """Raised for malformed configuration spec strings."""
+
+
+def parse_config(spec: str) -> MachineConfig:
+    """Parse a compact config spec string into a :class:`MachineConfig`."""
+    spec = spec.strip().lower()
+    ideal = spec.endswith("@ideal")
+    if ideal:
+        spec = spec[: -len("@ideal")]
+    parts = [p for p in spec.split(":") if p]
+    if not parts:
+        raise ConfigSpecError("empty config spec")
+    kind, args = parts[0], parts[1:]
+    kw = {"ideal_btb": True} if ideal else {}
+    try:
+        if kind == "ibtb":
+            width = int(args[0]) if args else 16
+            if len(args) > 1 and args[1] == "skp":
+                return ibtb_skp(**kw)
+            return ibtb(width, **kw)
+        if kind == "rbtb":
+            slots = int(args[0]) if args else 2
+            region = 64
+            interleaved = False
+            for extra in args[1:]:
+                if extra == "2l1":
+                    interleaved = True
+                elif extra.endswith("b"):
+                    region = int(extra[:-1])
+                else:
+                    raise ConfigSpecError(f"unknown rbtb option {extra!r}")
+            return rbtb(slots, region_bytes=region, interleaved=interleaved, **kw)
+        if kind == "bbtb":
+            slots = int(args[0]) if args else 1
+            splitting = False
+            block = 16
+            for extra in args[1:]:
+                if extra == "split":
+                    splitting = True
+                else:
+                    block = int(extra)
+            return bbtb(slots, splitting=splitting, block_insts=block, **kw)
+        if kind == "mbbtb":
+            slots = int(args[0]) if args else 2
+            policy = args[1] if len(args) > 1 else "allbr"
+            block = int(args[2]) if len(args) > 2 else 16
+            return mbbtb(slots, policy, block_insts=block, **kw)
+        if kind == "hetero":
+            l1s = int(args[0]) if args else 1
+            l2s = int(args[1]) if len(args) > 1 else 2
+            return hetero_btb(l1s, l2s, **kw)
+    except (ValueError, KeyError, IndexError) as exc:
+        if isinstance(exc, ConfigSpecError):
+            raise
+        raise ConfigSpecError(f"malformed config spec {spec!r}: {exc}") from exc
+    raise ConfigSpecError(f"unknown organization {kind!r} in {spec!r}")
+
+
+def _cmd_characterize(args) -> int:
+    names = args.workloads or SERVER_SUITE
+    rows = []
+    for name in names:
+        tr = get_trace(name, args.length)
+        st = tr.stats()
+        n, br = st.get("instructions"), st.get("branches")
+        rows.append(
+            (
+                name,
+                f"{tr.mean_basic_block_size():.2f}",
+                f"{br / n * 100:.1f}%",
+                f"{st.get('taken_branches') / br * 100:.1f}%",
+                f"{st.get('code_footprint_bytes') / 1024:.1f}KB",
+            )
+        )
+    print(format_table(("workload", "dynBB", "br%", "taken%", "footprint"), rows))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    config = parse_config(args.config)
+    if args.workload.endswith(".csv"):
+        # External trace file (see repro.trace.external for the format).
+        trace = load_trace_csv(args.workload)
+        sim = build_simulator(config, trace)
+        result = sim.run(warmup=min(len(trace) // 4, args.length // 4))
+    else:
+        result = run_one(config, args.workload, length=args.length, warmup=args.length // 4)
+    print(f"{config.label} on {args.workload}:")
+    print(f"  IPC                {result.ipc:8.3f}")
+    print(f"  branch MPKI        {result.branch_mpki:8.2f}")
+    print(f"  misfetch PKI       {result.misfetch_pki:8.2f}")
+    print(f"  L1 BTB hit rate    {result.l1_btb_hit_rate * 100:7.1f}%")
+    print(f"  L1+L2 BTB hit rate {result.l2_btb_hit_rate * 100:7.1f}%")
+    print(f"  fetch PCs/access   {result.fetch_pcs_per_access:8.2f}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    configs = [parse_config(s) for s in args.configs]
+    names = args.workloads or SERVER_SUITE
+    compared = compare_to_baseline(
+        configs, IDEAL_IBTB16, names, length=args.length, warmup=args.length // 4
+    )
+    boxes = [(cc.config.label, cc.box) for cc in compared]
+    print(whisker_table(boxes, "IPC relative to ideal I-BTB 16"))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    import os
+
+    from repro.trace.external import save_trace_csv
+
+    os.makedirs(args.outdir, exist_ok=True)
+    names = args.workloads or SERVER_SUITE
+    for name in names:
+        trace = get_trace(name, args.length)
+        path = os.path.join(args.outdir, f"{name}.csv")
+        save_trace_csv(trace, path)
+        print(f"wrote {path} ({len(trace)} instructions)")
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    print("workloads:")
+    for name in SERVER_SUITE:
+        print(f"  {name}")
+    print("\nconfig spec syntax (see `repro-sim --help`):")
+    print("  ibtb:16 | ibtb:16:skp | rbtb:3[:2l1][:128b] | bbtb:1:split[:32]")
+    print("  mbbtb:2:allbr[:64] | hetero:1:2 | any spec + '@ideal'")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Trace-driven BTB-organization simulator (MICRO 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize", help="workload statistics")
+    p.add_argument("workloads", nargs="*", help="workload names (default: all)")
+    p.add_argument("--length", type=int, default=160_000)
+    p.set_defaults(func=_cmd_characterize)
+
+    p = sub.add_parser("run", help="simulate one config on one workload")
+    p.add_argument("config", help="config spec, e.g. mbbtb:2:allbr")
+    p.add_argument("workload", help="workload name, or a .csv trace file")
+    p.add_argument("--length", type=int, default=160_000)
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("compare", help="compare configs vs ideal I-BTB 16")
+    p.add_argument("configs", nargs="+", help="config specs")
+    p.add_argument("--workloads", nargs="*", default=None)
+    p.add_argument("--length", type=int, default=160_000)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("export", help="export workload traces to CSV")
+    p.add_argument("outdir")
+    p.add_argument("workloads", nargs="*", help="workload names (default: all)")
+    p.add_argument("--length", type=int, default=160_000)
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("list", help="list workloads and config syntax")
+    p.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ConfigSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; exit quietly like other CLIs.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""Shared infrastructure: value types, associative tables, stats, RNG."""
+
+from repro.common.assoc import SetAssociative
+from repro.common.rng import SplitMix, mix_hash
+from repro.common.stats import BoxStats, Histogram, RunningMean, Stats, geomean
+from repro.common.types import (
+    ILEN,
+    LINE_BYTES,
+    LINE_INSTS,
+    BranchType,
+    is_branch,
+    is_call,
+    is_direct,
+    is_indirect,
+    is_unconditional,
+    line_of,
+    region_of,
+)
+
+__all__ = [
+    "ILEN",
+    "LINE_BYTES",
+    "LINE_INSTS",
+    "BranchType",
+    "BoxStats",
+    "Histogram",
+    "RunningMean",
+    "SetAssociative",
+    "SplitMix",
+    "Stats",
+    "geomean",
+    "is_branch",
+    "is_call",
+    "is_direct",
+    "is_indirect",
+    "is_unconditional",
+    "line_of",
+    "mix_hash",
+    "region_of",
+]

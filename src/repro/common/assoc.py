@@ -1,0 +1,126 @@
+"""Generic set-associative table with pluggable replacement.
+
+Every hardware structure in this project that is organized as sets × ways
+(BTB levels, caches, TLBs, indirect predictor tables with tags) builds on
+:class:`SetAssociative`. Keeping one implementation makes replacement
+behaviour uniform and heavily tested.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+def _require_power_of_two(value: int, what: str) -> None:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{what} must be a positive power of two, got {value}")
+
+
+class SetAssociative:
+    """A sets × ways associative container mapping integer tags to payloads.
+
+    Parameters
+    ----------
+    sets:
+        Number of sets (power of two).
+    ways:
+        Associativity (>= 1).
+    index_fn:
+        Maps a key to a set index; defaults to ``key % sets`` after shifting
+        is applied by the caller.
+
+    The container tracks LRU recency per set. Payloads are arbitrary
+    objects owned by the caller.
+    """
+
+    __slots__ = ("sets", "ways", "_index_fn", "_sets", "_tick")
+
+    def __init__(
+        self,
+        sets: int,
+        ways: int,
+        index_fn: Optional[Callable[[int], int]] = None,
+    ) -> None:
+        _require_power_of_two(sets, "sets")
+        if ways < 1:
+            raise ValueError(f"ways must be >= 1, got {ways}")
+        self.sets = sets
+        self.ways = ways
+        self._index_fn = index_fn
+        # Each set: dict tag -> [payload, last_use_tick]
+        self._sets: List[Dict[int, List[Any]]] = [dict() for _ in range(sets)]
+        self._tick = 0
+
+    # -- basic operations ---------------------------------------------------
+
+    def index_of(self, key: int) -> int:
+        """Set index for *key*."""
+        if self._index_fn is not None:
+            return self._index_fn(key) & (self.sets - 1)
+        return key & (self.sets - 1)
+
+    def lookup(self, key: int, tag: int, touch: bool = True) -> Optional[Any]:
+        """Return the payload stored under (*key* -> set, *tag*) or None.
+
+        When *touch* is true the entry is marked most recently used.
+        """
+        entry = self._sets[self.index_of(key)].get(tag)
+        if entry is None:
+            return None
+        if touch:
+            self._tick += 1
+            entry[1] = self._tick
+        return entry[0]
+
+    def insert(self, key: int, tag: int, payload: Any) -> Optional[Tuple[int, Any]]:
+        """Insert/overwrite (*tag* -> *payload*) in the set of *key*.
+
+        Returns the evicted ``(tag, payload)`` pair when an LRU victim had
+        to be displaced, else None.
+        """
+        bucket = self._sets[self.index_of(key)]
+        self._tick += 1
+        if tag in bucket:
+            bucket[tag][0] = payload
+            bucket[tag][1] = self._tick
+            return None
+        victim = None
+        if len(bucket) >= self.ways:
+            lru_tag = min(bucket, key=lambda t: bucket[t][1])
+            victim = (lru_tag, bucket.pop(lru_tag)[0])
+        bucket[tag] = [payload, self._tick]
+        return victim
+
+    def evict(self, key: int, tag: int) -> Optional[Any]:
+        """Remove and return the payload under (*key*, *tag*), or None."""
+        entry = self._sets[self.index_of(key)].pop(tag, None)
+        return None if entry is None else entry[0]
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        for bucket in self._sets:
+            bucket.clear()
+
+    # -- introspection -------------------------------------------------------
+
+    def __contains__(self, key_tag: Tuple[int, int]) -> bool:
+        key, tag = key_tag
+        return tag in self._sets[self.index_of(key)]
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._sets)
+
+    @property
+    def capacity(self) -> int:
+        """Total number of entries the structure can hold."""
+        return self.sets * self.ways
+
+    def items(self) -> Iterator[Tuple[int, int, Any]]:
+        """Yield ``(set_index, tag, payload)`` for every resident entry."""
+        for set_index, bucket in enumerate(self._sets):
+            for tag, entry in bucket.items():
+                yield set_index, tag, entry[0]
+
+    def set_occupancy(self, set_index: int) -> int:
+        """Number of valid ways in *set_index*."""
+        return len(self._sets[set_index])

@@ -1,0 +1,85 @@
+"""Deterministic random-number helpers.
+
+All stochastic behaviour in the project (workload synthesis, branch
+behaviour assignment) flows through :class:`SplitMix`, a tiny, fast,
+seedable generator, so that every simulation is bit-reproducible and
+sub-streams can be derived for independent components.
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+
+
+class SplitMix:
+    """SplitMix64 PRNG: fast, high-quality, trivially seedable."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, seed: int) -> None:
+        self.state = seed & MASK64
+
+    def next_u64(self) -> int:
+        """Next 64-bit value."""
+        self.state = (self.state + 0x9E3779B97F4A7C15) & MASK64
+        z = self.state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
+        return z ^ (z >> 31)
+
+    def uniform(self) -> float:
+        """Float in [0, 1)."""
+        return self.next_u64() / float(1 << 64)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Integer in [lo, hi] inclusive."""
+        if hi < lo:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        return lo + self.next_u64() % (hi - lo + 1)
+
+    def choice(self, seq):
+        """Uniformly pick one element of *seq*."""
+        if not seq:
+            raise ValueError("choice from empty sequence")
+        return seq[self.next_u64() % len(seq)]
+
+    def weighted_choice(self, items, weights) -> object:
+        """Pick ``items[i]`` with probability proportional to ``weights[i]``."""
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        point = self.uniform() * total
+        acc = 0.0
+        for item, weight in zip(items, weights):
+            acc += weight
+            if point < acc:
+                return item
+        return items[-1]
+
+    def geometric(self, mean: float) -> int:
+        """Geometric-ish positive integer with the given mean (>= 1)."""
+        if mean < 1.0:
+            raise ValueError("mean must be >= 1")
+        if mean == 1.0:
+            return 1
+        p = 1.0 / mean
+        count = 1
+        while self.uniform() > p:
+            count += 1
+            if count > 64 * mean:  # hard safety bound
+                break
+        return count
+
+    def split(self) -> "SplitMix":
+        """Derive an independent child stream."""
+        return SplitMix(self.next_u64() ^ 0xA5A5A5A5DEADBEEF)
+
+
+def mix_hash(*values: int) -> int:
+    """Deterministic 64-bit hash of a tuple of ints (for index hashing)."""
+    h = 0x9E3779B97F4A7C15
+    for v in values:
+        h ^= v & MASK64
+        h = (h * 0xBF58476D1CE4E5B9) & MASK64
+        h ^= h >> 29
+    return h

@@ -1,0 +1,183 @@
+"""Statistics helpers: counters, ratios, geometric means and the
+box/whisker summary used by the paper's figures.
+
+The paper reports relative IPC as whisker plots (Q1/median/Q3, whiskers at
+1.5×IQR, outliers beyond) and geometric means marked with a cross;
+:class:`BoxStats` reproduces that exact summary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Sequence
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive *values* (empty input -> 1.0)."""
+    vals = list(values)
+    if not vals:
+        return 1.0
+    total = 0.0
+    for v in vals:
+        if v <= 0:
+            raise ValueError(f"geomean requires positive values, got {v}")
+        total += math.log(v)
+    return math.exp(total / len(vals))
+
+
+def _quantile(sorted_vals: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile on already sorted data."""
+    if not sorted_vals:
+        raise ValueError("quantile of empty sequence")
+    if len(sorted_vals) == 1:
+        return sorted_vals[0]
+    pos = q * (len(sorted_vals) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    frac = pos - lo
+    return sorted_vals[lo] * (1 - frac) + sorted_vals[hi] * frac
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Whisker-plot summary matching the paper's figure convention."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    geomean: float
+    whisker_low: float
+    whisker_high: float
+    outliers: tuple
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "BoxStats":
+        vals = sorted(values)
+        if not vals:
+            raise ValueError("BoxStats needs at least one value")
+        q1 = _quantile(vals, 0.25)
+        med = _quantile(vals, 0.50)
+        q3 = _quantile(vals, 0.75)
+        iqr = q3 - q1
+        lo_fence = q1 - 1.5 * iqr
+        hi_fence = q3 + 1.5 * iqr
+        inside = [v for v in vals if lo_fence <= v <= hi_fence]
+        outliers = tuple(v for v in vals if v < lo_fence or v > hi_fence)
+        return cls(
+            minimum=vals[0],
+            q1=q1,
+            median=med,
+            q3=q3,
+            maximum=vals[-1],
+            geomean=geomean(vals),
+            whisker_low=min(inside) if inside else vals[0],
+            whisker_high=max(inside) if inside else vals[-1],
+            outliers=outliers,
+        )
+
+    def render(self, label: str, width: int = 52) -> str:
+        """One-line textual rendering used by the bench harness."""
+        return (
+            f"{label:<28s} gmean={self.geomean:7.4f} "
+            f"min={self.minimum:7.4f} q1={self.q1:7.4f} "
+            f"med={self.median:7.4f} q3={self.q3:7.4f} max={self.maximum:7.4f}"
+        )
+
+
+class Stats:
+    """A flat bag of named counters with derived-metric helpers.
+
+    Used by every pipeline component; cheap increments, explicit names.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter *name* by *amount* (creating it at 0)."""
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def set(self, name: str, value: float) -> None:
+        """Set counter *name* to *value*."""
+        self._counters[name] = value
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Current value of *name* (default when absent)."""
+        return self._counters.get(name, default)
+
+    def ratio(self, numerator: str, denominator: str, default: float = 0.0) -> float:
+        """``numerator / denominator`` guarding against a zero denominator."""
+        den = self.get(denominator)
+        if den == 0:
+            return default
+        return self.get(numerator) / den
+
+    def per_kilo(self, numerator: str, denominator: str) -> float:
+        """Events per 1000 units of *denominator* (e.g. MPKI)."""
+        return 1000.0 * self.ratio(numerator, denominator)
+
+    def merge(self, other: "Stats") -> None:
+        """Accumulate every counter of *other* into self."""
+        for name, value in other._counters.items():
+            self.add(name, value)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot of all counters."""
+        return dict(self._counters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._counters.items()))
+        return f"Stats({inner})"
+
+
+@dataclass
+class RunningMean:
+    """Streaming mean without storing samples."""
+
+    count: int = 0
+    total: float = 0.0
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        self.count += 1
+        self.total += value * weight
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class Histogram:
+    """Sparse integer histogram (e.g. fetch PCs per access)."""
+
+    bins: Dict[int, int] = field(default_factory=dict)
+
+    def add(self, value: int, count: int = 1) -> None:
+        self.bins[value] = self.bins.get(value, 0) + count
+
+    @property
+    def total(self) -> int:
+        return sum(self.bins.values())
+
+    @property
+    def mean(self) -> float:
+        total = self.total
+        if not total:
+            return 0.0
+        return sum(v * c for v, c in self.bins.items()) / total
+
+    def quantile(self, q: float) -> int:
+        """Smallest bin value covering fraction *q* of the mass."""
+        total = self.total
+        if not total:
+            raise ValueError("quantile of empty histogram")
+        need = q * total
+        seen = 0
+        for value in sorted(self.bins):
+            seen += self.bins[value]
+            if seen >= need:
+                return value
+        return max(self.bins)

@@ -1,0 +1,103 @@
+"""Core value types shared across the simulator.
+
+The ISA model is deliberately abstract: fixed 4-byte instructions (like
+ARMv8, the ISA of the CVP-1 traces used in the paper), 64-byte cache lines,
+and the branch taxonomy the paper's BTB organizations care about.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Instruction length in bytes (fixed-length ISA, as in ARMv8).
+ILEN = 4
+
+#: Cache line size in bytes.
+LINE_BYTES = 64
+
+#: Instructions per cache line.
+LINE_INSTS = LINE_BYTES // ILEN
+
+
+class BranchType(enum.IntEnum):
+    """Branch taxonomy used by the BTB organizations.
+
+    ``NONE`` marks non-branch instructions so traces can carry a uniform
+    per-instruction type column.
+    """
+
+    NONE = 0
+    #: Conditional direct branch (may be taken or not taken).
+    COND_DIRECT = 1
+    #: Unconditional direct jump (not a call).
+    UNCOND_DIRECT = 2
+    #: Direct call (unconditional, pushes a return address).
+    CALL_DIRECT = 3
+    #: Function return (indirect, predicted by the RAS).
+    RETURN = 4
+    #: Indirect jump through a register.
+    INDIRECT = 5
+    #: Indirect call through a register.
+    CALL_INDIRECT = 6
+
+
+#: Branch types that are unconditionally taken.
+UNCONDITIONAL_TYPES = frozenset(
+    {
+        BranchType.UNCOND_DIRECT,
+        BranchType.CALL_DIRECT,
+        BranchType.RETURN,
+        BranchType.INDIRECT,
+        BranchType.CALL_INDIRECT,
+    }
+)
+
+#: Branch types whose target is encoded in the instruction bytes, hence
+#: recoverable at decode (a BTB miss on these is a *misfetch*, resolved at
+#: decode; indirect targets are only known at execute).
+DIRECT_TYPES = frozenset(
+    {BranchType.COND_DIRECT, BranchType.UNCOND_DIRECT, BranchType.CALL_DIRECT}
+)
+
+#: Branch types whose target comes from a register.
+INDIRECT_TYPES = frozenset(
+    {BranchType.RETURN, BranchType.INDIRECT, BranchType.CALL_INDIRECT}
+)
+
+#: Branch types that push a return address on the RAS.
+CALL_TYPES = frozenset({BranchType.CALL_DIRECT, BranchType.CALL_INDIRECT})
+
+
+def is_branch(btype: int) -> bool:
+    """Return True when *btype* denotes any branch kind."""
+    return btype != BranchType.NONE
+
+
+def is_unconditional(btype: int) -> bool:
+    """Return True when *btype* is always taken."""
+    return btype in UNCONDITIONAL_TYPES
+
+
+def is_direct(btype: int) -> bool:
+    """Return True when the target is computable from instruction bytes."""
+    return btype in DIRECT_TYPES
+
+
+def is_indirect(btype: int) -> bool:
+    """Return True when the target comes from a register (incl. returns)."""
+    return btype in INDIRECT_TYPES
+
+
+def is_call(btype: int) -> bool:
+    """Return True when the branch pushes a return address."""
+    return btype in CALL_TYPES
+
+
+def line_of(pc: int) -> int:
+    """Cache-line-aligned address containing *pc*."""
+    return pc & ~(LINE_BYTES - 1)
+
+
+def region_of(pc: int, region_bytes: int) -> int:
+    """*region_bytes*-aligned address containing *pc*."""
+    return pc & ~(region_bytes - 1)

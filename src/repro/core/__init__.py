@@ -1,0 +1,49 @@
+"""Core: the cycle-level simulator, machine configs and experiment runner."""
+
+from repro.core.config import (
+    DEFAULT_SCALE,
+    IDEAL_IBTB16,
+    MachineConfig,
+    bbtb,
+    build_simulator,
+    fit_geometry,
+    hetero_btb,
+    ibtb,
+    ibtb_skp,
+    mbbtb,
+    rbtb,
+)
+from repro.core.runner import (
+    DEFAULT_LENGTH,
+    DEFAULT_WARMUP,
+    ComparedConfig,
+    clear_cache,
+    compare_to_baseline,
+    run_one,
+    run_suite,
+)
+from repro.core.simulator import FrontendConfig, SimResult, Simulator
+
+__all__ = [
+    "ComparedConfig",
+    "DEFAULT_LENGTH",
+    "DEFAULT_SCALE",
+    "DEFAULT_WARMUP",
+    "FrontendConfig",
+    "IDEAL_IBTB16",
+    "MachineConfig",
+    "SimResult",
+    "Simulator",
+    "bbtb",
+    "build_simulator",
+    "clear_cache",
+    "compare_to_baseline",
+    "fit_geometry",
+    "hetero_btb",
+    "ibtb",
+    "ibtb_skp",
+    "mbbtb",
+    "rbtb",
+    "run_one",
+    "run_suite",
+]

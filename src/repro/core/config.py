@@ -1,0 +1,225 @@
+"""Machine configurations: Table 1 presets and the named BTB variants.
+
+A :class:`MachineConfig` is an immutable description of one simulated
+machine (BTB organization + sizes + predictor + back-end flavour);
+:func:`build_simulator` instantiates fresh hardware state for a trace.
+
+Storage parity follows the paper's §4 methodology: the number of *branch
+slots* is held constant across organizations, so an organization with
+``s`` slots per entry gets ``1/s`` of the I-BTB's entry count. Paper
+totals are L1 = 3 K and L2 = 13 K branch slots; the ``scale`` factor
+(default 1/4) shrinks totals and the cache hierarchy together with the
+synthetic footprints (DESIGN.md §Scaling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.backend.scoreboard import IdealBackend, OoOBackend
+from repro.btb.base import BTBGeometry
+from repro.btb.bbtb import BlockBTB
+from repro.btb.hetero import HeterogeneousBTB
+from repro.btb.ibtb import InstructionBTB
+from repro.btb.mbbtb import MultiBlockBTB
+from repro.btb.rbtb import RegionBTB
+from repro.core.simulator import FrontendConfig, Simulator
+from repro.frontend.engine import PredictionEngine
+from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
+
+#: Paper Table 1 branch-slot totals (I-BTB entry counts).
+PAPER_L1_SLOTS = 3072
+PAPER_L2_SLOTS = 13312
+PAPER_IDEAL_SLOTS = 512 * 1024
+
+#: Default cache/footprint scale (see DESIGN.md).
+DEFAULT_SCALE = 0.25
+
+#: Default BTB capacity scale (calibrated against the paper's hit rates).
+DEFAULT_BTB_SCALE = 1 / 64
+
+
+def _pow2_floor(value: int) -> int:
+    p = 1
+    while p * 2 <= value:
+        p *= 2
+    return p
+
+
+def fit_geometry(total_slots: int, slots_per_entry: int, pref_ways: int) -> BTBGeometry:
+    """Sets/ways holding ``total_slots / slots_per_entry`` entries,
+    with power-of-two sets near the preferred associativity."""
+    entries = max(pref_ways, total_slots // slots_per_entry)
+    sets = max(1, _pow2_floor(entries // pref_ways))
+    ways = max(1, round(entries / sets))
+    return BTBGeometry(sets=sets, ways=ways)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """One simulated machine. Hashable (used as a result-cache key)."""
+
+    label: str = "I-BTB 16"
+    btb_kind: str = "ibtb"  # 'ibtb' | 'rbtb' | 'bbtb' | 'mbbtb' | 'hetero'
+    slots: int = 1
+    #: L2 slots per region entry for the heterogeneous hierarchy.
+    l2_slots: int = 4
+    width: int = 16  # I-BTB banks per access
+    skip_taken: bool = False
+    region_bytes: int = 64
+    block_insts: int = 16
+    interleaved: bool = False
+    splitting: bool = False
+    pull_policy: str = "allbr"
+    pull_last_slot: bool = False
+    immediate_downgrade: bool = True
+    ideal_btb: bool = False
+    l1_taken_bubble: int = 0
+    split_bubble: int = 0
+    bp_size_kb: int = 64
+    scale: float = DEFAULT_SCALE
+    #: BTB capacity scale, separate from the cache/footprint scale: tuned
+    #: so the realistic L1 BTB hit rate lands in the paper's ~76 % band
+    #: against the synthetic hot working sets (see EXPERIMENTS.md).
+    btb_scale: float = DEFAULT_BTB_SCALE
+    ideal_backend: bool = False
+    #: Use another slot count's geometry (Fig. 7's "2Geo 16BS" configs).
+    geometry_slots: Optional[int] = None
+    #: Early resteer on misfetches (Ishii et al., cited §7.2): the wrong
+    #: next-PC is detected at predecode, 2 stages before decode.
+    early_resteer: bool = False
+    #: Shared overflow branch slots for R-BTB (§3.5); 0 disables.
+    overflow_entries: int = 0
+
+    def with_(self, **overrides) -> "MachineConfig":
+        """Derived config (dataclasses.replace wrapper)."""
+        return replace(self, **overrides)
+
+    # -- hardware instantiation -------------------------------------------------
+
+    def geometries(self):
+        """(L1 geometry, L2 geometry-or-None) for this config."""
+        geo_slots = self.geometry_slots if self.geometry_slots is not None else self.slots
+        if self.ideal_btb:
+            total = max(4096, int(PAPER_IDEAL_SLOTS * self.scale))
+            return fit_geometry(total, geo_slots, 32), None
+        l1 = fit_geometry(int(PAPER_L1_SLOTS * self.btb_scale), geo_slots, 6)
+        l2_slots = self.l2_slots if self.btb_kind == "hetero" else geo_slots
+        l2 = fit_geometry(int(PAPER_L2_SLOTS * self.btb_scale), l2_slots, 13)
+        return l1, l2
+
+    def build_btb(self):
+        l1, l2 = self.geometries()
+        if self.btb_kind == "ibtb":
+            return InstructionBTB(
+                l1, l2, width=self.width, skip_taken=self.skip_taken,
+                l1_taken_bubble=self.l1_taken_bubble,
+            )
+        if self.btb_kind == "rbtb":
+            return RegionBTB(
+                l1, l2, slots_per_entry=self.slots, region_bytes=self.region_bytes,
+                interleaved=self.interleaved, l1_taken_bubble=self.l1_taken_bubble,
+                overflow_entries=self.overflow_entries,
+            )
+        if self.btb_kind == "bbtb":
+            return BlockBTB(
+                l1, l2, slots_per_entry=self.slots, block_insts=self.block_insts,
+                splitting=self.splitting, split_bubble=self.split_bubble,
+                l1_taken_bubble=self.l1_taken_bubble,
+            )
+        if self.btb_kind == "hetero":
+            return HeterogeneousBTB(
+                l1, l2, l1_slots=self.slots, l2_slots=self.l2_slots,
+                block_insts=self.block_insts, region_bytes=self.region_bytes,
+                l1_taken_bubble=self.l1_taken_bubble,
+            )
+        if self.btb_kind == "mbbtb":
+            return MultiBlockBTB(
+                l1, l2, slots_per_entry=self.slots, block_insts=self.block_insts,
+                pull_policy=self.pull_policy, pull_last_slot=self.pull_last_slot,
+                split_bubble=self.split_bubble, l1_taken_bubble=self.l1_taken_bubble,
+                immediate_downgrade=self.immediate_downgrade,
+            )
+        raise ValueError(f"unknown btb_kind {self.btb_kind!r}")
+
+
+def build_simulator(config: MachineConfig, trace) -> Simulator:
+    """Fresh simulator (all-new hardware state) for *config* on *trace*."""
+    engine = PredictionEngine(bp_size_kb=config.bp_size_kb)
+    memory = MemoryHierarchy(MemoryConfig(scale=config.scale))
+    if config.ideal_backend:
+        backend = IdealBackend()
+    else:
+        backend = OoOBackend(memory=memory)
+    return Simulator(
+        trace=trace,
+        btb=config.build_btb(),
+        engine=engine,
+        backend=backend,
+        memory=memory,
+        frontend=FrontendConfig(early_resteer=config.early_resteer),
+    )
+
+
+# -- named configurations used throughout the benchmarks -----------------------
+
+def ibtb(width: int = 16, **kw) -> MachineConfig:
+    """Instruction BTB with *width* banked probes per access."""
+    return MachineConfig(label=f"I-BTB {width}", btb_kind="ibtb", width=width, **kw)
+
+
+def ibtb_skp(**kw) -> MachineConfig:
+    """Fig. 4's "Skp" idealization: 16 fetch PCs per access regardless
+    of taken branches."""
+    return MachineConfig(
+        label="I-BTB 16 Skp", btb_kind="ibtb", width=16, skip_taken=True, **kw
+    )
+
+
+def rbtb(slots: int, region_bytes: int = 64, interleaved: bool = False,
+         overflow: int = 0, **kw) -> MachineConfig:
+    """Region BTB; *overflow* > 0 adds the §3.5 shared spill pool."""
+    prefix = "2L1 " if interleaved else ""
+    size = f" {region_bytes}B" if region_bytes != 64 else ""
+    ovf = f" +ovf{overflow}" if overflow else ""
+    return MachineConfig(
+        label=f"{prefix}R-BTB{size} {slots}BS{ovf}",
+        btb_kind="rbtb", slots=slots, region_bytes=region_bytes,
+        interleaved=interleaved, overflow_entries=overflow, **kw,
+    )
+
+
+def bbtb(slots: int, splitting: bool = False, block_insts: int = 16, **kw) -> MachineConfig:
+    """Block BTB; *splitting* enables §6.3 entry splitting."""
+    suffix = " Splt" if splitting else ""
+    size = f" {block_insts}" if block_insts != 16 else ""
+    return MachineConfig(
+        label=f"B-BTB{size} {slots}BS{suffix}",
+        btb_kind="bbtb", slots=slots, splitting=splitting,
+        block_insts=block_insts, **kw,
+    )
+
+
+def mbbtb(slots: int, pull_policy: str = "allbr", block_insts: int = 16, **kw) -> MachineConfig:
+    """MultiBlock BTB with the given §6.4.2 pull policy."""
+    policy_name = {"uncond": "UncndDir", "calldir": "CallDir", "allbr": "AllBr"}[pull_policy]
+    size = f" {block_insts}" if block_insts != 16 else ""
+    return MachineConfig(
+        label=f"MB-BTB{size} {slots}BS {policy_name}",
+        btb_kind="mbbtb", slots=slots, pull_policy=pull_policy,
+        block_insts=block_insts, **kw,
+    )
+
+
+def hetero_btb(l1_slots: int = 1, l2_slots: int = 2, **kw) -> MachineConfig:
+    """Heterogeneous hierarchy (§3.6.2 future work): B-BTB L1 over a
+    dense R-BTB L2."""
+    return MachineConfig(
+        label=f"Het B{l1_slots}/R{l2_slots}",
+        btb_kind="hetero", slots=l1_slots, l2_slots=l2_slots, **kw,
+    )
+
+
+#: The paper's normalization baseline: idealistic 512K-entry I-BTB 16.
+IDEAL_IBTB16 = ibtb(16, ideal_btb=True).with_(label="ideal I-BTB 16")

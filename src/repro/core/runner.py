@@ -1,0 +1,102 @@
+"""Experiment runner: config × workload sweeps with result caching.
+
+The benchmark harness regenerates every figure by sweeping configs over
+the workload suite. Many figures share points (e.g. the ideal I-BTB 16
+baseline normalizes everything), so results are memoized in-process keyed
+by (config, workload, length, warmup, seed) — all immutable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.stats import BoxStats, geomean
+from repro.core.config import MachineConfig, build_simulator
+from repro.core.simulator import SimResult
+from repro.trace.workloads import SERVER_SUITE, get_trace
+
+#: Default per-trace lengths (instructions). The paper warms 50 M and
+#: measures 50 M; we scale to what pure Python can sweep (DESIGN.md).
+DEFAULT_LENGTH = 160_000
+DEFAULT_WARMUP = 40_000
+
+_cache: Dict[Tuple, SimResult] = {}
+
+
+def run_one(
+    config: MachineConfig,
+    workload: str,
+    length: int = DEFAULT_LENGTH,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 7,
+) -> SimResult:
+    """Simulate one (config, workload) point, memoized."""
+    key = (config, workload, length, warmup, seed)
+    hit = _cache.get(key)
+    if hit is not None:
+        return hit
+    trace = get_trace(workload, length, seed)
+    sim = build_simulator(config, trace)
+    result = sim.run(warmup=warmup)
+    _cache[key] = result
+    return result
+
+
+def run_suite(
+    config: MachineConfig,
+    workloads: Optional[Sequence[str]] = None,
+    length: int = DEFAULT_LENGTH,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 7,
+) -> List[SimResult]:
+    """Simulate *config* across the workload suite."""
+    names = list(workloads) if workloads is not None else SERVER_SUITE
+    return [run_one(config, name, length, warmup, seed) for name in names]
+
+
+def clear_cache() -> None:
+    """Drop memoized results (tests use this for isolation)."""
+    _cache.clear()
+
+
+@dataclass
+class ComparedConfig:
+    """One config's suite results normalized to a baseline, per workload."""
+
+    config: MachineConfig
+    results: List[SimResult]
+    relative_ipc: List[float]
+
+    @property
+    def box(self) -> BoxStats:
+        return BoxStats.from_values(self.relative_ipc)
+
+    @property
+    def geomean_ipc(self) -> float:
+        return geomean([r.ipc for r in self.results])
+
+    @property
+    def mean_fetch_pcs(self) -> float:
+        vals = [r.fetch_pcs_per_access for r in self.results]
+        return sum(vals) / len(vals) if vals else 0.0
+
+
+def compare_to_baseline(
+    configs: Iterable[MachineConfig],
+    baseline: MachineConfig,
+    workloads: Optional[Sequence[str]] = None,
+    length: int = DEFAULT_LENGTH,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 7,
+) -> List[ComparedConfig]:
+    """The paper's standard presentation: per-workload IPC of each config
+    divided by the baseline's IPC on the same workload."""
+    base = run_suite(baseline, workloads, length, warmup, seed)
+    base_ipc = [r.ipc for r in base]
+    out = []
+    for config in configs:
+        results = run_suite(config, workloads, length, warmup, seed)
+        rel = [r.ipc / b for r, b in zip(results, base_ipc)]
+        out.append(ComparedConfig(config=config, results=results, relative_ipc=rel))
+    return out

@@ -1,0 +1,20 @@
+"""Decoupled front end: prediction engine and fetch target queue."""
+
+from repro.frontend.engine import (
+    MISFETCH,
+    MISPREDICT,
+    REDIRECT,
+    SEQ,
+    PredictionEngine,
+)
+from repro.frontend.ftq import FetchTargetQueue, FTQEntry
+
+__all__ = [
+    "FTQEntry",
+    "FetchTargetQueue",
+    "MISFETCH",
+    "MISPREDICT",
+    "PredictionEngine",
+    "REDIRECT",
+    "SEQ",
+]

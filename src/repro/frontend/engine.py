@@ -1,0 +1,145 @@
+"""Prediction engine: the per-branch resolve logic shared by all BTBs.
+
+During a PC-generation access, every branch encountered on the walked
+(correct) path is resolved against the front-end's speculation state: the
+BTB's knowledge of the branch (``known``), the hashed perceptron's
+direction prediction, the indirect predictor and the RAS. The outcome is
+one of four dispositions:
+
+* ``'seq'``       — fall through, keep generating sequential PCs;
+* ``'redirect'``  — correctly predicted taken, PC generation redirects;
+* ``'misfetch'``  — wrong next PC, recoverable at decode (direct targets
+  are in the instruction bytes; a BTB-missed return gets its target from
+  the RAS at decode);
+* ``'mispredict'``— wrong next PC, recoverable only at execute
+  (conditional direction, indirect target).
+
+Per the paper's methodology (§4.1) all structures train immediately. The
+direction predictor is trained on every conditional branch regardless of
+BTB knowledge, so predictor accuracy is identical across organizations
+and IPC differences isolate BTB effects — misfetches and *mispredictions
+caused by untracked branches* — exactly the comparison the paper makes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.branch.history import GlobalHistory
+from repro.branch.indirect import IndirectPredictor, ReturnAddressStack
+from repro.branch.perceptron import HashedPerceptron
+from repro.btb.base import L1_HIT, L2_HIT, BranchSlot
+from repro.common.stats import Stats
+from repro.common.types import ILEN, BranchType
+
+SEQ = "seq"
+REDIRECT = "redirect"
+MISFETCH = "misfetch"
+MISPREDICT = "mispredict"
+
+
+class PredictionEngine:
+    """Bundles the predictors and implements per-branch resolution."""
+
+    def __init__(
+        self,
+        bp_size_kb: int = 64,
+        indirect_entries: int = 4096,
+        ras_depth: int = 64,
+        stats: Optional[Stats] = None,
+    ) -> None:
+        self.stats = stats if stats is not None else Stats()
+        self.history = GlobalHistory()
+        self.perceptron = HashedPerceptron(self.history, size_kb=bp_size_kb)
+        self.indirect = IndirectPredictor(self.history, entries=indirect_entries)
+        self.ras = ReturnAddressStack(depth=ras_depth)
+
+    # -- statistics helpers ---------------------------------------------------
+
+    def note_btb(self, level: int, taken: bool) -> None:
+        """Record per-level BTB hit statistics (taken branches only,
+        matching the paper's hit-rate definition)."""
+        if not taken:
+            return
+        st = self.stats
+        st.add("btb_taken_lookups")
+        if level == L1_HIT:
+            st.add("btb_taken_l1_hits")
+        elif level == L2_HIT:
+            st.add("btb_taken_l2_hits")
+
+    # -- branch resolution ------------------------------------------------------
+
+    def resolve(
+        self,
+        pc: int,
+        btype: int,
+        taken: bool,
+        target: int,
+        known: bool,
+        slot: Optional[BranchSlot] = None,
+    ) -> str:
+        """Resolve one dynamic branch; trains all structures (immediate
+        update) and returns the disposition string."""
+        st = self.stats
+        st.add("dyn_branches")
+        if taken:
+            st.add("dyn_taken_branches")
+
+        if btype == BranchType.COND_DIRECT:
+            predicted_taken, total, indices = self.perceptron.predict(pc)
+            self.perceptron.update(taken, total, indices)
+            self.history.push(taken)
+            if not known:
+                # The front end never saw a branch here: implicit not-taken.
+                if taken:
+                    st.add("mispredicts")
+                    st.add("mispredicts_cond_untracked")
+                    return MISPREDICT
+                return SEQ
+            if predicted_taken != taken:
+                st.add("mispredicts")
+                st.add("mispredicts_cond")
+                return MISPREDICT
+            return REDIRECT if taken else SEQ
+
+        # All remaining types are unconditionally taken.
+        self.history.push(True)
+
+        if btype == BranchType.UNCOND_DIRECT or btype == BranchType.CALL_DIRECT:
+            if btype == BranchType.CALL_DIRECT:
+                self.ras.push(pc + ILEN)
+            if known:
+                return REDIRECT
+            st.add("misfetches")
+            return MISFETCH
+
+        if btype == BranchType.RETURN:
+            ras_target = self.ras.pop()
+            ras_ok = ras_target == target
+            if not ras_ok:
+                st.add("mispredicts")
+                st.add("mispredicts_return")
+                return MISPREDICT
+            if known:
+                return REDIRECT
+            # Decode identifies the return and reads the (correct) RAS.
+            st.add("misfetches")
+            return MISFETCH
+
+        # Indirect jump / indirect call.
+        predicted = self.indirect.predict(pc)
+        if predicted is None and known and slot is not None:
+            predicted = slot.target
+        self.indirect.update(pc, target)
+        if btype == BranchType.CALL_INDIRECT:
+            self.ras.push(pc + ILEN)
+        if not known:
+            st.add("mispredicts")
+            st.add("mispredicts_ind_untracked")
+            return MISPREDICT
+        if predicted != target:
+            st.add("mispredicts")
+            st.add("mispredicts_indirect")
+            return MISPREDICT
+        return REDIRECT

@@ -1,0 +1,86 @@
+"""Fetch Target Queue: the decoupling queue between PC generation and fetch.
+
+Entries are cache-line granular (Table 1: 64 entries, one entry per cache
+line): PC generation pushes (line, first trace index, instruction count)
+segments; the fetch stage pops them subject to width, interleave and
+I-cache availability constraints. When the queue is empty an entry pushed
+this cycle may be consumed this cycle (FTQ bypass, §4.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+
+class FTQEntry:
+    """One cache line's worth of fetch targets."""
+
+    __slots__ = ("line", "first_index", "count", "enq_cycle", "bypass")
+
+    def __init__(self, line: int, first_index: int, count: int, enq_cycle: int, bypass: bool) -> None:
+        self.line = line
+        self.first_index = first_index
+        self.count = count
+        self.enq_cycle = enq_cycle
+        self.bypass = bypass
+
+    def consumable(self, cycle: int) -> bool:
+        """An entry is visible to fetch the cycle after enqueue, or the
+        same cycle if it was pushed into an empty queue (bypass)."""
+        if self.bypass:
+            return self.enq_cycle <= cycle
+        return self.enq_cycle < cycle
+
+
+class FetchTargetQueue:
+    """Bounded deque of :class:`FTQEntry`.
+
+    PC generation checks :meth:`has_space` *before* performing a BTB
+    access; one access may then push several line segments, transiently
+    overshooting the capacity by a few entries (documented modelling
+    simplification — structures train exactly once per access).
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: Deque[FTQEntry] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def has_space(self) -> bool:
+        """True when PC generation may perform another access."""
+        return len(self._entries) < self.capacity
+
+    def push(self, line: int, first_index: int, count: int, cycle: int) -> None:
+        bypass = not self._entries
+        self._entries.append(FTQEntry(line, first_index, count, cycle, bypass))
+
+    def head(self) -> Optional[FTQEntry]:
+        return self._entries[0] if self._entries else None
+
+    def pop(self) -> FTQEntry:
+        return self._entries.popleft()
+
+    def consume(self, count: int) -> None:
+        """Consume *count* instructions from the head entry (partial pops
+        keep the remainder at the head)."""
+        head = self._entries[0]
+        if count > head.count:
+            raise ValueError("consuming more than the head entry holds")
+        if count == head.count:
+            self._entries.popleft()
+        else:
+            head.count -= count
+            head.first_index += count
+
+    def flush(self) -> None:
+        """Drop all entries (pipeline resteer)."""
+        self._entries.clear()

@@ -1,0 +1,18 @@
+"""Memory substrate: caches, prefetchers, TLBs, DRAM, composed hierarchy."""
+
+from repro.memory.cache import Cache, MainMemory
+from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
+from repro.memory.prefetch import IPStridePrefetcher, NextLinePrefetcher
+from repro.memory.tlb import PAGE_BYTES, TLB, PageWalker
+
+__all__ = [
+    "Cache",
+    "IPStridePrefetcher",
+    "MainMemory",
+    "MemoryConfig",
+    "MemoryHierarchy",
+    "NextLinePrefetcher",
+    "PAGE_BYTES",
+    "PageWalker",
+    "TLB",
+]

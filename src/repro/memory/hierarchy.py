@@ -1,0 +1,134 @@
+"""Composed memory hierarchy per Table 1, with a capacity scale factor.
+
+Paper (Table 1): 32 KB L1I (64s/8w, 3c), 48 KB L1D (64s/12w, 5c load-use),
+512 KB L2 (1024s/8w, 15c, next-line prefetcher), 2 MB LLC (2048s/16w,
+35c), 64-entry ITLB/DTLB, 1536-entry L2 TLB, DRAM. The ``scale`` factor
+shrinks capacities (sets) to keep miss pressure comparable when the
+synthetic footprints are smaller than CVP-1's (see DESIGN.md §Scaling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.cache import Cache, MainMemory
+from repro.memory.prefetch import IPStridePrefetcher, NextLinePrefetcher
+from repro.memory.tlb import TLB, PageWalker
+
+
+def _scale_sets(sets: int, scale: float) -> int:
+    scaled = max(1, int(sets * scale))
+    p = 1
+    while p * 2 <= scaled:
+        p *= 2
+    return p
+
+
+@dataclass
+class MemoryConfig:
+    """Knobs of the composed hierarchy (defaults = Table 1).
+
+    ``scale`` shrinks the *instruction-side* L1I (and ITLB) to keep code
+    pressure proportional to the scaled synthetic footprints; the data
+    side keeps Table-1 capacities — the paper's footprints (138–319 KB)
+    also fit its 512 KB L2, so only L1I pressure is load-bearing for the
+    front-end study.
+    """
+
+    scale: float = 1.0
+    l1i_sets: int = 64
+    l1i_ways: int = 8
+    l1i_latency: int = 3
+    l1i_mshrs: int = 16
+    l1d_sets: int = 64
+    l1d_ways: int = 12
+    l1d_latency: int = 5
+    l1d_mshrs: int = 16
+    l2_sets: int = 1024
+    l2_ways: int = 8
+    l2_latency: int = 15
+    l2_mshrs: int = 32
+    llc_sets: int = 2048
+    llc_ways: int = 16
+    llc_latency: int = 35
+    llc_mshrs: int = 64
+    itlb_sets: int = 32
+    itlb_ways: int = 4
+    dtlb_sets: int = 32
+    dtlb_ways: int = 4
+    l2tlb_sets: int = 128
+    l2tlb_ways: int = 12
+    l2tlb_latency: int = 8
+    dram_latency: int = 160
+    walk_latency: int = 60
+
+
+class MemoryHierarchy:
+    """L1I + L1D over a shared L2/LLC/DRAM, plus the TLBs."""
+
+    def __init__(self, config: MemoryConfig = None) -> None:
+        cfg = config if config is not None else MemoryConfig()
+        self.config = cfg
+        s = cfg.scale
+        self.dram = MainMemory(latency=cfg.dram_latency)
+        self.llc = Cache(
+            "LLC", cfg.llc_sets, cfg.llc_ways, cfg.llc_latency,
+            self.dram, mshrs=cfg.llc_mshrs,
+        )
+        self.l2 = Cache(
+            "L2", cfg.l2_sets, cfg.l2_ways, cfg.l2_latency,
+            self.llc, mshrs=cfg.l2_mshrs, prefetcher=NextLinePrefetcher(),
+        )
+        self.l1i = Cache(
+            "L1I", _scale_sets(cfg.l1i_sets, s), cfg.l1i_ways, cfg.l1i_latency,
+            self.l2, mshrs=cfg.l1i_mshrs,
+        )
+        self.dstride = IPStridePrefetcher()
+        self.l1d = Cache(
+            "L1D", cfg.l1d_sets, cfg.l1d_ways, cfg.l1d_latency,
+            self.l2, mshrs=cfg.l1d_mshrs, prefetcher=self.dstride,
+        )
+        walker = PageWalker(latency=cfg.walk_latency)
+        self.l2tlb = TLB(
+            "L2TLB", cfg.l2tlb_sets, cfg.l2tlb_ways,
+            cfg.l2tlb_latency, walker,
+        )
+        self.itlb = TLB("ITLB", _scale_sets(cfg.itlb_sets, s), cfg.itlb_ways, 1, self.l2tlb)
+        self.dtlb = TLB("DTLB", cfg.dtlb_sets, cfg.dtlb_ways, 1, self.l2tlb)
+
+    # -- front-end interface -----------------------------------------------------
+
+    def ifetch_prefetch(self, line_addr: int, cycle: int) -> None:
+        """FDIP: prefetch an instruction line when it enters the FTQ.
+
+        The prefetch needs a translation, so it warms the ITLB too."""
+        self.itlb.translate(line_addr, cycle)
+        self.l1i.prefetch(line_addr, cycle)
+
+    def ifetch(self, line_addr: int, cycle: int) -> int:
+        """Cycle at which an instruction line can feed the fetch pipe.
+
+        The L1I hit latency and the ITLB hit latency are pipeline stages
+        (counted in the front end's decode depth), so they are deducted
+        here: a resident line is available immediately, a missing line is
+        available when its fill completes.
+        """
+        tlb_done = self.itlb.translate(line_addr, cycle) - self.itlb.latency
+        data_done = self.l1i.access(line_addr, cycle) - self.l1i.latency
+        avail = tlb_done if tlb_done > data_done else data_done
+        return avail if avail > cycle else cycle
+
+    # -- back-end interface --------------------------------------------------------
+
+    def load(self, pc: int, addr: int, cycle: int) -> int:
+        """Execute a load; returns data-ready cycle."""
+        self.dstride.observe_pc(pc)
+        tlb_done = self.dtlb.translate(addr, cycle)
+        data_done = self.l1d.access(addr, cycle)
+        return max(tlb_done, data_done)
+
+    def store(self, pc: int, addr: int, cycle: int) -> None:
+        """Execute a store (fills the line; latency hidden by the SQ)."""
+        self.dstride.observe_pc(pc)
+        self.dtlb.translate(addr, cycle)
+        self.l1d.access(addr, cycle)

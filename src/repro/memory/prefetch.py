@@ -1,0 +1,61 @@
+"""Hardware prefetchers from Table 1: next-line (L2) and IP-stride (L1D)."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.common.types import LINE_BYTES
+
+
+class NextLinePrefetcher:
+    """Fetch line N+1 on every demand access (Table 1's L2 prefetcher)."""
+
+    def __init__(self, degree: int = 1) -> None:
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+
+    def on_access(self, cache, addr: int, cycle: int, hit: bool) -> None:
+        line = addr // LINE_BYTES
+        for d in range(1, self.degree + 1):
+            cache.prefetch((line + d) * LINE_BYTES, cycle)
+
+
+class IPStridePrefetcher:
+    """Classic IP-indexed stride prefetcher (Table 1's L1D prefetcher).
+
+    Per load PC, tracks the last address and last stride with a 2-state
+    confidence; once the same stride repeats, prefetches ``degree`` lines
+    ahead along it.
+    """
+
+    def __init__(self, table_entries: int = 256, degree: int = 2) -> None:
+        self.table_entries = table_entries
+        self.degree = degree
+        #: pc -> (last_addr, last_stride, confidence)
+        self._table: Dict[int, Tuple[int, int, int]] = {}
+        self._pc = 0  # set by the caller before each access
+
+    def observe_pc(self, pc: int) -> None:
+        """Tell the prefetcher which load PC the next access belongs to."""
+        self._pc = pc
+
+    def on_access(self, cache, addr: int, cycle: int, hit: bool) -> None:
+        pc = self._pc
+        state = self._table.get(pc)
+        if state is None:
+            if len(self._table) >= self.table_entries:
+                # Cheap random-ish replacement: drop an arbitrary entry.
+                self._table.pop(next(iter(self._table)))
+            self._table[pc] = (addr, 0, 0)
+            return
+        last_addr, last_stride, conf = state
+        stride = addr - last_addr
+        if stride != 0 and stride == last_stride:
+            conf = min(conf + 1, 3)
+        else:
+            conf = max(conf - 1, 0)
+        self._table[pc] = (addr, stride, conf)
+        if conf >= 2 and stride != 0:
+            for d in range(1, self.degree + 1):
+                cache.prefetch(addr + stride * d, cycle)

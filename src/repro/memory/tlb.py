@@ -1,0 +1,43 @@
+"""TLB hierarchy: ITLB, DTLB and a shared L2 TLB with a fixed-cost walk."""
+
+from __future__ import annotations
+
+from repro.common.assoc import SetAssociative
+from repro.common.stats import Stats
+
+#: Page size (4 KB).
+PAGE_BYTES = 4096
+
+
+class TLB:
+    """One TLB level; misses go to ``parent`` (another TLB or a walker)."""
+
+    def __init__(self, name: str, sets: int, ways: int, latency: int, parent) -> None:
+        self.name = name
+        self.array = SetAssociative(sets, ways)
+        self.latency = latency
+        self.parent = parent
+        self.stats = Stats()
+
+    def translate(self, addr: int, cycle: int) -> int:
+        """Return the cycle the translation is available."""
+        page = addr // PAGE_BYTES
+        self.stats.add("accesses")
+        if self.array.lookup(page, page) is not None:
+            return cycle + self.latency
+        self.stats.add("misses")
+        done = self.parent.translate(addr, cycle + self.latency)
+        self.array.insert(page, page, True)
+        return done
+
+
+class PageWalker:
+    """Terminal translation agent: fixed-cost page table walk."""
+
+    def __init__(self, latency: int = 60) -> None:
+        self.latency = latency
+        self.stats = Stats()
+
+    def translate(self, addr: int, cycle: int) -> int:
+        self.stats.add("walks")
+        return cycle + self.latency

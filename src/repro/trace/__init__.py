@@ -1,0 +1,70 @@
+"""Synthetic workloads: static CFG generation and dynamic trace synthesis."""
+
+from repro.trace.behavior import (
+    AlwaysTaken,
+    BiasedRandom,
+    CondBehavior,
+    IndirectBehavior,
+    LoopBranch,
+    NeverTaken,
+    PatternBranch,
+)
+from repro.trace.external import (
+    TraceFormatError,
+    load_trace_csv,
+    save_trace_csv,
+)
+from repro.trace.cfg import (
+    CODE_BASE,
+    Block,
+    Function,
+    MemBehavior,
+    Program,
+    ProgramBuilder,
+    ProgramSpec,
+    StaticInst,
+    build_program,
+)
+from repro.trace.synth import TraceSynthesizer, synthesize_trace
+from repro.trace.trace import NO_REG, NUM_REGS, Trace
+from repro.trace.workloads import (
+    SERVER_SUITE,
+    SMOKE_SUITE,
+    WORKLOAD_SPECS,
+    get_program,
+    get_trace,
+    suite_traces,
+)
+
+__all__ = [
+    "AlwaysTaken",
+    "BiasedRandom",
+    "Block",
+    "CODE_BASE",
+    "CondBehavior",
+    "Function",
+    "IndirectBehavior",
+    "LoopBranch",
+    "MemBehavior",
+    "NO_REG",
+    "NUM_REGS",
+    "NeverTaken",
+    "PatternBranch",
+    "Program",
+    "ProgramBuilder",
+    "ProgramSpec",
+    "SERVER_SUITE",
+    "SMOKE_SUITE",
+    "StaticInst",
+    "Trace",
+    "TraceFormatError",
+    "TraceSynthesizer",
+    "WORKLOAD_SPECS",
+    "build_program",
+    "get_program",
+    "get_trace",
+    "load_trace_csv",
+    "save_trace_csv",
+    "suite_traces",
+    "synthesize_trace",
+]

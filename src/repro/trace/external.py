@@ -1,0 +1,134 @@
+"""Import/export dynamic traces in a simple documented text format.
+
+The synthetic workload suite stands in for CVP-1, but users with real
+traces (e.g. converted from ChampSim's format) can feed the simulator
+through this module. The format is CSV with a header; required columns::
+
+    pc, btype, taken, target
+
+optional columns (default 0 / -1 for registers)::
+
+    dst, src1, src2, is_load, is_store, maddr
+
+``pc``/``target``/``maddr`` accept decimal or 0x-prefixed hex. ``btype``
+accepts the numeric :class:`~repro.common.types.BranchType` value or its
+name (``COND_DIRECT``, ``RETURN``, ...; case-insensitive). Loaded traces
+are validated for control-flow consistency (each instruction's successor
+must be the next record).
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, Optional
+
+from repro.common.types import BranchType
+from repro.trace.trace import NO_REG, Trace
+
+REQUIRED_COLUMNS = ("pc", "btype", "taken", "target")
+OPTIONAL_DEFAULTS: Dict[str, int] = {
+    "dst": NO_REG,
+    "src1": NO_REG,
+    "src2": NO_REG,
+    "is_load": 0,
+    "is_store": 0,
+    "maddr": 0,
+}
+
+
+class TraceFormatError(ValueError):
+    """Raised for malformed trace files."""
+
+
+def _parse_int(text: str, line_no: int, column: str) -> int:
+    text = text.strip()
+    if not text:
+        raise TraceFormatError(f"line {line_no}: empty value for {column!r}")
+    try:
+        return int(text, 0)  # handles decimal and 0x-prefixed hex
+    except ValueError:
+        raise TraceFormatError(
+            f"line {line_no}: bad integer {text!r} in column {column!r}"
+        ) from None
+
+
+def _parse_btype(text: str, line_no: int) -> int:
+    text = text.strip()
+    if text.lstrip("-").isdigit():
+        value = int(text)
+        try:
+            return BranchType(value)
+        except ValueError:
+            raise TraceFormatError(
+                f"line {line_no}: unknown btype value {value}"
+            ) from None
+    try:
+        return BranchType[text.upper()]
+    except KeyError:
+        raise TraceFormatError(
+            f"line {line_no}: unknown btype name {text!r}"
+        ) from None
+
+
+def load_trace_csv(path: str, name: Optional[str] = None, validate: bool = True) -> Trace:
+    """Load a trace from *path*; see module docstring for the format."""
+    trace = Trace(name=name or str(path))
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise TraceFormatError("empty trace file (missing header)")
+        fields = [f.strip() for f in reader.fieldnames]
+        missing = [c for c in REQUIRED_COLUMNS if c not in fields]
+        if missing:
+            raise TraceFormatError(f"missing required columns: {', '.join(missing)}")
+        for line_no, row in enumerate(reader, start=2):
+            row = {k.strip(): (v or "") for k, v in row.items() if k}
+            kwargs = {}
+            for column, default in OPTIONAL_DEFAULTS.items():
+                raw = row.get(column, "")
+                kwargs[column] = (
+                    _parse_int(raw, line_no, column) if raw.strip() else default
+                )
+            trace.append(
+                pc=_parse_int(row["pc"], line_no, "pc"),
+                btype=_parse_btype(row["btype"], line_no),
+                taken=bool(_parse_int(row["taken"], line_no, "taken")),
+                target=_parse_int(row["target"], line_no, "target"),
+                dst=kwargs["dst"],
+                src1=kwargs["src1"],
+                src2=kwargs["src2"],
+                is_load=bool(kwargs["is_load"]),
+                is_store=bool(kwargs["is_store"]),
+                maddr=kwargs["maddr"],
+            )
+    if not len(trace):
+        raise TraceFormatError("trace file contains no instructions")
+    if validate:
+        try:
+            trace.validate()
+        except ValueError as exc:
+            raise TraceFormatError(f"inconsistent control flow: {exc}") from exc
+    return trace
+
+
+def save_trace_csv(trace: Trace, path: str) -> None:
+    """Write *trace* to *path* in the format :func:`load_trace_csv` reads."""
+    columns = list(REQUIRED_COLUMNS) + list(OPTIONAL_DEFAULTS)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for i in range(len(trace)):
+            writer.writerow(
+                [
+                    f"{trace.pc[i]:#x}",
+                    BranchType(trace.btype[i]).name,
+                    trace.taken[i],
+                    f"{trace.target[i]:#x}",
+                    trace.dst[i],
+                    trace.src1[i],
+                    trace.src2[i],
+                    trace.is_load[i],
+                    trace.is_store[i],
+                    f"{trace.maddr[i]:#x}",
+                ]
+            )

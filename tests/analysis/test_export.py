@@ -1,0 +1,91 @@
+"""Unit tests for result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    METRIC_FIELDS,
+    result_row,
+    results_to_rows,
+    write_csv,
+    write_json,
+)
+from repro.core.simulator import SimResult
+
+
+def fake_result(name="wl", ipc_cycles=(9000, 10000)):
+    insts, cycles = ipc_cycles
+    return SimResult(
+        name=name,
+        instructions=insts,
+        cycles=cycles,
+        stats={
+            "mispredicts": 9.0,
+            "misfetches": 3.0,
+            "btb_accesses": 1000.0,
+            "fetch_pcs": 7700.0,
+            "btb_taken_lookups": 100.0,
+            "btb_taken_l1_hits": 80.0,
+            "btb_taken_l2_hits": 15.0,
+        },
+        structure={"l1_redundancy": 1.05},
+    )
+
+
+def test_result_row_contains_all_metrics():
+    row = result_row("I-BTB 16", fake_result())
+    assert row["config"] == "I-BTB 16"
+    assert row["workload"] == "wl"
+    for field in METRIC_FIELDS:
+        assert field in row
+    assert row["ipc"] == pytest.approx(0.9)
+    assert row["fetch_pcs_per_access"] == pytest.approx(7.7)
+    assert row["l1_btb_hit_rate"] == pytest.approx(0.8)
+    assert row["l1_redundancy"] == pytest.approx(1.05)
+
+
+def test_results_to_rows_orders_by_config():
+    rows = results_to_rows(
+        [("a", [fake_result("w1"), fake_result("w2")]), ("b", [fake_result("w1")])]
+    )
+    assert [(r["config"], r["workload"]) for r in rows] == [
+        ("a", "w1"), ("a", "w2"), ("b", "w1"),
+    ]
+
+
+def test_write_csv_roundtrip(tmp_path):
+    rows = results_to_rows([("cfg", [fake_result()])])
+    path = tmp_path / "out.csv"
+    write_csv(str(path), rows)
+    with open(path) as handle:
+        back = list(csv.DictReader(handle))
+    assert len(back) == 1
+    assert back[0]["config"] == "cfg"
+    assert float(back[0]["ipc"]) == pytest.approx(0.9)
+
+
+def test_write_csv_union_header(tmp_path):
+    r1 = result_row("a", fake_result())
+    r2 = dict(result_row("b", fake_result()))
+    r2["extra_metric"] = 42
+    path = tmp_path / "u.csv"
+    write_csv(str(path), [r1, r2])
+    with open(path) as handle:
+        back = list(csv.DictReader(handle))
+    assert back[0]["extra_metric"] == ""  # restval for missing keys
+    assert back[1]["extra_metric"] == "42"
+
+
+def test_write_csv_empty_raises(tmp_path):
+    with pytest.raises(ValueError):
+        write_csv(str(tmp_path / "e.csv"), [])
+
+
+def test_write_json(tmp_path):
+    rows = results_to_rows([("cfg", [fake_result()])])
+    path = tmp_path / "out.json"
+    write_json(str(path), rows)
+    back = json.load(open(path))
+    assert back[0]["cycles"] == 10000

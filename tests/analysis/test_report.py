@@ -1,0 +1,45 @@
+"""Unit tests for report rendering."""
+
+from repro.analysis.report import ascii_bar, format_table, series_table, whisker_table
+from repro.common.stats import BoxStats
+
+
+def test_format_table_alignment():
+    out = format_table(("name", "v"), [("a", 1), ("longer", 22)])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert "longer" in lines[3]
+
+
+def test_ascii_bar_scales():
+    assert ascii_bar(0.0, 0.0, 1.0, width=10) == ""
+    assert ascii_bar(1.0, 0.0, 1.0, width=10) == "#" * 10
+    assert len(ascii_bar(0.5, 0.0, 1.0, width=10)) == 5
+
+
+def test_ascii_bar_clamps_out_of_range():
+    assert ascii_bar(5.0, 0.0, 1.0, width=4) == "####"
+    assert ascii_bar(-1.0, 0.0, 1.0, width=4) == ""
+
+
+def test_ascii_bar_degenerate_range():
+    assert ascii_bar(1.0, 1.0, 1.0) == ""
+
+
+def test_whisker_table_contains_all_labels():
+    boxes = [
+        ("cfg-a", BoxStats.from_values([0.9, 1.0, 1.1])),
+        ("cfg-b", BoxStats.from_values([0.5, 0.6, 0.7])),
+    ]
+    out = whisker_table(boxes, "My Figure")
+    assert "My Figure" in out
+    assert "cfg-a" in out and "cfg-b" in out
+    assert "gmean" in out
+
+
+def test_series_table_rows_match_xs():
+    out = series_table("S", "x", [1, 2, 3], {"y1": [0.1, 0.2, 0.3], "y2": [1, 2, 3]})
+    lines = out.splitlines()
+    assert len(lines) == 2 + 1 + 3  # title + header + divider + 3 rows
+    assert "y1" in lines[1] and "y2" in lines[1]

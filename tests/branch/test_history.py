@@ -1,0 +1,92 @@
+"""Unit tests for global history and folded registers."""
+
+import pytest
+
+from repro.branch.history import MAX_HISTORY, FoldedRegister, GlobalHistory
+
+
+def test_push_shifts_bits():
+    h = GlobalHistory()
+    h.push(True)
+    h.push(False)
+    h.push(True)
+    assert h.value(3) == 0b101
+
+
+def test_value_masks_length():
+    h = GlobalHistory()
+    for _ in range(10):
+        h.push(True)
+    assert h.value(4) == 0b1111
+
+
+def test_history_bounded_at_max():
+    h = GlobalHistory()
+    for _ in range(MAX_HISTORY + 50):
+        h.push(True)
+    assert h.bits < (1 << MAX_HISTORY)
+
+
+def test_fold_length_zero_is_constant():
+    h = GlobalHistory()
+    f = h.register_fold(0, 8)
+    for taken in (True, False, True):
+        h.push(taken)
+    assert f.value == 0
+
+
+def test_fold_tracks_short_history_exactly():
+    """With length <= width the fold is just the raw history bits."""
+    h = GlobalHistory()
+    f = h.register_fold(4, 8)
+    for taken in (True, False, True, True):
+        h.push(taken)
+    assert f.value == h.value(4)
+
+
+def test_fold_matches_rebuild_long():
+    h = GlobalHistory()
+    f = h.register_fold(23, 7)
+    import random
+
+    rng = random.Random(5)
+    for _ in range(300):
+        h.push(rng.random() < 0.5)
+    ref = FoldedRegister(23, 7)
+    ref.rebuild(h.bits)
+    assert f.value == ref.value
+
+
+def test_register_fold_too_long_raises():
+    h = GlobalHistory()
+    with pytest.raises(ValueError):
+        h.register_fold(MAX_HISTORY + 1, 8)
+
+
+def test_folded_register_validates_args():
+    with pytest.raises(ValueError):
+        FoldedRegister(4, 0)
+    with pytest.raises(ValueError):
+        FoldedRegister(-1, 4)
+
+
+def test_fold_value_stays_in_width():
+    h = GlobalHistory()
+    f = h.register_fold(64, 9)
+    for i in range(500):
+        h.push(i % 3 == 0)
+        assert 0 <= f.value < (1 << 9)
+
+
+def test_multiple_folds_independent():
+    h = GlobalHistory()
+    f1 = h.register_fold(8, 6)
+    f2 = h.register_fold(32, 6)
+    for i in range(100):
+        h.push(i % 2 == 0)
+    r1 = FoldedRegister(8, 6)
+    r1.rebuild(h.bits)
+    r2 = FoldedRegister(32, 6)
+    r2.rebuild(h.bits)
+    assert f1.value == r1.value
+    assert f2.value == r2.value

@@ -1,0 +1,98 @@
+"""Unit tests for the indirect target predictor and the RAS."""
+
+import pytest
+
+from repro.branch.history import GlobalHistory
+from repro.branch.indirect import IndirectPredictor, ReturnAddressStack
+
+
+def test_cold_predictor_returns_none():
+    p = IndirectPredictor(GlobalHistory())
+    assert p.predict(0x500) is None
+
+
+def test_predicts_last_seen_target_stable_history():
+    h = GlobalHistory()
+    p = IndirectPredictor(h)
+    p.update(0x500, 0x9000)
+    assert p.predict(0x500) == 0x9000
+
+
+def test_history_changes_index():
+    h = GlobalHistory()
+    p = IndirectPredictor(h, entries=4096)
+    p.update(0x500, 0x9000)
+    for _ in range(30):
+        h.push(True)
+    # Different history context: likely a different entry (cold or stale).
+    # We only require no crash and a well-formed result.
+    assert p.predict(0x500) in (None, 0x9000)
+
+
+def test_learns_history_correlated_targets():
+    """Same branch alternating between two targets with distinct history
+    contexts must be predicted correctly once trained."""
+    h = GlobalHistory()
+    p = IndirectPredictor(h)
+    correct = 0
+    trials = 200
+    for i in range(trials):
+        context = i % 2 == 0
+        # Establish context in history.
+        for _ in range(8):
+            h.push(context)
+        target = 0xAAAA if context else 0xBBBB
+        if i >= trials // 2:
+            correct += p.predict(0x700) == target
+        p.update(0x700, target)
+    assert correct / (trials // 2) > 0.9
+
+
+def test_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        IndirectPredictor(GlobalHistory(), entries=1000)
+
+
+# -- RAS ------------------------------------------------------------------------
+
+def test_ras_push_pop_lifo():
+    ras = ReturnAddressStack(8)
+    ras.push(0x100)
+    ras.push(0x200)
+    assert ras.pop() == 0x200
+    assert ras.pop() == 0x100
+
+
+def test_ras_underflow_returns_none():
+    ras = ReturnAddressStack(4)
+    assert ras.pop() is None
+
+
+def test_ras_overflow_drops_oldest():
+    ras = ReturnAddressStack(3)
+    for addr in (1, 2, 3, 4):
+        ras.push(addr)
+    assert len(ras) == 3
+    assert ras.pop() == 4
+    assert ras.pop() == 3
+    assert ras.pop() == 2
+    assert ras.pop() is None  # 1 was dropped
+
+
+def test_ras_top_does_not_pop():
+    ras = ReturnAddressStack(4)
+    ras.push(0x42)
+    assert ras.top() == 0x42
+    assert len(ras) == 1
+
+
+def test_ras_clear():
+    ras = ReturnAddressStack(4)
+    ras.push(1)
+    ras.clear()
+    assert ras.pop() is None
+
+
+def test_ras_rejects_bad_depth():
+    with pytest.raises(ValueError):
+        ReturnAddressStack(0)

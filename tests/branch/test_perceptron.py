@@ -1,0 +1,113 @@
+"""Unit tests for the hashed perceptron predictor."""
+
+import pytest
+
+from repro.branch.history import GlobalHistory
+from repro.branch.perceptron import HISTORY_LENGTHS, HashedPerceptron
+
+
+def run_stream(predictor, history, pc, outcomes, measure_from=0):
+    correct = total = 0
+    for i, taken in enumerate(outcomes):
+        pt, s, idxs = predictor.predict(pc)
+        predictor.update(taken, s, idxs)
+        history.push(taken)
+        if i >= measure_from:
+            total += 1
+            correct += pt == taken
+    return correct / total
+
+
+def fresh(size_kb=64):
+    h = GlobalHistory()
+    return HashedPerceptron(h, size_kb=size_kb), h
+
+
+def test_learns_always_taken_quickly():
+    p, h = fresh()
+    acc = run_stream(p, h, 0x400, [True] * 50, measure_from=5)
+    assert acc == 1.0
+
+
+def test_learns_never_taken_quickly():
+    p, h = fresh()
+    acc = run_stream(p, h, 0x400, [False] * 50, measure_from=5)
+    assert acc == 1.0
+
+
+def test_learns_alternating_pattern():
+    p, h = fresh()
+    acc = run_stream(p, h, 0x80, [i % 2 == 0 for i in range(400)], measure_from=200)
+    assert acc > 0.95
+
+
+def test_learns_loop_exit():
+    p, h = fresh()
+    pattern = ([True] * 7 + [False]) * 60
+    acc = run_stream(p, h, 0x123, pattern, measure_from=240)
+    assert acc > 0.95
+
+
+def test_table_sizing_from_kb():
+    p64, _ = fresh(64)
+    p2, _ = fresh(2)
+    assert p64.table_entries == 4096
+    assert p2.table_entries == 128
+    assert p64.storage_bytes == 16 * 4096
+
+
+def test_small_predictor_still_functions():
+    p, h = fresh(2)
+    acc = run_stream(p, h, 0x999, [True] * 40, measure_from=5)
+    assert acc == 1.0
+
+
+def test_rejects_nonpositive_size():
+    h = GlobalHistory()
+    with pytest.raises(ValueError):
+        HashedPerceptron(h, size_kb=0)
+
+
+def test_history_lengths_geometric_and_bounded():
+    assert HISTORY_LENGTHS[0] == 0
+    assert list(HISTORY_LENGTHS) == sorted(HISTORY_LENGTHS)
+    assert HISTORY_LENGTHS[-1] == 232
+    assert len(HISTORY_LENGTHS) == 16
+
+
+def test_weights_saturate():
+    p, h = fresh()
+    for _ in range(500):
+        pt, s, idxs = p.predict(0x10)
+        p.update(True, s, idxs)
+        h.push(True)
+    assert all(w <= 127 for table in p.tables for w in table)
+    pt, s, idxs = p.predict(0x10)
+    assert s <= 16 * 127
+
+
+def test_update_skips_confident_correct():
+    """Once |sum| > theta and correct, weights stop moving."""
+    p, h = fresh()
+    # Drive well past theta with a constant history (no pushes).
+    for _ in range(100):
+        pt, s, idxs = p.predict(0x44)
+        p.update(True, s, idxs)
+    pt, s, idxs = p.predict(0x44)
+    before = [p.tables[t][i] for t, i in enumerate(idxs)]
+    p.update(True, s, idxs)
+    after = [p.tables[t][i] for t, i in enumerate(idxs)]
+    assert before == after
+
+
+def test_distinct_pcs_learn_opposite_biases():
+    p, h = fresh()
+    for _ in range(60):
+        pt, s, idxs = p.predict(0x1000)
+        p.update(True, s, idxs)
+        pt, s, idxs = p.predict(0x2000)
+        p.update(False, s, idxs)
+    t1, _, _ = p.predict(0x1000)
+    t2, _, _ = p.predict(0x2000)
+    assert t1 is True
+    assert t2 is False

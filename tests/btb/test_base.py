@@ -1,0 +1,113 @@
+"""Unit tests for shared BTB machinery (TwoLevelStore, geometry)."""
+
+import pytest
+
+from repro.btb.base import (
+    BTBGeometry,
+    BranchSlot,
+    L1_HIT,
+    L2_HIT,
+    MISS,
+    TwoLevelStore,
+    insert_sorted,
+)
+
+
+def store(l1=(2, 2), l2=(4, 2), shift=2):
+    return TwoLevelStore(
+        BTBGeometry(*l1), BTBGeometry(*l2) if l2 else None, index_shift=shift
+    )
+
+
+def test_miss_on_empty():
+    s = store()
+    level, entry = s.lookup(0x100)
+    assert level == MISS and entry is None
+
+
+def test_allocate_then_l1_hit():
+    s = store()
+    s.allocate(0x100, "e")
+    level, entry = s.lookup(0x100)
+    assert level == L1_HIT and entry == "e"
+
+
+def test_l2_hit_promotes_to_l1():
+    s = store(l1=(1, 1), l2=(8, 4))
+    # Fill L1 with a conflicting entry so 0x100's entry lives only in L2.
+    s.allocate(0x100, "a")
+    s.allocate(0x104, "b")  # same L1 set (1 set), evicts "a" from L1
+    level, entry = s.lookup(0x100)
+    assert level == L2_HIT and entry == "a"
+    # Promoted: next lookup is an L1 hit.
+    level, entry = s.lookup(0x100)
+    assert level == L1_HIT and entry == "a"
+
+
+def test_inclusive_allocation():
+    s = store()
+    s.allocate(0x200, "x")
+    key = 0x200 >> 2
+    assert s.l2.lookup(key, key, touch=False) == "x"
+
+
+def test_peek_l1_no_side_effects():
+    s = store(l1=(1, 2))
+    s.allocate(0x100, "a")
+    assert s.peek_l1(0x100)
+    assert not s.peek_l1(0x104)
+    # peek must not promote: 0x104 absent from L1 still.
+    assert not s.peek_l1(0x104)
+
+
+def test_invalidate_drops_both_levels():
+    s = store()
+    s.allocate(0x300, "z")
+    s.invalidate(0x300)
+    level, entry = s.lookup(0x300)
+    assert level == MISS
+
+
+def test_single_level_store():
+    s = store(l2=None)
+    s.allocate(0x100, "only")
+    assert s.lookup(0x100) == (L1_HIT, "only")
+    s_missing = s.lookup(0x900)
+    assert s_missing == (MISS, None)
+
+
+def test_index_shift_separates_regions():
+    s = TwoLevelStore(BTBGeometry(4, 2), BTBGeometry(8, 2), index_shift=6)
+    s.allocate(0x100, "r1")
+    # 0x120 shares the 64B region with 0x100 -> same entry key.
+    assert s.lookup(0x120)[1] == "r1"
+    assert s.lookup(0x140)[0] == MISS
+
+
+def test_resident_entries_dedup():
+    s = store()
+    s.allocate(0x100, "e")
+    entries = list(s.resident_entries())
+    assert entries == ["e"]  # present in L1 and L2, yielded once
+
+
+def test_level_entries():
+    s = store()
+    s.allocate(0x100, "e")
+    assert list(s.level_entries(1)) == ["e"]
+    assert list(s.level_entries(2)) == ["e"]
+
+
+def test_geometry_scaled():
+    g = BTBGeometry(512, 6)
+    scaled = g.scaled(0.25)
+    assert scaled.sets == 128 and scaled.ways == 6
+    tiny = g.scaled(0.001)
+    assert tiny.sets == 1
+
+
+def test_insert_sorted_keeps_order():
+    slots = []
+    for pc in (0x108, 0x100, 0x104):
+        insert_sorted(slots, BranchSlot(pc=pc, btype=1, target=0), key=lambda s: s.pc)
+    assert [s.pc for s in slots] == [0x100, 0x104, 0x108]

@@ -1,0 +1,147 @@
+"""Unit tests for the Block BTB (incl. entry splitting, §6.3)."""
+
+import pytest
+
+from repro.btb.base import BTBGeometry
+from repro.btb.bbtb import BlockBTB
+from repro.frontend.engine import PredictionEngine
+
+from tests.conftest import COND, JMP, make_trace, straight
+
+
+def fresh(slots=2, block_insts=16, splitting=False, l1=(16, 4), l2=(32, 4)):
+    btb = BlockBTB(
+        BTBGeometry(*l1),
+        BTBGeometry(*l2),
+        slots_per_entry=slots,
+        block_insts=block_insts,
+        splitting=splitting,
+    )
+    return btb, PredictionEngine()
+
+
+def test_validates_args():
+    with pytest.raises(ValueError):
+        fresh(slots=0)
+    with pytest.raises(ValueError):
+        fresh(block_insts=1)
+
+
+def test_miss_speculates_sequentially_up_to_block_reach():
+    btb, eng = fresh(block_insts=16)
+    tr = make_trace(straight(0x100, 40))
+    acc = btb.scan(0x100, 0, tr, eng)
+    assert acc.count == 16
+    assert acc.next_pc == 0x140
+    assert acc.event is None
+
+
+def test_block_entry_keyed_by_exact_start():
+    btb, eng = fresh()
+    tr = make_trace(straight(0x100, 2) + [(0x108, JMP, True, 0x400), 0x400])
+    btb.scan(0x100, 0, tr, eng)  # allocates block entry at 0x100
+    assert btb.store.lookup(0x100)[1] is not None
+    # A different entry point into the same code is a different block.
+    assert btb.store.lookup(0x104)[1] is None
+
+
+def test_redundancy_from_multiple_entry_points():
+    """Fig. 2: two overlapping blocks track the same branch."""
+    btb, eng = fresh()
+    t_a = make_trace(straight(0x100, 2) + [(0x108, JMP, True, 0x400), 0x400])
+    t_b = make_trace([0x104, (0x108, JMP, True, 0x400), 0x400])
+    btb.scan(0x100, 0, t_a, eng)
+    btb.scan(0x104, 0, t_b, eng)
+    assert btb.redundancy_ratio(1) == pytest.approx(2.0)
+
+
+def test_trained_block_redirects_with_no_bubbles():
+    btb, eng = fresh()
+    tr = make_trace(straight(0x100, 2) + [(0x108, JMP, True, 0x400)] + straight(0x400, 3))
+    btb.scan(0x100, 0, tr, eng)
+    acc = btb.scan(0x100, 0, tr, eng)
+    assert acc.event is None and acc.bubbles == 0
+    assert acc.next_pc == 0x400 and acc.count == 3
+
+
+def test_slot_replacement_without_splitting_loses_metadata():
+    btb, eng = fresh(slots=1, splitting=False)
+    # Two taken branches in one block starting at 0x100.
+    t = make_trace(
+        [(0x100, COND, True, 0x400), 0x400]
+    )
+    t2 = make_trace(
+        [(0x100, COND, False, 0), (0x104, JMP, True, 0x500), 0x500]
+    )
+    btb.scan(0x100, 0, t, eng)   # slot <- 0x100
+    # Until the predictor flips to not-taken for 0x100, the access ends
+    # in a mispredict before 0x104 is ever reached; retrain a few times.
+    for _ in range(6):
+        btb.scan(0x100, 0, t2, eng)
+    _lvl, entry = btb.store.lookup(0x100)
+    assert len(entry.slots) == 1
+    assert entry.slots[0].pc == 0x104
+    assert not entry.split
+
+
+def test_splitting_preserves_both_branches():
+    btb, eng = fresh(slots=1, splitting=True)
+    t = make_trace([(0x100, COND, True, 0x400), 0x400])
+    t2 = make_trace([(0x100, COND, False, 0), (0x104, JMP, True, 0x500), 0x500])
+    btb.scan(0x100, 0, t, eng)
+    for _ in range(6):  # retrain 0x100 towards not-taken, then overflow
+        btb.scan(0x100, 0, t2, eng)
+    _lvl, first = btb.store.lookup(0x100)
+    assert first.split
+    assert [s.pc for s in first.slots] == [0x100]
+    assert first.length == 1  # ends right after the kept branch
+    _lvl2, second = btb.store.lookup(0x104)
+    assert second is not None
+    assert [s.pc for s in second.slots] == [0x104]
+
+
+def test_split_entry_walk_ends_at_split_boundary():
+    btb, eng = fresh(slots=1, splitting=True)
+    t = make_trace([(0x100, COND, True, 0x400), 0x400])
+    t2 = make_trace([(0x100, COND, False, 0), (0x104, JMP, True, 0x500), 0x500])
+    btb.scan(0x100, 0, t, eng)
+    btb.scan(0x100, 0, t2, eng)
+    # Drive the predictor to not-taken for 0x100, then walk: the access
+    # must stop at the split boundary (one instruction).
+    for _ in range(6):
+        btb.scan(0x100, 0, t2, eng)
+    acc = btb.scan(0x100, 0, t2, eng)
+    assert acc.count == 1
+    assert acc.next_pc == 0x104
+
+
+def test_split_merges_into_existing_fallthrough_entry():
+    btb, eng = fresh(slots=1, splitting=True)
+    # Pre-create an entry at the future split point 0x104.
+    pre = make_trace([(0x104, JMP, True, 0x500), 0x500])
+    btb.scan(0x104, 0, pre, eng)
+    t = make_trace([(0x100, COND, True, 0x400), 0x400])
+    btb.scan(0x100, 0, t, eng)
+    # Now overflow the 0x100 entry with a second branch at 0x108.
+    t2 = make_trace(
+        [(0x100, COND, False, 0), (0x104, JMP, True, 0x500), 0x500]
+    )
+    for _ in range(6):
+        btb.scan(0x100, 0, t2, eng)
+    _lvl, fall = btb.store.lookup(0x104)
+    assert fall is not None
+    assert {s.pc for s in fall.slots} == {0x104}
+
+
+def test_larger_blocks_extend_reach():
+    btb, eng = fresh(block_insts=32)
+    tr = make_trace(straight(0x100, 64))
+    acc = btb.scan(0x100, 0, tr, eng)
+    assert acc.count == 32
+
+
+def test_occupancy_metric():
+    btb, eng = fresh(slots=2)
+    t = make_trace([(0x100, COND, True, 0x400), 0x400])
+    btb.scan(0x100, 0, t, eng)
+    assert btb.slot_occupancy(1) == pytest.approx(1.0)

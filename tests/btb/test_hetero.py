@@ -1,0 +1,129 @@
+"""Unit tests for the heterogeneous (B-BTB L1 / R-BTB L2) hierarchy."""
+
+import pytest
+
+from repro.btb.base import BTBGeometry
+from repro.btb.hetero import HeterogeneousBTB
+from repro.frontend.engine import PredictionEngine
+
+from tests.conftest import COND, JMP, make_trace, straight
+
+
+def fresh(l1_slots=1, l2_slots=4, l1=(8, 4), l2=(16, 4), **kw):
+    btb = HeterogeneousBTB(
+        BTBGeometry(*l1), BTBGeometry(*l2),
+        l1_slots=l1_slots, l2_slots=l2_slots, **kw,
+    )
+    return btb, PredictionEngine()
+
+
+def test_validates_args():
+    with pytest.raises(ValueError):
+        fresh(l1_slots=0)
+    with pytest.raises(ValueError):
+        fresh(region_bytes=100)
+    with pytest.raises(ValueError):
+        fresh(slot_policy="bogus")
+
+
+def test_taken_branch_trains_both_levels():
+    btb, eng = fresh()
+    tr = make_trace(straight(0x100, 2) + [(0x108, JMP, True, 0x400), 0x400])
+    btb.scan(0x100, 0, tr, eng)
+    assert btb._l1_lookup(0x100) is not None
+    region = btb._l2_region(0x100)
+    assert region is not None
+    assert region.slots[0].pc == 0x108
+
+
+def test_l1_hit_redirects_with_zero_bubbles():
+    btb, eng = fresh()
+    tr = make_trace(straight(0x100, 2) + [(0x108, JMP, True, 0x400)] + straight(0x400, 2))
+    btb.scan(0x100, 0, tr, eng)
+    acc = btb.scan(0x100, 0, tr, eng)
+    assert acc.event is None and acc.bubbles == 0
+    assert acc.next_pc == 0x400
+
+
+def test_block_synthesis_from_l2_regions():
+    """After the L1 entry is evicted, the L2 region data reconstructs it
+    (fill-by-reconstruction), at the 3-bubble L2 redirect cost."""
+    btb, eng = fresh(l1=(1, 1))  # single-entry L1: trivially evictable
+    tr1 = make_trace(straight(0x100, 2) + [(0x108, JMP, True, 0x400)] + straight(0x400, 2))
+    tr2 = make_trace(straight(0x200, 1) + [(0x204, JMP, True, 0x500), 0x500])
+    btb.scan(0x100, 0, tr1, eng)
+    btb.scan(0x200, 0, tr2, eng)  # evicts 0x100's block from L1
+    assert btb._l1_lookup(0x100) is None
+    acc = btb.scan(0x100, 0, tr1, eng)
+    assert acc.event is None
+    assert acc.next_pc == 0x400
+    assert acc.bubbles == 3  # redirect served from L2 data
+    # The synthesized block was installed back into the L1.
+    assert btb._l1_lookup(0x100) is not None
+
+
+def test_synthesis_spans_two_regions():
+    """A block crossing a 64B region boundary gathers slots from both
+    covering region entries."""
+    btb, eng = fresh(l1_slots=2, l1=(1, 1))
+    tr = make_trace(
+        [0x130, (0x134, COND, True, 0x400), 0x400]
+    )
+    tr2 = make_trace(
+        [0x130, (0x134, COND, False, 0)] + straight(0x138, 4)
+        + [(0x148, JMP, True, 0x500), 0x500]
+    )
+    btb.scan(0x130, 0, tr, eng)   # branch in region 0x100
+    for _ in range(6):
+        btb.scan(0x130, 0, tr2, eng)  # branch in region 0x140, same block
+    # Evict the L1 block, then re-synthesize from both regions.
+    evict = make_trace([(0x600, JMP, True, 0x700), 0x700])
+    btb.scan(0x600, 0, evict, eng)
+    assert btb._l1_lookup(0x130) is None
+    block = btb._synthesize_block(0x130)
+    assert block is not None
+    assert {s.pc for s in block.slots} == {0x134, 0x148}
+
+
+def test_l2_region_is_duplication_free():
+    btb, eng = fresh()
+    t_a = make_trace(straight(0x100, 2) + [(0x108, JMP, True, 0x400), 0x400])
+    t_b = make_trace([0x104, (0x108, JMP, True, 0x400), 0x400])
+    btb.scan(0x100, 0, t_a, eng)
+    btb.scan(0x104, 0, t_b, eng)
+    # L1 may hold two overlapping blocks; the L2 holds the branch once.
+    assert btb.redundancy_ratio(2) == pytest.approx(1.0)
+
+
+def test_l1_split_on_overflow():
+    btb, eng = fresh(l1_slots=1)
+    t1 = make_trace([(0x100, COND, True, 0x400), 0x400])
+    t2 = make_trace([(0x100, COND, False, 0), (0x104, JMP, True, 0x500), 0x500])
+    btb.scan(0x100, 0, t1, eng)
+    for _ in range(6):
+        btb.scan(0x100, 0, t2, eng)
+    entry = btb._l1_lookup(0x100)
+    assert entry.split
+    assert entry.length == 1
+    assert btb._l1_lookup(0x104) is not None
+
+
+def test_l2_slot_overflow_uses_policy():
+    btb, eng = fresh(l2_slots=1)
+    t1 = make_trace([(0x100, JMP, True, 0x400), 0x400])
+    t2 = make_trace([(0x104, JMP, True, 0x400), 0x400])
+    btb.scan(0x100, 0, t1, eng)
+    btb.scan(0x104, 0, t2, eng)
+    region = btb._l2_region(0x100)
+    assert len(region.slots) == 1
+    assert region.slots[0].pc == 0x104
+
+
+def test_runs_in_full_simulator():
+    from repro.core.config import build_simulator, hetero_btb
+    from repro.trace.workloads import get_trace
+
+    sim = build_simulator(hetero_btb(1, 2), get_trace("db_oltp", 8000))
+    result = sim.run(warmup=2000)
+    assert result.ipc > 0.05
+    assert "l2_slot_occupancy" in result.structure

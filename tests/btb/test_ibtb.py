@@ -1,0 +1,138 @@
+"""Unit tests for the Instruction BTB's scan semantics."""
+
+import pytest
+
+from repro.btb.base import BTBGeometry
+from repro.btb.ibtb import InstructionBTB
+from repro.frontend.engine import PredictionEngine
+
+from tests.conftest import CALL, COND, IND, JMP, RET, make_trace, straight
+
+
+def fresh(width=16, skip=False, l1=(64, 4), l2=(128, 4)):
+    btb = InstructionBTB(
+        BTBGeometry(*l1), BTBGeometry(*l2), width=width, skip_taken=skip
+    )
+    return btb, PredictionEngine()
+
+
+def test_sequential_run_covers_width():
+    btb, eng = fresh(width=8)
+    tr = make_trace(straight(0x100, 20))
+    acc = btb.scan(0x100, 0, tr, eng)
+    assert acc.count == 8
+    assert acc.next_pc == 0x100 + 8 * 4
+    assert acc.event is None
+
+
+def test_unknown_taken_jump_is_misfetch_then_learned():
+    tr = make_trace(straight(0x100, 3) + [(0x10C, JMP, True, 0x400)] + straight(0x400, 4))
+    btb, eng = fresh()
+    first = btb.scan(0x100, 0, tr, eng)
+    assert first.event == "misfetch"
+    assert first.event_index == 3
+    assert first.count == 4  # includes the faulting branch
+    # Trained: a second pass redirects with 0 bubbles.
+    second = btb.scan(0x100, 0, tr, eng)
+    assert second.event is None
+    assert second.next_pc == 0x400
+    assert second.bubbles == 0
+
+
+def test_access_ends_at_predicted_taken_branch():
+    tr = make_trace(
+        straight(0x100, 2) + [(0x108, JMP, True, 0x300)] + straight(0x300, 6)
+    )
+    btb, eng = fresh()
+    btb.scan(0x100, 0, tr, eng)  # train
+    acc = btb.scan(0x100, 0, tr, eng)
+    assert acc.count == 3  # run stops after the taken branch
+    assert acc.next_pc == 0x300
+
+
+def test_skip_mode_continues_across_taken_branches():
+    steps = (
+        straight(0x100, 2)
+        + [(0x108, JMP, True, 0x300)]
+        + straight(0x300, 2)
+        + [(0x308, JMP, True, 0x500)]
+        + straight(0x500, 10)
+    )
+    tr = make_trace(steps)
+    btb, eng = fresh(skip=True)
+    btb.scan(0x100, 0, tr, eng)  # misfetch on first unknown jump
+    btb.scan(0x300, 3, tr, eng)  # learn second jump
+    acc = btb.scan(0x100, 0, tr, eng)
+    assert acc.event is None
+    assert acc.count == 16  # full width across two redirects
+    assert acc.blocks == 3
+
+
+def test_never_taken_conditional_not_allocated():
+    tr = make_trace([(0x100, COND, False, 0)] + straight(0x104, 3))
+    btb, eng = fresh()
+    btb.scan(0x100, 0, tr, eng)
+    assert len(btb.store.l1) == 0
+
+
+def test_taken_conditional_allocates():
+    tr = make_trace([(0x100, COND, True, 0x200)] + straight(0x200, 2))
+    btb, eng = fresh()
+    acc = btb.scan(0x100, 0, tr, eng)
+    assert acc.event == "mispredict"  # untracked taken conditional
+    assert len(btb.store.l1) == 1
+
+
+def test_indirect_redirect_adds_bubble():
+    tr = make_trace(
+        [(0x100, IND, True, 0x700)] + straight(0x700, 2)
+    )
+    btb, eng = fresh()
+    btb.scan(0x100, 0, tr, eng)  # allocate + train indirect predictor
+    acc = btb.scan(0x100, 0, tr, eng)
+    assert acc.event is None
+    assert acc.bubbles == 1  # non-return indirect: +1 bubble
+
+
+def test_return_uses_ras():
+    tr = make_trace(
+        [(0x100, CALL, True, 0x500)]
+        + straight(0x500, 2)
+        + [(0x508, RET, True, 0x104)]
+        + straight(0x104, 2)
+    )
+    btb, eng = fresh()
+    # First pass: call misfetch.
+    acc = btb.scan(0x100, 0, tr, eng)
+    assert acc.event == "misfetch"
+    # Continue after the call: returns resolve against the pushed RAS entry.
+    acc2 = btb.scan(0x500, 1, tr, eng)
+    assert acc2.event == "misfetch"  # return unknown to BTB, RAS correct
+    # Retrain pass: everything known now.
+    eng2_acc = btb.scan(0x100, 0, tr, eng)
+    assert eng2_acc.event is None
+    assert eng2_acc.next_pc == 0x500
+
+
+def test_l2_hit_costs_three_bubbles():
+    # L1 with a single set/way so a second branch evicts the first to L2.
+    tr = make_trace(
+        straight(0x100, 1)
+        + [(0x104, JMP, True, 0x300)]
+        + [(0x300, JMP, True, 0x500)]
+        + straight(0x500, 2)
+    )
+    btb, eng = fresh(l1=(1, 1), l2=(64, 4))
+    btb.scan(0x100, 0, tr, eng)   # misfetch on 0x104, allocates
+    btb.scan(0x300, 2, tr, eng)   # misfetch on 0x300, allocates, evicts 0x104 to L2
+    acc = btb.scan(0x100, 0, tr, eng)
+    assert acc.event is None
+    assert acc.bubbles == 3  # L2 hit redirect
+
+
+def test_slot_occupancy_and_redundancy_are_unity():
+    tr = make_trace(straight(0x100, 2) + [(0x108, JMP, True, 0x300), 0x300])
+    btb, eng = fresh()
+    btb.scan(0x100, 0, tr, eng)
+    assert btb.slot_occupancy(1) == 1.0
+    assert btb.redundancy_ratio(1) == 1.0

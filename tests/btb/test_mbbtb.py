@@ -1,0 +1,214 @@
+"""Unit tests for the MultiBlock BTB (§6.4)."""
+
+import pytest
+
+from repro.btb.base import BTBGeometry
+from repro.btb.mbbtb import STABILITY_THRESHOLD, MultiBlockBTB
+from repro.frontend.engine import PredictionEngine
+
+from tests.conftest import CALL, COND, IND, JMP, RET, make_trace, straight
+
+
+def fresh(slots=2, policy="allbr", block_insts=16, l1=(16, 4), l2=(32, 4), **kw):
+    btb = MultiBlockBTB(
+        BTBGeometry(*l1),
+        BTBGeometry(*l2),
+        slots_per_entry=slots,
+        block_insts=block_insts,
+        pull_policy=policy,
+        **kw,
+    )
+    return btb, PredictionEngine()
+
+
+def chain_trace():
+    """block0 [0x100..] --jmp@0x108--> block1 [0x400..] --jmp@0x408--> 0x700."""
+    return make_trace(
+        straight(0x100, 2)
+        + [(0x108, JMP, True, 0x400)]
+        + straight(0x400, 2)
+        + [(0x408, JMP, True, 0x700)]
+        + straight(0x700, 4)
+    )
+
+
+def test_validates_args():
+    with pytest.raises(ValueError):
+        fresh(policy="bogus")
+    with pytest.raises(ValueError):
+        fresh(slots=0)
+
+
+def test_uncond_pull_chains_blocks_in_one_access():
+    btb, eng = fresh(slots=2, policy="uncond")
+    tr = chain_trace()
+    btb.scan(0x100, 0, tr, eng)  # misfetch at 0x108, allocate + pull
+    # Second pass chains into the pulled block and learns 0x408 there.
+    btb.scan(0x100, 0, tr, eng)
+    acc = btb.scan(0x100, 0, tr, eng)
+    assert acc.event is None
+    assert acc.blocks == 2        # chained through block1
+    assert acc.count == 6         # both blocks' instructions in one access
+    assert acc.next_pc == 0x700
+
+
+def test_entry_layout_after_pull():
+    btb, eng = fresh(slots=2, policy="uncond")
+    tr = chain_trace()
+    btb.scan(0x100, 0, tr, eng)
+    btb.scan(0x100, 0, tr, eng)  # learns 0x408 while chained in block 1
+    _lvl, entry = btb.store.lookup(0x100)
+    assert entry is not None
+    assert len(entry.blocks) == 2
+    assert entry.blocks[1][0] == 0x400
+    slot0 = entry.slots[0]
+    assert slot0.pc == 0x108 and slot0.follow and slot0.blk_id == 0
+    slot1 = entry.slots[1]
+    assert slot1.pc == 0x408 and slot1.blk_id == 1
+
+
+def test_last_slot_never_pulls_by_default():
+    btb, eng = fresh(slots=1, policy="uncond")
+    tr = chain_trace()
+    btb.scan(0x100, 0, tr, eng)
+    _lvl, entry = btb.store.lookup(0x100)
+    # Single slot = the last slot: pulling is disallowed (§6.4.2).
+    assert not entry.slots[0].follow
+    assert len(entry.blocks) == 1
+
+
+def test_pull_last_slot_ablation_enables_pull():
+    btb, eng = fresh(slots=1, policy="uncond", pull_last_slot=True)
+    tr = chain_trace()
+    btb.scan(0x100, 0, tr, eng)
+    _lvl, entry = btb.store.lookup(0x100)
+    assert entry.slots[0].follow
+    assert len(entry.blocks) == 2
+
+
+def test_calls_pull_only_with_calldir_policy():
+    tr = make_trace(
+        straight(0x100, 2) + [(0x108, CALL, True, 0x400)] + straight(0x400, 4)
+    )
+    for policy, expect in (("uncond", False), ("calldir", True), ("allbr", True)):
+        btb, eng = fresh(slots=2, policy=policy)
+        btb.scan(0x100, 0, tr, eng)
+        _lvl, entry = btb.store.lookup(0x100)
+        assert entry.slots[0].follow == expect, policy
+
+
+def test_returns_never_pull():
+    tr = make_trace(
+        straight(0x100, 2) + [(0x108, RET, True, 0x400)] + straight(0x400, 2)
+    )
+    btb, eng = fresh(slots=2, policy="allbr")
+    eng.ras.push(0x400)
+    btb.scan(0x100, 0, tr, eng)
+    _lvl, entry = btb.store.lookup(0x100)
+    assert not entry.slots[0].follow
+
+
+def test_conditional_pull_immediate_under_allbr():
+    tr = make_trace(
+        straight(0x100, 2) + [(0x108, COND, True, 0x400)] + straight(0x400, 3)
+    )
+    btb, eng = fresh(slots=2, policy="allbr")
+    btb.scan(0x100, 0, tr, eng)
+    _lvl, entry = btb.store.lookup(0x100)
+    assert entry.slots[0].follow
+    assert entry.blocks[1][0] == 0x400
+
+
+def test_conditional_downgrade_on_not_taken():
+    taken = make_trace(
+        straight(0x100, 2) + [(0x108, COND, True, 0x400)] + straight(0x400, 3)
+    )
+    not_taken = make_trace(
+        straight(0x100, 2) + [(0x108, COND, False, 0)] + straight(0x10C, 3)
+    )
+    btb, eng = fresh(slots=2, policy="allbr")
+    btb.scan(0x100, 0, taken, eng)
+    _lvl, entry = btb.store.lookup(0x100)
+    assert entry.slots[0].follow
+    btb.scan(0x100, 0, not_taken, eng)  # §6.4.3 immediate downgrade
+    assert not entry.slots[0].follow
+    assert len(entry.blocks) == 1
+    # A once-not-taken conditional is never pulled again.
+    btb.scan(0x100, 0, taken, eng)
+    assert not entry.slots[0].follow
+
+
+def test_indirect_needs_stability_threshold():
+    tr = make_trace(
+        straight(0x100, 2) + [(0x108, IND, True, 0x400)] + straight(0x400, 3)
+    )
+    btb, eng = fresh(slots=2, policy="allbr")
+    btb.scan(0x100, 0, tr, eng)
+    _lvl, entry = btb.store.lookup(0x100)
+    slot = entry.slots[0]
+    assert not slot.follow
+    # Re-observe the same target until the 6-bit counter saturates.
+    for _ in range(STABILITY_THRESHOLD + 1):
+        btb.scan(0x100, 0, tr, eng)
+    assert slot.stabl_ctr >= STABILITY_THRESHOLD
+    assert slot.follow
+
+
+def test_indirect_target_change_resets_and_unpulls():
+    t1 = make_trace(
+        straight(0x100, 2) + [(0x108, IND, True, 0x400)] + straight(0x400, 3)
+    )
+    t2 = make_trace(
+        straight(0x100, 2) + [(0x108, IND, True, 0x500)] + straight(0x500, 3)
+    )
+    btb, eng = fresh(slots=2, policy="allbr")
+    for _ in range(STABILITY_THRESHOLD + 2):
+        btb.scan(0x100, 0, t1, eng)
+    _lvl, entry = btb.store.lookup(0x100)
+    slot = entry.slots[0]
+    assert slot.follow
+    btb.scan(0x100, 0, t2, eng)
+    assert not slot.follow
+    assert slot.stabl_ctr == 0
+    assert slot.target == 0x500
+    assert len(entry.blocks) == 1
+
+
+def test_split_on_overflow_keeps_path_prefix():
+    btb, eng = fresh(slots=1, policy="uncond")
+    t1 = make_trace([(0x100, COND, True, 0x400), 0x400])
+    t2 = make_trace([(0x100, COND, False, 0), (0x104, JMP, True, 0x500), 0x500])
+    btb.scan(0x100, 0, t1, eng)
+    for _ in range(6):
+        btb.scan(0x100, 0, t2, eng)
+    _lvl, entry = btb.store.lookup(0x100)
+    assert [s.pc for s in entry.slots] == [0x100]
+    assert entry.split
+    assert entry.blocks[0][1] == 1  # shrunk to one instruction
+    _lvl2, spilled = btb.store.lookup(0x104)
+    assert spilled is not None and spilled.slots[0].pc == 0x104
+
+
+def test_chain_capacity_bounded_by_slots_plus_one():
+    btb, eng = fresh(slots=2, policy="uncond")
+    # 0x100 -> 0x400 -> 0x700 -> 0xA00: three jumps but only slots+1=3 blocks.
+    tr = make_trace(
+        [(0x100, JMP, True, 0x400)]
+        + [(0x400, JMP, True, 0x700)]
+        + [(0x700, JMP, True, 0xA00)]
+        + straight(0xA00, 2)
+    )
+    for start, idx in ((0x100, 0), (0x400, 1), (0x700, 2)):
+        btb.scan(start, idx, tr, eng)
+    btb.scan(0x100, 0, tr, eng)
+    _lvl, entry = btb.store.lookup(0x100)
+    assert len(entry.blocks) <= 3
+
+
+def test_mb_redundancy_metric_counts_duplicates():
+    btb, eng = fresh(slots=2)
+    t_a = make_trace(straight(0x100, 2) + [(0x108, JMP, True, 0x400), 0x400])
+    t_b = make_trace([0x104, (0x108, JMP, True, 0x400), 0x400])
+    btb.scan(0x100, 0, t_a, eng)
+    btb.scan(0x104, 0, t_b, eng)
+    assert btb.redundancy_ratio(1) == pytest.approx(2.0)

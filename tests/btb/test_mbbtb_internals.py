@@ -1,0 +1,106 @@
+"""White-box tests of MB-BTB entry maintenance (§6.4.3 mechanics)."""
+
+import pytest
+
+from repro.btb.base import BTBGeometry, BranchSlot
+from repro.btb.mbbtb import MBEntry, MultiBlockBTB
+from repro.common.types import BranchType
+
+
+def fresh(slots=2, policy="allbr", **kw):
+    return MultiBlockBTB(
+        BTBGeometry(16, 4), BTBGeometry(32, 4),
+        slots_per_entry=slots, pull_policy=policy, **kw,
+    )
+
+
+def chained_entry():
+    """entry at 0x100: block0 [0x100,+16) term jmp@0x108 -> block1 at
+    0x400 [+16) term jmp@0x408 -> block2 at 0x700."""
+    entry = MBEntry(start=0x100)
+    entry.blocks = [(0x100, 16), (0x400, 16), (0x700, 16)]
+    s0 = BranchSlot(pc=0x108, btype=BranchType.UNCOND_DIRECT, target=0x400,
+                    blk_id=0, follow=True)
+    s1 = BranchSlot(pc=0x408, btype=BranchType.UNCOND_DIRECT, target=0x700,
+                    blk_id=1, follow=True)
+    entry.slots = [s0, s1]
+    return entry, s0, s1
+
+
+def test_truncate_drops_tail_blocks_and_slots():
+    btb = fresh()
+    entry, s0, s1 = chained_entry()
+    btb._truncate(entry, 1)
+    assert entry.blocks == [(0x100, 16)]
+    assert entry.slots == [s0]
+    assert not s0.follow  # pulled block 1 is gone
+
+
+def test_truncate_mid_chain_keeps_prefix():
+    btb = fresh()
+    entry, s0, s1 = chained_entry()
+    btb._truncate(entry, 2)
+    assert entry.blocks == [(0x100, 16), (0x400, 16)]
+    assert entry.slots == [s0, s1]
+    assert s0.follow         # block 1 still present
+    assert not s1.follow     # its pulled block 2 dropped
+
+
+def test_truncate_beyond_chain_is_noop():
+    btb = fresh()
+    entry, s0, s1 = chained_entry()
+    btb._truncate(entry, 5)
+    assert len(entry.blocks) == 3
+    assert s0.follow and s1.follow
+
+
+def test_may_pull_requires_terminator_position():
+    btb = fresh(slots=3)
+    entry = MBEntry(start=0x100)
+    entry.blocks = [(0x100, 16)]
+    early = BranchSlot(pc=0x104, btype=BranchType.UNCOND_DIRECT, target=0x400, blk_id=0)
+    late = BranchSlot(pc=0x108, btype=BranchType.COND_DIRECT, target=0x500, blk_id=0)
+    entry.slots = [early, late]
+    # 'early' is not the last slot in path order: it must not pull.
+    assert not btb._may_pull(entry, early)
+    assert btb._may_pull(entry, late)
+
+
+def test_may_pull_respects_chain_capacity():
+    btb = fresh(slots=2)
+    entry, s0, s1 = chained_entry()  # already at slots+1 = 3 blocks
+    extra = BranchSlot(pc=0x708, btype=BranchType.UNCOND_DIRECT, target=0x900, blk_id=2)
+    entry.slots.append(extra)
+    assert not btb._may_pull(entry, extra)
+
+
+def test_path_position_and_block_end():
+    entry, s0, s1 = chained_entry()
+    assert entry.path_position(s0) == 0
+    assert entry.path_position(s1) == 1
+    assert entry.block_end(0) == 0x100 + 64
+    assert entry.block_end(2) == 0x700 + 64
+    assert entry.find(1, 0x408) is s1
+    assert entry.find(0, 0x408) is None
+
+
+def test_eligible_types_per_policy():
+    cases = {
+        "uncond": {BranchType.UNCOND_DIRECT},
+        "calldir": {BranchType.UNCOND_DIRECT, BranchType.CALL_DIRECT},
+        "allbr": {
+            BranchType.UNCOND_DIRECT,
+            BranchType.CALL_DIRECT,
+            BranchType.COND_DIRECT,
+            BranchType.INDIRECT,
+            BranchType.CALL_INDIRECT,
+        },
+    }
+    for policy, expected in cases.items():
+        btb = fresh(policy=policy)
+        eligible = {
+            bt for bt in BranchType
+            if bt != BranchType.NONE and btb._eligible_type(bt)
+        }
+        assert eligible == expected, policy
+        assert not btb._eligible_type(BranchType.RETURN)

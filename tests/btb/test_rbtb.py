@@ -1,0 +1,138 @@
+"""Unit tests for the Region BTB."""
+
+import pytest
+
+from repro.btb.base import BTBGeometry
+from repro.btb.rbtb import RegionBTB
+from repro.frontend.engine import PredictionEngine
+
+from tests.conftest import COND, JMP, make_trace, straight
+
+
+def fresh(slots=2, region=64, interleaved=False, l1=(16, 4), l2=(32, 4)):
+    btb = RegionBTB(
+        BTBGeometry(*l1),
+        BTBGeometry(*l2),
+        slots_per_entry=slots,
+        region_bytes=region,
+        interleaved=interleaved,
+    )
+    return btb, PredictionEngine()
+
+
+def test_validates_args():
+    with pytest.raises(ValueError):
+        fresh(region=96)
+    with pytest.raises(ValueError):
+        fresh(slots=0)
+
+
+def test_access_stops_at_region_boundary():
+    btb, eng = fresh()
+    tr = make_trace(straight(0x100, 40))
+    acc = btb.scan(0x110, 0, tr, eng)  # unaligned start, 64B region
+    assert acc.count == (0x140 - 0x110) // 4  # up to region end only
+    assert acc.next_pc == 0x140
+
+
+def test_unknown_taken_jump_misfetch_allocates_region_entry():
+    tr = make_trace(straight(0x100, 2) + [(0x108, JMP, True, 0x400), 0x400])
+    btb, eng = fresh()
+    acc = btb.scan(0x100, 0, tr, eng)
+    assert acc.event == "misfetch"
+    level, entry = btb.store.lookup(0x100)
+    assert entry is not None and entry.slots[0].pc == 0x108
+
+
+def test_trained_region_redirects():
+    tr = make_trace(straight(0x100, 2) + [(0x108, JMP, True, 0x400)] + straight(0x400, 3))
+    btb, eng = fresh()
+    btb.scan(0x100, 0, tr, eng)
+    acc = btb.scan(0x100, 0, tr, eng)
+    assert acc.event is None
+    assert acc.next_pc == 0x400
+    assert acc.count == 3
+
+
+def test_slot_overflow_evicts_lru_branch():
+    """A third taken branch in a 2-slot region displaces the LRU slot."""
+    btb, eng = fresh(slots=2)
+    seqs = [
+        make_trace([(0x100, JMP, True, 0x400), 0x400]),
+        make_trace([(0x104, JMP, True, 0x400), 0x400]),
+        make_trace([(0x108, JMP, True, 0x400), 0x400]),
+    ]
+    for pc, tr in zip((0x100, 0x104, 0x108), seqs):
+        btb.scan(pc, 0, tr, eng)
+        btb.scan(pc, 0, tr, eng)  # make resident slots recently used
+    level, entry = btb.store.lookup(0x100)
+    assert len(entry.slots) == 2
+    pcs = {s.pc for s in entry.slots}
+    assert 0x108 in pcs  # newest survives
+    assert len(pcs & {0x100, 0x104}) == 1  # one old slot displaced
+
+
+def test_slot_miss_is_counted_as_btb_miss():
+    btb, eng = fresh(slots=1)
+    tr1 = make_trace([(0x100, JMP, True, 0x400), 0x400])
+    tr2 = make_trace([(0x104, JMP, True, 0x400), 0x400])
+    btb.scan(0x100, 0, tr1, eng)  # allocates slot for 0x100
+    btb.scan(0x104, 0, tr2, eng)  # displaces, misfetch
+    st = eng.stats
+    assert st.get("misfetches") == 2
+    assert st.get("btb_taken_l1_hits") == 0
+
+
+def test_interleaved_chains_two_regions_when_second_l1_resident():
+    btb, eng = fresh(interleaved=True)
+    tr = make_trace(straight(0x100, 40))
+    # Cold: second region not resident -> access ends at boundary.
+    acc = btb.scan(0x100, 0, tr, eng)
+    assert acc.count == 16
+    # Make both regions resident via conditional branches that were taken
+    # once on another path (allocates the region entries).
+    t1 = make_trace([(0x13C, COND, True, 0x500), 0x500])
+    t2 = make_trace([(0x17C, COND, True, 0x500), 0x500])
+    btb.scan(0x13C, 0, t1, eng)
+    btb.scan(0x17C, 0, t2, eng)
+    # A straight-line walk from 0x100 now chains both resident regions.
+    # (Drive the predictor towards not-taken for the two conditionals
+    # first, so they don't redirect.)
+    nt_walk = make_trace(
+        straight(0x100, 15) + [(0x13C, COND, False, 0)]
+        + straight(0x140, 15) + [(0x17C, COND, False, 0)] + [0x180]
+    )
+    for _ in range(8):
+        btb.scan(0x100, 0, nt_walk, eng)
+    acc2 = btb.scan(0x100, 0, nt_walk, eng)
+    assert acc2.event is None
+    assert acc2.count == 32
+    assert acc2.next_pc == 0x180
+
+
+def test_128b_regions_cover_32_instructions():
+    btb, eng = fresh(region=128)
+    tr = make_trace(straight(0x100, 64))
+    acc = btb.scan(0x100, 0, tr, eng)
+    assert acc.count == 32
+    assert acc.next_pc == 0x180
+
+
+def test_region_occupancy_metric():
+    btb, eng = fresh(slots=4)
+    tr = make_trace([(0x100, JMP, True, 0x400), 0x400])
+    btb.scan(0x100, 0, tr, eng)
+    assert btb.slot_occupancy(1) == 1.0
+    assert btb.redundancy_ratio(1) == 1.0
+
+
+def test_indirect_target_update_in_slot():
+    from tests.conftest import IND
+
+    btb, eng = fresh()
+    t1 = make_trace([(0x100, IND, True, 0x400), 0x400])
+    t2 = make_trace([(0x100, IND, True, 0x500), 0x500])
+    btb.scan(0x100, 0, t1, eng)
+    btb.scan(0x100, 0, t2, eng)
+    _level, entry = btb.store.lookup(0x100)
+    assert entry.slots[0].target == 0x500

@@ -1,0 +1,89 @@
+"""Unit tests for the R-BTB shared overflow storage (§3.5)."""
+
+import pytest
+
+from repro.btb.base import BTBGeometry
+from repro.btb.rbtb import RegionBTB
+from repro.frontend.engine import PredictionEngine
+
+from tests.conftest import JMP, make_trace
+
+
+def fresh(slots=1, overflow=4, l1=(16, 4), l2=(32, 4), **kw):
+    btb = RegionBTB(
+        BTBGeometry(*l1), BTBGeometry(*l2),
+        slots_per_entry=slots, overflow_entries=overflow, **kw,
+    )
+    return btb, PredictionEngine()
+
+
+def train_jump(btb, eng, pc, target=0x900):
+    tr = make_trace([(pc, JMP, True, target), target])
+    btb.scan(pc, 0, tr, eng)
+    return tr
+
+
+def test_validates_args():
+    with pytest.raises(ValueError):
+        fresh(overflow=-1)
+
+
+def test_displaced_branch_lands_in_overflow():
+    btb, eng = fresh(slots=1)
+    train_jump(btb, eng, 0x100)
+    train_jump(btb, eng, 0x104)  # displaces 0x100 into overflow
+    assert btb.overflow.lookup(0x100, 0x100, touch=False) is not None
+
+
+def test_overflow_branch_still_predicts_with_extra_bubble():
+    btb, eng = fresh(slots=1)
+    t1 = train_jump(btb, eng, 0x100, 0x900)
+    train_jump(btb, eng, 0x104, 0xA00)  # 0x100 spills
+    acc = btb.scan(0x100, 0, t1, eng)
+    assert acc.event is None           # no misfetch: overflow served it
+    assert acc.next_pc == 0x900
+    assert acc.bubbles == btb.overflow_bubble
+
+
+def test_without_overflow_the_same_case_misfetches():
+    btb, eng = fresh(slots=1, overflow=0)
+    t1 = train_jump(btb, eng, 0x100, 0x900)
+    train_jump(btb, eng, 0x104, 0xA00)
+    acc = btb.scan(0x100, 0, t1, eng)
+    assert acc.event == "misfetch"
+
+
+def test_overflow_capacity_is_lru_bounded():
+    btb, eng = fresh(slots=1, overflow=2)
+    # Four branches through a 1-slot region: entry keeps the newest,
+    # overflow keeps the 2 most recently displaced.
+    for k in range(4):
+        train_jump(btb, eng, 0x100 + 4 * k)
+    assert len(btb.overflow) == 2
+    assert btb.overflow.lookup(0x100, 0x100, touch=False) is None  # oldest gone
+    assert btb.overflow.lookup(0x108, 0x108, touch=False) is not None
+
+
+def test_overflow_requires_region_entry_hit():
+    """The overflow is an extension of a resident entry, not a standalone
+    BTB: with the region entry absent, overflow content is not consulted."""
+    btb, eng = fresh(slots=1)
+    t1 = train_jump(btb, eng, 0x100, 0x900)
+    train_jump(btb, eng, 0x104, 0xA00)         # spills 0x100
+    btb.store.invalidate(0x100)                # region entry gone
+    assert btb.overflow.lookup(0x100, 0x100, touch=False) is not None
+    acc = btb.scan(0x100, 0, t1, eng)
+    assert acc.event == "misfetch"
+
+
+def test_indirect_target_update_reaches_overflow_slot():
+    from tests.conftest import IND
+
+    btb, eng = fresh(slots=1)
+    t1 = make_trace([(0x100, IND, True, 0x900), 0x900])
+    btb.scan(0x100, 0, t1, eng)
+    train_jump(btb, eng, 0x104)  # spill 0x100
+    t2 = make_trace([(0x100, IND, True, 0xC00), 0xC00])
+    btb.scan(0x100, 0, t2, eng)
+    slot = btb.overflow.lookup(0x100, 0x100, touch=False)
+    assert slot.target == 0xC00

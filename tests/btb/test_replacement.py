@@ -1,0 +1,92 @@
+"""Unit tests for branch-slot replacement policies."""
+
+import pytest
+
+from repro.btb.base import BranchSlot
+from repro.btb.replacement import POLICIES, pick_victim
+from repro.common.types import BranchType
+
+
+def slots_of(*types):
+    return [
+        BranchSlot(pc=0x100 + 4 * k, btype=bt, target=0x900)
+        for k, bt in enumerate(types)
+    ]
+
+
+COND = BranchType.COND_DIRECT
+JMP = BranchType.UNCOND_DIRECT
+CALL = BranchType.CALL_DIRECT
+IND = BranchType.INDIRECT
+
+
+def test_lru_picks_least_recently_used():
+    slots = slots_of(COND, COND, COND)
+    assert pick_victim("lru", slots, [5, 2, 9], [0, 1, 2], 10) == 1
+
+
+def test_fifo_picks_oldest_insert():
+    slots = slots_of(COND, COND, COND)
+    assert pick_victim("fifo", slots, [5, 2, 9], [3, 1, 2], 10) == 1
+
+
+def test_uncond_first_prefers_cheap_branches():
+    slots = slots_of(COND, JMP, IND)
+    assert pick_victim("uncond_first", slots, [0, 9, 1], [0, 0, 0], 10) == 1
+
+
+def test_uncond_first_includes_direct_calls():
+    slots = slots_of(COND, CALL, IND)
+    assert pick_victim("uncond_first", slots, [0, 9, 1], [0, 0, 0], 10) == 1
+
+
+def test_uncond_first_falls_back_to_lru():
+    slots = slots_of(COND, IND, COND)
+    assert pick_victim("uncond_first", slots, [4, 2, 9], [0, 0, 0], 10) == 1
+
+
+def test_uncond_first_lru_among_cheap():
+    slots = slots_of(JMP, CALL, COND)
+    assert pick_victim("uncond_first", slots, [7, 3, 1], [0, 0, 0], 10) == 1
+
+
+def test_random_is_deterministic_and_in_range():
+    slots = slots_of(COND, COND, COND, COND)
+    v1 = pick_victim("random", slots, [0] * 4, [0] * 4, 42)
+    v2 = pick_victim("random", slots, [0] * 4, [0] * 4, 42)
+    assert v1 == v2
+    assert 0 <= v1 < 4
+
+
+def test_unknown_policy_raises():
+    with pytest.raises(ValueError):
+        pick_victim("mru", slots_of(COND), [0], [0], 0)
+
+
+def test_empty_slots_raise():
+    with pytest.raises(ValueError):
+        pick_victim("lru", [], [], [], 0)
+
+
+def test_all_policies_listed():
+    assert set(POLICIES) == {"lru", "fifo", "uncond_first", "random"}
+
+
+def test_policies_integrate_with_rbtb():
+    """End-to-end: each policy runs in a RegionBTB without error."""
+    from repro.btb.base import BTBGeometry
+    from repro.btb.rbtb import RegionBTB
+    from repro.frontend.engine import PredictionEngine
+    from tests.conftest import JMP as JMP_T, make_trace
+
+    for policy in POLICIES:
+        btb = RegionBTB(
+            BTBGeometry(4, 2), BTBGeometry(8, 2),
+            slots_per_entry=1, slot_policy=policy,
+        )
+        eng = PredictionEngine()
+        for pc in (0x100, 0x104, 0x108):
+            tr = make_trace([(pc, JMP_T, True, 0x400), 0x400])
+            btb.scan(pc, 0, tr, eng)
+        _lvl, entry = btb.store.lookup(0x100)
+        assert len(entry.slots) == 1

@@ -1,0 +1,132 @@
+"""Property-based tests on the BTB scan contract, for all organizations.
+
+A scan must always make forward progress along the correct path, never
+cover more instructions than remain, and end with a next PC that matches
+the trace — regardless of the (randomized) control flow it sees. Once a
+deterministic control-flow loop has been seen a few times, a trained BTB
+must drive a full pass without misfetches.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btb.base import BTBGeometry
+from repro.btb.bbtb import BlockBTB
+from repro.btb.hetero import HeterogeneousBTB
+from repro.btb.ibtb import InstructionBTB
+from repro.btb.mbbtb import MultiBlockBTB
+from repro.btb.rbtb import RegionBTB
+from repro.common.types import ILEN, BranchType
+from repro.frontend.engine import PredictionEngine
+from repro.trace.trace import Trace
+
+GEOM = (BTBGeometry(16, 4), BTBGeometry(32, 4))
+
+#: Fully-associative geometry: the synthetic 0x1000-strided layout would
+#: otherwise alias every block start into one set (a genuine conflict-miss
+#: phenomenon, but it breaks the trained-implies-no-misfetch property).
+FA_GEOM = (BTBGeometry(1, 64), BTBGeometry(1, 128))
+
+
+def make_btbs(geom=GEOM):
+    return [
+        InstructionBTB(*geom, width=16),
+        RegionBTB(*geom, slots_per_entry=2),
+        BlockBTB(*geom, slots_per_entry=1, splitting=True),
+        MultiBlockBTB(*geom, slots_per_entry=2, pull_policy="allbr"),
+        HeterogeneousBTB(*geom, l1_slots=1, l2_slots=2),
+    ]
+
+
+@st.composite
+def random_trace(draw):
+    """A random but *consistent* control-flow trace.
+
+    Built from a random static layout: code regions at 0x1000 * k, each a
+    run of instructions ending in an unconditional jump to another
+    region; the dynamic trace follows the jumps. Static consistency (one
+    PC = one instruction) is guaranteed by deriving everything from the
+    layout.
+    """
+    n_regions = draw(st.integers(min_value=2, max_value=6))
+    lengths = [draw(st.integers(min_value=1, max_value=12)) for _ in range(n_regions)]
+    succ = [draw(st.integers(min_value=0, max_value=n_regions - 1)) for _ in range(n_regions)]
+    steps = draw(st.integers(min_value=3, max_value=30))
+    tr = Trace(name="prop")
+    region = 0
+    for _ in range(steps):
+        base = 0x1000 * (region + 1)
+        for k in range(lengths[region]):
+            tr.append(pc=base + k * ILEN)
+        next_region = succ[region]
+        tr.append(
+            pc=base + lengths[region] * ILEN,
+            btype=BranchType.UNCOND_DIRECT,
+            taken=True,
+            target=0x1000 * (next_region + 1),
+        )
+        region = next_region
+    # Terminate with a straight run so the final scan has room.
+    base = 0x1000 * (region + 1)
+    for k in range(lengths[region]):
+        tr.append(pc=base + k * ILEN)
+    tr.validate()
+    return tr
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_trace())
+def test_scan_progress_and_consistency(tr):
+    n = len(tr)
+    for btb in make_btbs():
+        eng = PredictionEngine()
+        idx = 0
+        guard = 0
+        while idx < n:
+            access = btb.scan(tr.pc[idx], idx, tr, eng)
+            assert access.count >= 1, f"{btb.name} made no progress"
+            assert idx + access.count <= n, f"{btb.name} overran the trace"
+            if access.event is None and idx + access.count < n:
+                assert access.next_pc == tr.pc[idx + access.count], btb.name
+                assert access.bubbles >= 0
+            idx += access.count
+            guard += 1
+            assert guard <= 4 * n, f"{btb.name} wedged"
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_trace())
+def test_trained_btb_stops_misfetching(tr):
+    """After enough passes over a deterministic unconditional-jump trace,
+    no organization should misfetch any more (fully-associative BTBs so
+    set-conflict thrashing cannot mask the training)."""
+    n = len(tr)
+    for btb in make_btbs(FA_GEOM):
+        eng = PredictionEngine()
+        for _pass in range(3):
+            idx = 0
+            while idx < n:
+                access = btb.scan(tr.pc[idx], idx, tr, eng)
+                idx += access.count
+        before = eng.stats.get("misfetches")
+        idx = 0
+        while idx < n:
+            access = btb.scan(tr.pc[idx], idx, tr, eng)
+            idx += access.count
+        after = eng.stats.get("misfetches")
+        assert after == before, f"{btb.name} still misfetching when trained"
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_trace())
+def test_redundancy_at_least_one_when_populated(tr):
+    for btb in make_btbs():
+        eng = PredictionEngine()
+        idx = 0
+        while idx < len(tr):
+            idx += btb.scan(tr.pc[idx], idx, tr, eng).count
+        occ = btb.slot_occupancy(1)
+        red = btb.redundancy_ratio(1)
+        assert occ >= 0.0
+        if red:
+            assert red >= 1.0

@@ -1,0 +1,108 @@
+"""Unit tests for the set-associative container."""
+
+import pytest
+
+from repro.common.assoc import SetAssociative
+
+
+def test_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        SetAssociative(3, 2)  # sets not a power of two
+    with pytest.raises(ValueError):
+        SetAssociative(0, 2)
+    with pytest.raises(ValueError):
+        SetAssociative(4, 0)
+
+
+def test_insert_lookup_roundtrip():
+    t = SetAssociative(4, 2)
+    assert t.lookup(10, 99) is None
+    t.insert(10, 99, "payload")
+    assert t.lookup(10, 99) == "payload"
+    assert len(t) == 1
+
+
+def test_overwrite_same_tag_keeps_one_entry():
+    t = SetAssociative(4, 2)
+    t.insert(0, 7, "a")
+    t.insert(0, 7, "b")
+    assert len(t) == 1
+    assert t.lookup(0, 7) == "b"
+
+
+def test_lru_eviction_order():
+    t = SetAssociative(1, 2)  # single set, 2 ways
+    t.insert(0, 1, "one")
+    t.insert(0, 2, "two")
+    t.lookup(0, 1)  # make tag 1 most recent
+    victim = t.insert(0, 3, "three")
+    assert victim == (2, "two")
+    assert t.lookup(0, 2) is None
+    assert t.lookup(0, 1) == "one"
+
+
+def test_lookup_without_touch_does_not_refresh_lru():
+    t = SetAssociative(1, 2)
+    t.insert(0, 1, "one")
+    t.insert(0, 2, "two")
+    t.lookup(0, 1, touch=False)  # should NOT protect tag 1
+    victim = t.insert(0, 3, "three")
+    assert victim[0] == 1
+
+
+def test_sets_are_independent():
+    t = SetAssociative(2, 1)
+    t.insert(0, 10, "even")
+    t.insert(1, 11, "odd")
+    assert len(t) == 2  # different sets, no eviction
+    assert t.lookup(0, 10) == "even"
+    assert t.lookup(1, 11) == "odd"
+
+
+def test_capacity_never_exceeded():
+    t = SetAssociative(2, 3)
+    for k in range(50):
+        t.insert(k, k, k)
+    assert len(t) <= t.capacity
+    for s in range(t.sets):
+        assert t.set_occupancy(s) <= t.ways
+
+
+def test_evict_removes_and_returns_payload():
+    t = SetAssociative(4, 2)
+    t.insert(5, 5, "x")
+    assert t.evict(5, 5) == "x"
+    assert t.evict(5, 5) is None
+    assert (5, 5) not in t
+
+
+def test_contains_protocol():
+    t = SetAssociative(4, 2)
+    t.insert(3, 30, None)
+    assert (3, 30) in t
+    assert (3, 31) not in t
+
+
+def test_clear():
+    t = SetAssociative(4, 2)
+    for k in range(8):
+        t.insert(k, k, k)
+    t.clear()
+    assert len(t) == 0
+
+
+def test_items_iterates_all_entries():
+    t = SetAssociative(4, 4)
+    for k in range(10):
+        t.insert(k, 100 + k, k * 2)
+    seen = {(tag, payload) for _s, tag, payload in t.items()}
+    assert len(seen) == 10
+    assert (105, 10) in seen
+
+
+def test_custom_index_fn():
+    t = SetAssociative(4, 1, index_fn=lambda key: key >> 4)
+    t.insert(0x10, 1, "a")
+    t.insert(0x20, 1, "b")  # different set despite same tag
+    assert t.lookup(0x10, 1) == "a"
+    assert t.lookup(0x20, 1) == "b"

@@ -1,0 +1,76 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.branch.history import GlobalHistory
+from repro.common.assoc import SetAssociative
+from repro.common.stats import BoxStats, geomean
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=60))
+def test_boxstats_quantile_ordering(values):
+    box = BoxStats.from_values(values)
+    assert box.minimum <= box.q1 <= box.median <= box.q3 <= box.maximum
+    assert box.whisker_low <= box.whisker_high
+    # Outliers are strictly outside the whiskers.
+    for o in box.outliers:
+        assert o < box.whisker_low or o > box.whisker_high
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=40))
+def test_geomean_between_min_and_max(values):
+    g = geomean(values)
+    assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+@given(
+    st.integers(min_value=0, max_value=3).map(lambda p: 2 ** p),
+    st.integers(min_value=1, max_value=5),
+    st.lists(st.tuples(st.integers(0, 63), st.integers(0, 7)), max_size=200),
+)
+def test_assoc_capacity_invariant(sets, ways, ops):
+    t = SetAssociative(sets, ways)
+    for key, tag in ops:
+        t.insert(key, tag, (key, tag))
+    assert len(t) <= sets * ways
+    for s in range(sets):
+        assert t.set_occupancy(s) <= ways
+
+
+@given(st.lists(st.tuples(st.integers(0, 63), st.integers(0, 7)), max_size=120))
+def test_assoc_most_recent_insert_always_resident(ops):
+    t = SetAssociative(4, 2)
+    for key, tag in ops:
+        t.insert(key, tag, "v")
+        assert t.lookup(key, tag, touch=False) == "v"
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(st.booleans(), min_size=1, max_size=300),
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=3, max_value=12),
+)
+def test_folded_history_matches_rebuild(outcomes, length, width):
+    """The incrementally maintained fold must always equal a from-scratch
+    fold of the current history bits (the core correctness property)."""
+    h = GlobalHistory()
+    fold = h.register_fold(length, width)
+    for taken in outcomes:
+        h.push(taken)
+        reference = type(fold)(length, width)
+        reference.rebuild(h.bits)
+        assert fold.value == reference.value
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=200))
+def test_history_value_matches_pushed_bits(outcomes):
+    h = GlobalHistory()
+    for taken in outcomes:
+        h.push(taken)
+    k = min(len(outcomes), 64)
+    expected = 0
+    for taken in outcomes[-k:]:
+        expected = (expected << 1) | (1 if taken else 0)
+    assert h.value(k) == expected

@@ -1,0 +1,92 @@
+"""Unit tests for the deterministic RNG."""
+
+import pytest
+
+from repro.common.rng import SplitMix, mix_hash
+
+
+def test_same_seed_same_stream():
+    a, b = SplitMix(42), SplitMix(42)
+    assert [a.next_u64() for _ in range(10)] == [b.next_u64() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a, b = SplitMix(1), SplitMix(2)
+    assert [a.next_u64() for _ in range(4)] != [b.next_u64() for _ in range(4)]
+
+
+def test_uniform_in_unit_interval():
+    rng = SplitMix(7)
+    for _ in range(1000):
+        u = rng.uniform()
+        assert 0.0 <= u < 1.0
+
+
+def test_randint_bounds_inclusive():
+    rng = SplitMix(3)
+    seen = {rng.randint(2, 5) for _ in range(500)}
+    assert seen == {2, 3, 4, 5}
+
+
+def test_randint_empty_range_raises():
+    with pytest.raises(ValueError):
+        SplitMix(1).randint(5, 4)
+
+
+def test_choice_and_empty():
+    rng = SplitMix(9)
+    assert rng.choice([42]) == 42
+    with pytest.raises(ValueError):
+        rng.choice([])
+
+
+def test_weighted_choice_respects_zero_weight():
+    rng = SplitMix(11)
+    picks = {rng.weighted_choice(["a", "b"], [1.0, 0.0]) for _ in range(200)}
+    assert picks == {"a"}
+
+
+def test_weighted_choice_rough_proportion():
+    rng = SplitMix(13)
+    counts = {"a": 0, "b": 0}
+    for _ in range(4000):
+        counts[rng.weighted_choice(["a", "b"], [3.0, 1.0])] += 1
+    ratio = counts["a"] / counts["b"]
+    assert 2.2 < ratio < 4.2
+
+
+def test_weighted_choice_requires_positive_total():
+    with pytest.raises(ValueError):
+        SplitMix(1).weighted_choice(["a"], [0.0])
+
+
+def test_geometric_mean_close():
+    rng = SplitMix(17)
+    samples = [rng.geometric(6.0) for _ in range(4000)]
+    mean = sum(samples) / len(samples)
+    assert 5.0 < mean < 7.2
+    assert min(samples) >= 1
+
+
+def test_geometric_mean_one_is_constant():
+    rng = SplitMix(19)
+    assert all(rng.geometric(1.0) == 1 for _ in range(10))
+
+
+def test_geometric_rejects_sub_one():
+    with pytest.raises(ValueError):
+        SplitMix(1).geometric(0.5)
+
+
+def test_split_streams_are_independent():
+    parent = SplitMix(23)
+    child = parent.split()
+    a = [child.next_u64() for _ in range(4)]
+    b = [parent.next_u64() for _ in range(4)]
+    assert a != b
+
+
+def test_mix_hash_deterministic_and_sensitive():
+    assert mix_hash(1, 2, 3) == mix_hash(1, 2, 3)
+    assert mix_hash(1, 2, 3) != mix_hash(3, 2, 1)
+    assert mix_hash(0) != mix_hash(1)

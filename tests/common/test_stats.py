@@ -1,0 +1,152 @@
+"""Unit tests for statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.common.stats import BoxStats, Histogram, RunningMean, Stats, geomean
+
+
+# -- geomean -------------------------------------------------------------------
+
+def test_geomean_basic():
+    assert geomean([2, 8]) == pytest.approx(4.0)
+    assert geomean([1, 1, 1]) == pytest.approx(1.0)
+
+
+def test_geomean_empty_is_one():
+    assert geomean([]) == 1.0
+
+
+def test_geomean_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+    with pytest.raises(ValueError):
+        geomean([-2.0])
+
+
+def test_geomean_matches_log_identity():
+    vals = [0.5, 1.5, 2.5, 3.5]
+    expected = math.exp(sum(math.log(v) for v in vals) / len(vals))
+    assert geomean(vals) == pytest.approx(expected)
+
+
+# -- BoxStats ------------------------------------------------------------------
+
+def test_boxstats_ordering_invariant():
+    box = BoxStats.from_values([3, 1, 4, 1, 5, 9, 2, 6])
+    assert box.minimum <= box.q1 <= box.median <= box.q3 <= box.maximum
+    assert box.whisker_low >= box.minimum
+    assert box.whisker_high <= box.maximum
+
+
+def test_boxstats_single_value():
+    box = BoxStats.from_values([2.5])
+    assert box.minimum == box.median == box.maximum == 2.5
+    assert box.outliers == ()
+
+
+def test_boxstats_outlier_detection():
+    # 11 tight values plus one far point -> the far point is an outlier.
+    vals = [1.0] * 5 + [1.01] * 5 + [10.0]
+    box = BoxStats.from_values(vals)
+    assert 10.0 in box.outliers
+    assert box.whisker_high < 10.0
+
+
+def test_boxstats_no_outliers_for_uniform_data():
+    box = BoxStats.from_values([1, 2, 3, 4, 5])
+    assert box.outliers == ()
+    assert box.whisker_low == 1
+    assert box.whisker_high == 5
+
+
+def test_boxstats_median_even_count():
+    box = BoxStats.from_values([1, 2, 3, 4])
+    assert box.median == pytest.approx(2.5)
+
+
+def test_boxstats_empty_raises():
+    with pytest.raises(ValueError):
+        BoxStats.from_values([])
+
+
+def test_boxstats_render_mentions_label():
+    box = BoxStats.from_values([1, 2, 3])
+    assert "mylabel" in box.render("mylabel")
+
+
+# -- Stats ---------------------------------------------------------------------
+
+def test_stats_add_and_get():
+    st = Stats()
+    st.add("x")
+    st.add("x", 2)
+    assert st.get("x") == 3
+    assert st.get("missing") == 0.0
+    assert st.get("missing", 7.0) == 7.0
+
+
+def test_stats_ratio_and_per_kilo():
+    st = Stats()
+    st.set("hits", 75)
+    st.set("total", 100)
+    assert st.ratio("hits", "total") == pytest.approx(0.75)
+    assert st.per_kilo("hits", "total") == pytest.approx(750.0)
+
+
+def test_stats_ratio_zero_denominator():
+    st = Stats()
+    st.set("n", 5)
+    assert st.ratio("n", "zero") == 0.0
+    assert st.ratio("n", "zero", default=-1.0) == -1.0
+
+
+def test_stats_merge_accumulates():
+    a, b = Stats(), Stats()
+    a.add("k", 1)
+    b.add("k", 2)
+    b.add("only_b", 5)
+    a.merge(b)
+    assert a.get("k") == 3
+    assert a.get("only_b") == 5
+
+
+def test_stats_as_dict_is_snapshot():
+    st = Stats()
+    st.add("k")
+    snap = st.as_dict()
+    st.add("k")
+    assert snap["k"] == 1
+    assert st.get("k") == 2
+
+
+# -- RunningMean / Histogram ------------------------------------------------------
+
+def test_running_mean():
+    rm = RunningMean()
+    assert rm.mean == 0.0
+    for v in (1, 2, 3):
+        rm.add(v)
+    assert rm.mean == pytest.approx(2.0)
+
+
+def test_histogram_mean_and_total():
+    h = Histogram()
+    h.add(1, 2)
+    h.add(3, 2)
+    assert h.total == 4
+    assert h.mean == pytest.approx(2.0)
+
+
+def test_histogram_quantile():
+    h = Histogram()
+    for v in range(1, 11):
+        h.add(v)
+    assert h.quantile(0.5) == 5
+    assert h.quantile(1.0) == 10
+
+
+def test_histogram_quantile_empty_raises():
+    with pytest.raises(ValueError):
+        Histogram().quantile(0.5)

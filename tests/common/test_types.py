@@ -1,0 +1,81 @@
+"""Unit tests for repro.common.types."""
+
+import pytest
+
+from repro.common.types import (
+    ILEN,
+    LINE_BYTES,
+    LINE_INSTS,
+    BranchType,
+    is_branch,
+    is_call,
+    is_direct,
+    is_indirect,
+    is_unconditional,
+    line_of,
+    region_of,
+)
+
+
+def test_constants_consistent():
+    assert LINE_BYTES % ILEN == 0
+    assert LINE_INSTS == LINE_BYTES // ILEN
+
+
+def test_none_is_not_a_branch():
+    assert not is_branch(BranchType.NONE)
+    for bt in BranchType:
+        if bt != BranchType.NONE:
+            assert is_branch(bt)
+
+
+def test_unconditional_classification():
+    assert not is_unconditional(BranchType.COND_DIRECT)
+    for bt in (
+        BranchType.UNCOND_DIRECT,
+        BranchType.CALL_DIRECT,
+        BranchType.RETURN,
+        BranchType.INDIRECT,
+        BranchType.CALL_INDIRECT,
+    ):
+        assert is_unconditional(bt)
+
+
+def test_direct_vs_indirect_partition():
+    """Every branch type is exactly one of direct/indirect."""
+    for bt in BranchType:
+        if bt == BranchType.NONE:
+            continue
+        assert is_direct(bt) != is_indirect(bt)
+
+
+def test_returns_are_indirect_not_direct():
+    assert is_indirect(BranchType.RETURN)
+    assert not is_direct(BranchType.RETURN)
+
+
+def test_call_types():
+    assert is_call(BranchType.CALL_DIRECT)
+    assert is_call(BranchType.CALL_INDIRECT)
+    assert not is_call(BranchType.RETURN)
+    assert not is_call(BranchType.UNCOND_DIRECT)
+
+
+def test_line_of_alignment():
+    assert line_of(0) == 0
+    assert line_of(63) == 0
+    assert line_of(64) == 64
+    assert line_of(0x1234) == 0x1200 + 0x34 // 64 * 64
+
+
+def test_region_of_various_sizes():
+    assert region_of(0x12F, 64) == 0x100
+    assert region_of(0x12F, 128) == 0x100
+    assert region_of(0x1FF, 256) == 0x100
+    assert region_of(0x200, 256) == 0x200
+
+
+def test_region_of_is_idempotent():
+    for pc in (0, 4, 100, 0xFFFF):
+        r = region_of(pc, 64)
+        assert region_of(r, 64) == r

@@ -1,0 +1,60 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.btb.base import BTBGeometry
+from repro.common.types import ILEN, BranchType
+from repro.trace.trace import Trace
+
+
+def make_trace(steps, name="mini"):
+    """Build a Trace from (pc, btype, taken, target) tuples.
+
+    Non-branch steps may be given as a bare int pc. Consecutive PCs must
+    obey control flow (validated).
+    """
+    tr = Trace(name=name)
+    for step in steps:
+        if isinstance(step, int):
+            tr.append(pc=step)
+            continue
+        pc, btype, taken, target = step
+        tr.append(pc=pc, btype=btype, taken=taken, target=target)
+    tr.validate()
+    return tr
+
+
+def straight(pc0, count):
+    """*count* sequential non-branch instructions starting at pc0."""
+    return [pc0 + i * ILEN for i in range(count)]
+
+
+@pytest.fixture
+def tiny_geom():
+    """A tiny fully-associative-ish geometry for unit tests."""
+    return BTBGeometry(sets=4, ways=4)
+
+
+@pytest.fixture
+def big_geom():
+    """Plenty of room: no capacity evictions in sight."""
+    return BTBGeometry(sets=256, ways=16)
+
+
+@pytest.fixture
+def engine():
+    """A fresh prediction engine with default sizes."""
+    from repro.frontend.engine import PredictionEngine
+
+    return PredictionEngine()
+
+
+# Re-export BranchType members for terse test bodies.
+COND = BranchType.COND_DIRECT
+JMP = BranchType.UNCOND_DIRECT
+CALL = BranchType.CALL_DIRECT
+RET = BranchType.RETURN
+IND = BranchType.INDIRECT
+ICALL = BranchType.CALL_INDIRECT

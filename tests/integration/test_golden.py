@@ -1,0 +1,44 @@
+"""Golden-value regression tests.
+
+These pin exact cycle counts and event counters for two configurations
+on one workload. Any change to these numbers means the simulation
+*semantics* changed (generator, predictor, BTB logic, timing) — which is
+fine when intentional, but must be noticed: re-baseline the constants
+and re-run the benchmark suite so EXPERIMENTS.md stays truthful.
+"""
+
+from repro.core.config import build_simulator, ibtb, mbbtb
+from repro.trace.workloads import get_trace
+
+LENGTH = 12_000
+WARMUP = 3_000
+
+
+def run(cfg):
+    return build_simulator(cfg, get_trace("db_oltp", LENGTH)).run(warmup=WARMUP)
+
+
+def test_golden_ibtb16():
+    r = run(ibtb(16))
+    assert r.cycles == 15542
+    assert r.stats["mispredicts"] == 93.0
+    assert r.stats["misfetches"] == 32.0
+    assert r.stats["btb_accesses"] == 1094.0
+    assert r.stats["fetch_pcs"] == 8989.0
+
+
+def test_golden_mbbtb_2bs_allbr():
+    r = run(mbbtb(2, "allbr"))
+    assert r.cycles == 15562
+    assert r.stats["mispredicts"] == 108.0
+    assert r.stats["misfetches"] == 45.0
+    assert r.stats["btb_accesses"] == 824.0
+    assert r.stats["fetch_pcs"] == 8998.0
+
+
+def test_golden_configs_differ_in_access_count():
+    """MB-BTB must need fewer accesses to cover the same instructions
+    (multi-block chaining) — the defining property, pinned exactly."""
+    a = run(ibtb(16))
+    b = run(mbbtb(2, "allbr"))
+    assert b.stats["btb_accesses"] < a.stats["btb_accesses"]

@@ -1,0 +1,72 @@
+"""Cross-module accounting invariants.
+
+The PC-generation walk must cover every instruction exactly once, the
+engine must see every dynamic branch exactly once, and the hit/miss
+taxonomy must partition taken branches — with warmup=0 these are exact
+equalities against trace ground truth.
+"""
+
+import pytest
+
+from repro.core.config import bbtb, build_simulator, hetero_btb, ibtb, mbbtb, rbtb
+from repro.trace.workloads import get_trace
+
+LENGTH = 16_000
+CONFIGS = [
+    ibtb(16),
+    rbtb(2),
+    rbtb(2, overflow=16),
+    bbtb(1, splitting=True),
+    mbbtb(2, "allbr"),
+    hetero_btb(1, 2),
+]
+
+
+@pytest.fixture(scope="module", params=range(len(CONFIGS)), ids=lambda i: CONFIGS[i].label)
+def run(request):
+    trace = get_trace("http_proxy", LENGTH)
+    sim = build_simulator(CONFIGS[request.param], trace)
+    return trace, sim.run(warmup=0)
+
+
+def test_fetch_pcs_cover_trace_exactly(run):
+    trace, result = run
+    assert result.stats["fetch_pcs"] == len(trace)
+
+
+def test_every_branch_resolved_once(run):
+    trace, result = run
+    branches = sum(1 for bt in trace.btype if bt)
+    assert result.stats["dyn_branches"] == branches
+
+
+def test_taken_branch_accounting(run):
+    trace, result = run
+    taken = sum(trace.taken)
+    assert result.stats["dyn_taken_branches"] == taken
+    assert result.stats["btb_taken_lookups"] == taken
+
+
+def test_hits_do_not_exceed_lookups(run):
+    _trace, result = run
+    st = result.stats
+    hits = st.get("btb_taken_l1_hits", 0) + st.get("btb_taken_l2_hits", 0)
+    assert hits <= st["btb_taken_lookups"]
+
+
+def test_events_bounded_by_branches(run):
+    trace, result = run
+    st = result.stats
+    branches = sum(1 for bt in trace.btype if bt)
+    assert st.get("mispredicts", 0) + st.get("misfetches", 0) <= branches
+
+
+def test_blocks_at_least_accesses(run):
+    _trace, result = run
+    assert result.stats["blocks_per_access"] >= result.stats["btb_accesses"]
+
+
+def test_cycles_bounded_below_by_width(run):
+    trace, result = run
+    # 16-wide machine: cycles >= instructions / 16.
+    assert result.cycles >= len(trace) / 16

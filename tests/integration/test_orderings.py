@@ -1,0 +1,119 @@
+"""Integration tests: the paper's qualitative orderings must hold.
+
+These run short simulations over a few workloads and check the *shape*
+conclusions of the paper's evaluation (who wins, in which direction each
+mechanism moves). They are the regression net for the benchmark results.
+"""
+
+import pytest
+
+from repro.common.stats import geomean
+from repro.core.config import IDEAL_IBTB16, bbtb, ibtb, mbbtb, rbtb
+from repro.core.runner import run_one
+
+LENGTH = 40_000
+WARMUP = 10_000
+NAMES = ["web_frontend", "db_oltp", "kv_store", "http_proxy"]
+
+
+def gmean_ipc(cfg):
+    return geomean(
+        [run_one(cfg, n, length=LENGTH, warmup=WARMUP).ipc for n in NAMES]
+    )
+
+
+def mean_stat(cfg, fn):
+    vals = [fn(run_one(cfg, n, length=LENGTH, warmup=WARMUP)) for n in NAMES]
+    return sum(vals) / len(vals)
+
+
+@pytest.fixture(scope="module")
+def ideal():
+    return gmean_ipc(IDEAL_IBTB16)
+
+
+def test_realistic_ibtb_close_to_ideal(ideal):
+    real = gmean_ipc(ibtb(16))
+    assert real <= ideal * 1.002
+    assert real >= ideal * 0.97
+
+
+def test_rbtb_single_slot_is_the_weakest_region_config():
+    """Fig. 5: with one branch slot per region, R-BTB behaves poorly."""
+    r1 = gmean_ipc(rbtb(1))
+    r3 = gmean_ipc(rbtb(3))
+    assert r1 < r3
+
+
+def test_bbtb_more_slots_is_detrimental():
+    """Fig. 5: at iso-storage, more slots per block = fewer entries =
+    worse for B-BTB."""
+    b1 = gmean_ipc(bbtb(1))
+    b3 = gmean_ipc(bbtb(3))
+    assert b3 < b1 * 1.001
+
+
+def test_splitting_helps_single_slot_bbtb():
+    plain = gmean_ipc(bbtb(1))
+    split = gmean_ipc(bbtb(1, splitting=True))
+    assert split >= plain * 0.999
+
+
+def test_mbbtb_policy_ordering():
+    """Fig. 8: pulling more branch kinds monotonically helps (roughly)."""
+    uncond = gmean_ipc(mbbtb(2, "uncond"))
+    calldir = gmean_ipc(mbbtb(2, "calldir"))
+    allbr = gmean_ipc(mbbtb(2, "allbr"))
+    assert calldir >= uncond * 0.995
+    assert allbr >= uncond * 0.995
+
+
+def test_mbbtb_raises_fetch_pcs_per_access():
+    """Fig. 10: MB-BTB's defining effect."""
+    b = mean_stat(bbtb(2), lambda r: r.fetch_pcs_per_access)
+    mb = mean_stat(mbbtb(2, "allbr"), lambda r: r.fetch_pcs_per_access)
+    assert mb > b * 1.1
+
+
+def test_rbtb_fetch_pcs_limited_by_region_boundary():
+    """§3.2/Fig. 4: R-BTB generates fewer fetch PCs per access."""
+    r = mean_stat(rbtb(3), lambda r_: r_.fetch_pcs_per_access)
+    i = mean_stat(ibtb(16), lambda r_: r_.fetch_pcs_per_access)
+    assert r < i
+
+
+def test_interleaving_raises_rbtb_fetch_pcs():
+    """Fig. 7: 2L1 R-BTB covers two sequential regions."""
+    plain = mean_stat(rbtb(2), lambda r: r.fetch_pcs_per_access)
+    inter = mean_stat(rbtb(2, interleaved=True), lambda r: r.fetch_pcs_per_access)
+    assert inter > plain
+
+
+def test_ibtb_skip_mode_maximizes_throughput():
+    """Fig. 4: I-BTB 16 Skp approaches 16 fetch PCs per access."""
+    from repro.core.config import ibtb_skp
+
+    skp = mean_stat(ibtb_skp(ideal_btb=True), lambda r: r.fetch_pcs_per_access)
+    base = mean_stat(ibtb(16, ideal_btb=True), lambda r: r.fetch_pcs_per_access)
+    assert skp > base
+    assert skp > 11.0
+
+
+def test_bbtb_has_redundancy_others_do_not():
+    """§3.4: only block-organized BTBs duplicate branch metadata."""
+    rb = run_one(rbtb(2), NAMES[0], length=LENGTH, warmup=WARMUP)
+    bb = run_one(bbtb(2), NAMES[0], length=LENGTH, warmup=WARMUP)
+    assert rb.structure["l1_redundancy"] == pytest.approx(1.0)
+    assert rb.structure["l2_redundancy"] == pytest.approx(1.0)
+    # The tiny scaled L1 holds few duplicates in a short run; the larger
+    # L2 already shows the paper's ~1.05 duplication ratio.
+    assert bb.structure["l2_redundancy"] > 1.0
+
+
+def test_btb_hit_rates_in_calibrated_band():
+    """EXPERIMENTS.md documents L1 ~76-90 %, L2 ~97-99.9 % for I-BTB."""
+    r = run_one(ibtb(16), "web_frontend", length=LENGTH, warmup=WARMUP)
+    # Short runs are cold-start heavy; full-length calibration lives in
+    # EXPERIMENTS.md (L1 ~80 %, L2 ~99 %).
+    assert 0.40 <= r.l1_btb_hit_rate <= 0.97
+    assert r.l2_btb_hit_rate >= 0.9

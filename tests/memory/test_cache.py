@@ -1,0 +1,106 @@
+"""Unit tests for the timing cache model."""
+
+import pytest
+
+from repro.memory.cache import Cache, MainMemory
+
+
+def chain(l1_latency=3, l2_latency=15, dram_latency=100, mshrs=4):
+    dram = MainMemory(latency=dram_latency)
+    l2 = Cache("L2", 16, 4, l2_latency, dram, mshrs=8)
+    l1 = Cache("L1", 4, 2, l1_latency, l2, mshrs=mshrs)
+    return l1, l2, dram
+
+
+def test_miss_costs_down_to_dram():
+    l1, l2, dram = chain()
+    ready = l1.access(0x1000, cycle=0)
+    # Latencies do not stack: the DRAM fill time dominates.
+    assert ready == 100
+
+
+def test_hit_costs_own_latency():
+    l1, _, _ = chain()
+    l1.access(0x1000, 0)
+    ready = l1.access(0x1000, 500)  # long after the fill completed
+    assert ready == 503
+
+
+def test_hit_on_in_flight_line_waits_for_fill():
+    l1, _, _ = chain()
+    first = l1.access(0x1000, 0)
+    second = l1.access(0x1000, 10)  # before fill at cycle 100
+    assert second >= first - 5  # waits for (roughly) the fill
+    assert second <= first
+
+
+def test_l2_hit_after_l1_eviction():
+    l1, l2, _ = chain()
+    l1.access(0x1000, 0)
+    # Evict 0x1000's line from tiny L1 by filling its set.
+    set_stride = 4 * 64  # same set every 4 lines
+    for k in range(1, 3):
+        l1.access(0x1000 + k * set_stride, 0)
+    ready = l1.access(0x1000, 1000)
+    assert ready == 1000 + 15  # L2 load-to-use
+
+
+def test_mshr_merge_counted():
+    l1, _, _ = chain()
+    first = l1.access(0x2000, 0)
+    second = l1.access(0x2000, 1)  # merges with the in-flight fill
+    assert second == first
+    assert l1.stats.get("mshr_merges") == 1
+    assert l1.stats.get("misses") == 1
+
+
+def test_mshr_exhaustion_delays_new_miss():
+    l1, _, _ = chain(mshrs=2)
+    lines = [0x10000 * (k + 1) for k in range(3)]
+    r1 = l1.access(lines[0], 0)
+    r2 = l1.access(lines[1], 0)
+    r3 = l1.access(lines[2], 0)  # all MSHRs busy
+    assert l1.stats.get("mshr_stalls") >= 1
+    assert r3 > max(r1, r2) - 5
+
+
+def test_prefetch_fills_without_demand_stats():
+    l1, _, _ = chain()
+    l1.prefetch(0x3000, 0)
+    assert l1.stats.get("accesses") == 0
+    assert l1.contains(0x3000)
+    # A later demand access hits (after fill time).
+    ready = l1.access(0x3000, 500)
+    assert ready == 503
+
+
+def test_prefetch_to_resident_line_is_noop():
+    l1, _, _ = chain()
+    l1.access(0x4000, 0)
+    fills_before = l1.stats.get("prefetch_fills")
+    l1.prefetch(0x4000, 10)
+    assert l1.stats.get("prefetch_fills") == fills_before
+
+
+def test_hit_rate_property():
+    l1, _, _ = chain()
+    l1.access(0x5000, 0)
+    l1.access(0x5000, 200)
+    l1.access(0x5000, 400)
+    assert l1.hit_rate == pytest.approx(2 / 3)
+
+
+def test_dram_bandwidth_spaces_requests():
+    dram = MainMemory(latency=50, bandwidth_per_cycle=0.5)
+    r1 = dram.access(0, 0)
+    r2 = dram.access(64, 0)
+    assert r2 >= r1 + 2 - 1  # spaced by 1/bandwidth
+
+
+def test_line_granularity():
+    l1, _, _ = chain()
+    l1.access(0x1000, 0)
+    # Same 64B line: hit.
+    ready = l1.access(0x103F, 500)
+    assert ready == 503
+    assert l1.stats.get("misses") == 1

@@ -1,0 +1,62 @@
+"""Unit tests for the composed memory hierarchy."""
+
+import pytest
+
+from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
+
+
+def test_default_geometry_matches_table1():
+    m = MemoryHierarchy()
+    assert m.l1i.array.sets == 64 and m.l1i.array.ways == 8
+    assert m.l1d.array.sets == 64 and m.l1d.array.ways == 12
+    assert m.l2.array.sets == 1024 and m.l2.array.ways == 8
+    assert m.llc.array.sets == 2048 and m.llc.array.ways == 16
+
+
+def test_scale_shrinks_only_instruction_side():
+    m = MemoryHierarchy(MemoryConfig(scale=0.25))
+    assert m.l1i.array.sets == 16
+    assert m.l1d.array.sets == 64  # data side keeps Table-1 capacity
+    assert m.l2.array.sets == 1024
+    assert m.itlb.array.sets == 8
+    assert m.dtlb.array.sets == 32
+
+
+def test_ifetch_resident_line_is_immediately_available():
+    m = MemoryHierarchy()
+    m.ifetch(0x1000, 0)  # cold fill
+    avail = m.ifetch(0x1000, 5000)
+    assert avail == 5000  # hit latency is pipelined away
+
+
+def test_ifetch_miss_waits_for_fill():
+    m = MemoryHierarchy()
+    avail = m.ifetch(0x40000, 0)
+    assert avail > 0  # cold: some fill delay
+
+
+def test_ifetch_prefetch_hides_latency():
+    m = MemoryHierarchy()
+    m.ifetch_prefetch(0x80000, 0)
+    # By the time the fill completed, fetch sees the line as available.
+    avail = m.ifetch(0x80000, 100000)
+    assert avail == 100000
+
+
+def test_load_hits_after_warmup():
+    m = MemoryHierarchy()
+    m.load(0x10, 0x200000, 0)
+    done = m.load(0x10, 0x200000, 5000)
+    assert done == 5000 + m.l1d.latency
+
+
+def test_load_includes_tlb():
+    m = MemoryHierarchy()
+    first = m.load(0x10, 0x900000, 0)
+    assert first >= m.config.walk_latency  # cold TLB + cold cache
+
+
+def test_store_populates_cache():
+    m = MemoryHierarchy()
+    m.store(0x20, 0x300000, 0)
+    assert m.l1d.contains(0x300000)

@@ -1,0 +1,71 @@
+"""Unit tests for prefetchers."""
+
+from repro.memory.cache import Cache, MainMemory
+from repro.memory.prefetch import IPStridePrefetcher, NextLinePrefetcher
+
+
+def cache_with(prefetcher):
+    dram = MainMemory(latency=100)
+    return Cache("C", 64, 4, 5, dram, mshrs=16, prefetcher=prefetcher)
+
+
+def test_next_line_prefetches_successor():
+    c = cache_with(NextLinePrefetcher())
+    c.access(0x1000, 0)
+    assert c.contains(0x1040)  # next line prefetched
+
+
+def test_next_line_degree():
+    c = cache_with(NextLinePrefetcher(degree=3))
+    c.access(0x2000, 0)
+    for d in (1, 2, 3):
+        assert c.contains(0x2000 + d * 64)
+    assert not c.contains(0x2000 + 4 * 64)
+
+
+def test_ip_stride_needs_confidence():
+    pf = IPStridePrefetcher(degree=1)
+    c = cache_with(pf)
+    pf.observe_pc(0x500)
+    c.access(0x10000, 0)  # first sight: train only
+    pf.observe_pc(0x500)
+    c.access(0x10100, 0)  # stride 0x100 observed once
+    assert not c.contains(0x10200)
+    pf.observe_pc(0x500)
+    c.access(0x10200, 0)  # stride confirmed
+    pf.observe_pc(0x500)
+    c.access(0x10300, 0)  # confidence >= 2: prefetch fires
+    assert c.contains(0x10400)
+
+
+def test_ip_stride_different_pcs_tracked_separately():
+    pf = IPStridePrefetcher(degree=1)
+    c = cache_with(pf)
+    for i in range(5):
+        pf.observe_pc(0xA0)
+        c.access(0x40000 + i * 128, i)
+        pf.observe_pc(0xB0)
+        c.access(0x80000 + i * 256, i)
+    assert c.contains(0x40000 + 5 * 128)
+    assert c.contains(0x80000 + 5 * 256)
+
+
+def test_ip_stride_resets_on_stride_change():
+    pf = IPStridePrefetcher(degree=1)
+    c = cache_with(pf)
+    addrs = [0x1000, 0x1100, 0x1200, 0x9000, 0x9001, 0x9002]
+    for i, a in enumerate(addrs):
+        pf.observe_pc(0xC0)
+        c.access(a, i)
+    # Confidence collapsed after the jump; tiny strides within one line
+    # produce no useful prefetch of far lines.
+    assert not c.contains(0xA000)
+
+
+def test_ip_stride_table_bounded():
+    pf = IPStridePrefetcher(table_entries=4)
+    c = cache_with(pf)
+    for pc in range(10):
+        pf.observe_pc(pc)
+        c.access(0x100000 + pc * 4096, 0)
+    assert len(pf._table) <= 4

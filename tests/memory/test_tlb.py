@@ -1,0 +1,59 @@
+"""Unit tests for the TLB hierarchy."""
+
+from repro.memory.tlb import PAGE_BYTES, TLB, PageWalker
+
+
+def tlbs(l1_latency=1, l2_latency=8, walk=60):
+    walker = PageWalker(latency=walk)
+    l2 = TLB("L2TLB", 16, 4, l2_latency, walker)
+    l1 = TLB("ITLB", 4, 4, l1_latency, l2)
+    return l1, l2, walker
+
+
+def test_cold_miss_walks():
+    l1, l2, walker = tlbs()
+    done = l1.translate(0x1000, 0)
+    assert done == 1 + 8 + 60
+    assert walker.stats.get("walks") == 1
+
+
+def test_warm_hit_is_cheap():
+    l1, _, _ = tlbs()
+    l1.translate(0x1000, 0)
+    assert l1.translate(0x1000, 100) == 101
+
+
+def test_same_page_shares_translation():
+    l1, _, walker = tlbs()
+    l1.translate(0x1000, 0)
+    l1.translate(0x1000 + PAGE_BYTES - 1, 100)
+    assert walker.stats.get("walks") == 1
+
+
+def test_different_page_walks_again():
+    l1, _, walker = tlbs()
+    l1.translate(0x1000, 0)
+    l1.translate(0x1000 + PAGE_BYTES, 100)
+    assert walker.stats.get("walks") == 2
+
+
+def test_l2_tlb_catches_l1_evictions():
+    l1, l2, walker = tlbs()
+    # Fill the 4-set/4-way L1 TLB's set 0 with 6 pages (evicts the
+    # first) while staying within the 16-set L2 TLB's associativity.
+    pages = [k * 4 * PAGE_BYTES for k in range(6)]
+    for p in pages:
+        l1.translate(p, 0)
+    walks_before = walker.stats.get("walks")
+    # The first page is gone from L1 but still in L2.
+    done = l1.translate(pages[0], 1000)
+    assert walker.stats.get("walks") == walks_before
+    assert done == 1000 + 1 + 8
+
+
+def test_miss_counters():
+    l1, _, _ = tlbs()
+    l1.translate(0x5000, 0)
+    l1.translate(0x5000, 10)
+    assert l1.stats.get("accesses") == 2
+    assert l1.stats.get("misses") == 1

@@ -1,0 +1,122 @@
+"""Unit tests for the repro-sim CLI."""
+
+import pytest
+
+from repro.cli import ConfigSpecError, main, parse_config
+from repro.core.config import MachineConfig
+
+
+# -- config spec parsing ---------------------------------------------------------
+
+def test_parse_ibtb():
+    cfg = parse_config("ibtb:16")
+    assert cfg.btb_kind == "ibtb" and cfg.width == 16
+
+
+def test_parse_ibtb_skp():
+    cfg = parse_config("ibtb:16:skp")
+    assert cfg.skip_taken
+
+
+def test_parse_rbtb_options():
+    cfg = parse_config("rbtb:3:2l1")
+    assert cfg.btb_kind == "rbtb" and cfg.slots == 3 and cfg.interleaved
+    cfg = parse_config("rbtb:4:128b")
+    assert cfg.region_bytes == 128
+
+
+def test_parse_bbtb_split_and_block():
+    cfg = parse_config("bbtb:1:split:32")
+    assert cfg.splitting and cfg.block_insts == 32 and cfg.slots == 1
+
+
+def test_parse_mbbtb():
+    cfg = parse_config("mbbtb:3:calldir:64")
+    assert cfg.btb_kind == "mbbtb"
+    assert cfg.slots == 3 and cfg.pull_policy == "calldir" and cfg.block_insts == 64
+
+
+def test_parse_hetero():
+    cfg = parse_config("hetero:1:4")
+    assert cfg.btb_kind == "hetero" and cfg.slots == 1 and cfg.l2_slots == 4
+
+
+def test_parse_ideal_suffix():
+    cfg = parse_config("ibtb:16@ideal")
+    assert cfg.ideal_btb
+
+
+def test_parse_case_insensitive():
+    assert parse_config("MBBTB:2:ALLBR").pull_policy == "allbr"
+
+
+def test_parse_errors():
+    with pytest.raises(ConfigSpecError):
+        parse_config("")
+    with pytest.raises(ConfigSpecError):
+        parse_config("xyz:1")
+    with pytest.raises(ConfigSpecError):
+        parse_config("rbtb:2:bogus")
+    with pytest.raises(ConfigSpecError):
+        parse_config("mbbtb:2:nopolicy")
+
+
+# -- commands ----------------------------------------------------------------------
+
+def test_cmd_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "web_frontend" in out
+    assert "mbbtb" in out
+
+
+def test_cmd_characterize(capsys):
+    assert main(["characterize", "db_oltp", "--length", "4000"]) == 0
+    out = capsys.readouterr().out
+    assert "db_oltp" in out and "dynBB" in out
+
+
+def test_cmd_run(capsys):
+    assert main(["run", "bbtb:1:split", "db_oltp", "--length", "6000"]) == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out and "B-BTB 1BS Splt" in out
+
+
+def test_cmd_compare(capsys):
+    code = main(
+        ["compare", "ibtb:16", "rbtb:2", "--workloads", "db_oltp",
+         "--length", "6000"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "R-BTB 2BS" in out and "gmean" in out
+
+
+def test_cmd_run_bad_spec_exits_2(capsys):
+    assert main(["run", "bogus:1", "db_oltp"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cmd_run_unknown_workload_exits_2(capsys):
+    assert main(["run", "ibtb:16", "nosuchload", "--length", "4000"]) == 2
+
+
+def test_cmd_run_external_trace(tmp_path, capsys):
+    from repro.trace.external import save_trace_csv
+    from repro.trace.workloads import get_trace
+
+    path = str(tmp_path / "ext.csv")
+    save_trace_csv(get_trace("kv_store", 4000), path)
+    assert main(["run", "ibtb:16", path]) == 0
+    assert "IPC" in capsys.readouterr().out
+
+
+def test_cmd_export(tmp_path, capsys):
+    outdir = str(tmp_path / "traces")
+    assert main(["export", outdir, "kv_store", "--length", "3000"]) == 0
+    out = capsys.readouterr().out
+    assert "kv_store.csv" in out
+    from repro.trace.external import load_trace_csv
+
+    back = load_trace_csv(str(tmp_path / "traces" / "kv_store.csv"))
+    assert len(back) == 3000

@@ -1,0 +1,77 @@
+"""Smoke-run every example script so they cannot rot.
+
+Examples are executed in-process with small workloads/lengths; each must
+run to completion and produce its expected headline output.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, argv):
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 4  # quickstart + >=3 domain examples
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py", ["db_oltp", "8000"])
+    out = capsys.readouterr().out
+    assert "IPC" in out and "fetch PCs / access" in out
+
+
+def test_quickstart_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        run_example("quickstart.py", ["not_a_workload"])
+
+
+def test_compare_organizations(capsys):
+    run_example("compare_organizations.py", ["--length", "8000"])
+    out = capsys.readouterr().out
+    assert "MB-BTB 2BS AllBr" in out
+    assert "gmean" in out
+
+
+def test_custom_workload(capsys):
+    run_example("custom_workload.py", [])
+    out = capsys.readouterr().out
+    assert "static program" in out
+    assert "allbr" in out
+
+
+def test_btb_microscope(capsys):
+    run_example("btb_microscope.py", [])
+    out = capsys.readouterr().out
+    assert "redundancy ratio: 1.50" in out  # Fig.-2 duplication shown
+    assert "redundancy ratio: 1.00" in out  # R-BTB clean
+    assert "chains 2 blocks" in out         # MB-BTB pull
+
+
+def test_hierarchy_explorer(capsys):
+    run_example("hierarchy_explorer.py", ["--length", "12000"])
+    out = capsys.readouterr().out
+    assert "Het B1/R2" in out
+    assert "uncond_first" in out
+
+
+def test_sweep_to_csv(tmp_path, capsys):
+    outdir = str(tmp_path / "sweep")
+    run_example("sweep_to_csv.py", [outdir, "--length", "8000"])
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    assert (tmp_path / "sweep" / "sweep.csv").exists()
+    assert (tmp_path / "sweep" / "sweep.json").exists()

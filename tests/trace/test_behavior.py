@@ -1,0 +1,131 @@
+"""Unit tests for branch behaviour models."""
+
+import pytest
+
+from repro.common.rng import SplitMix
+from repro.trace.behavior import (
+    AlwaysTaken,
+    BiasedRandom,
+    IndirectBehavior,
+    LoopBranch,
+    NeverTaken,
+    PatternBranch,
+)
+
+
+def rng():
+    return SplitMix(99)
+
+
+def test_never_and_always():
+    r = rng()
+    assert not any(NeverTaken().outcome(r) for _ in range(50))
+    assert all(AlwaysTaken().outcome(r) for _ in range(50))
+
+
+def test_loop_branch_fixed_trips():
+    lb = LoopBranch(mean_trips=4, jitter=0)
+    r = rng()
+    outcomes = [lb.outcome(r) for _ in range(12)]
+    # taken 3x, not-taken once, repeating.
+    assert outcomes == [True, True, True, False] * 3
+
+
+def test_loop_branch_single_trip_never_taken():
+    lb = LoopBranch(mean_trips=1, jitter=0)
+    r = rng()
+    assert [lb.outcome(r) for _ in range(4)] == [False] * 4
+
+
+def test_loop_branch_jitter_bounded():
+    lb = LoopBranch(mean_trips=5, jitter=2)
+    r = rng()
+    for _ in range(40):
+        run = 0
+        while lb.outcome(r):
+            run += 1
+        assert 2 <= run + 1 <= 8  # trips within mean +/- jitter (>=1)
+
+
+def test_loop_branch_reset_clears_state():
+    lb = LoopBranch(mean_trips=5, jitter=0)
+    r = rng()
+    lb.outcome(r)
+    lb.reset()
+    outcomes = [lb.outcome(r) for _ in range(5)]
+    assert outcomes == [True, True, True, True, False]
+
+
+def test_loop_branch_rejects_bad_trips():
+    with pytest.raises(ValueError):
+        LoopBranch(mean_trips=0)
+
+
+def test_biased_random_rough_rate():
+    br = BiasedRandom(0.8)
+    r = rng()
+    taken = sum(br.outcome(r) for _ in range(4000))
+    assert 0.74 < taken / 4000 < 0.86
+
+
+def test_biased_random_validates_p():
+    with pytest.raises(ValueError):
+        BiasedRandom(1.5)
+
+
+def test_pattern_branch_cycles():
+    pb = PatternBranch([True, False, False])
+    r = rng()
+    assert [pb.outcome(r) for _ in range(6)] == [True, False, False] * 2
+    pb.reset()
+    assert pb.outcome(r) is True
+
+
+def test_pattern_branch_rejects_empty():
+    with pytest.raises(ValueError):
+        PatternBranch([])
+
+
+# -- indirect behaviours ---------------------------------------------------------
+
+def test_indirect_single_target():
+    ib = IndirectBehavior([0x100], IndirectBehavior.SINGLE)
+    r = rng()
+    assert all(ib.next_target(r) == 0x100 for _ in range(10))
+
+
+def test_indirect_single_requires_one_target():
+    with pytest.raises(ValueError):
+        IndirectBehavior([1, 2], IndirectBehavior.SINGLE)
+
+
+def test_indirect_round_robin_cycles():
+    ib = IndirectBehavior([1, 2, 3], IndirectBehavior.ROUND_ROBIN)
+    r = rng()
+    assert [ib.next_target(r) for _ in range(6)] == [1, 2, 3, 1, 2, 3]
+
+
+def test_indirect_random_targets_within_set():
+    ib = IndirectBehavior([4, 5, 6], IndirectBehavior.RANDOM)
+    r = rng()
+    seen = {ib.next_target(r) for _ in range(100)}
+    assert seen <= {4, 5, 6}
+    assert len(seen) > 1
+
+
+def test_indirect_sticky_holds_target_for_k_runs():
+    ib = IndirectBehavior([1, 2, 3, 4], IndirectBehavior.STICKY, sticky_runs=5)
+    r = rng()
+    targets = [ib.next_target(r) for _ in range(20)]
+    for batch_start in range(0, 20, 5):
+        batch = targets[batch_start : batch_start + 5]
+        assert len(set(batch)) == 1  # constant within a batch
+
+
+def test_indirect_rejects_unknown_mode_and_empty_targets():
+    with pytest.raises(ValueError):
+        IndirectBehavior([1], "bogus")
+    with pytest.raises(ValueError):
+        IndirectBehavior([], IndirectBehavior.RANDOM)
+    with pytest.raises(ValueError):
+        IndirectBehavior([1], IndirectBehavior.STICKY, sticky_runs=0)

@@ -1,0 +1,70 @@
+"""Property-based tests on the workload generator pipeline.
+
+Any reasonable :class:`ProgramSpec` must produce a structurally valid
+program whose walker emits a control-flow-consistent trace of the exact
+requested length — the foundation every simulation rests on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import BranchType
+from repro.trace.cfg import ProgramSpec, build_program
+from repro.trace.synth import synthesize_trace
+
+
+@st.composite
+def specs(draw):
+    return ProgramSpec(
+        seed=draw(st.integers(min_value=0, max_value=2 ** 32)),
+        n_functions=draw(st.integers(min_value=4, max_value=60)),
+        n_levels=draw(st.integers(min_value=2, max_value=8)),
+        blocks_per_function_mean=draw(st.integers(min_value=4, max_value=20)),
+        block_body_mean=draw(st.floats(min_value=1.5, max_value=8.0)),
+        loop_trips_mean=draw(st.integers(min_value=2, max_value=20)),
+        dispatch_sites=draw(st.integers(min_value=1, max_value=5)),
+        dispatch_fanout=draw(st.integers(min_value=1, max_value=16)),
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(specs(), st.integers(min_value=50, max_value=4000))
+def test_generated_trace_is_valid(spec, length):
+    program = build_program(spec)
+    trace = synthesize_trace(program, length, seed=3)
+    assert len(trace) == length
+    trace.validate()  # control-flow consistency
+
+
+@settings(max_examples=20, deadline=None)
+@given(specs())
+def test_program_structure_invariants(spec):
+    program = build_program(spec)
+    starts = set(program.block_at)
+    entry_level = {f.entry_pc: f.level for f in program.functions}
+    for func in program.functions:
+        assert func.blocks[-1].term_type == BranchType.RETURN
+        for a, b in zip(func.blocks, func.blocks[1:]):
+            assert a.end_pc == b.start_pc
+        for block in func.blocks:
+            if block.term_type in (BranchType.COND_DIRECT, BranchType.UNCOND_DIRECT):
+                assert block.taken_target in starts
+            if block.term_type == BranchType.CALL_DIRECT:
+                assert entry_level[block.taken_target] > func.level
+            if block.indirect_behavior is not None:
+                for t in block.indirect_behavior.targets:
+                    assert t in starts
+
+
+@settings(max_examples=10, deadline=None)
+@given(specs())
+def test_same_spec_same_program(spec):
+    a = build_program(spec)
+    b = build_program(spec)
+    assert [f.entry_pc for f in a.functions] == [f.entry_pc for f in b.functions]
+    sig = lambda p: [
+        (blk.term_type, blk.taken_target, blk.ninsts)
+        for f in p.functions
+        for blk in f.blocks
+    ]
+    assert sig(a) == sig(b)

@@ -1,0 +1,97 @@
+"""Calibration tests: the workload suite must stay in the paper's bands.
+
+These tests pin the aggregate statistics DESIGN.md promises; if a
+generator change drifts out of band, the reproduction claims break.
+"""
+
+import pytest
+
+from repro.trace.workloads import (
+    SERVER_SUITE,
+    SMOKE_SUITE,
+    WORKLOAD_SPECS,
+    get_program,
+    get_trace,
+    suite_traces,
+)
+
+LENGTH = 60_000
+
+
+@pytest.fixture(scope="module")
+def suite_stats():
+    out = {}
+    for name in SERVER_SUITE:
+        tr = get_trace(name, LENGTH)
+        out[name] = (tr, tr.stats())
+    return out
+
+
+def test_suite_is_nonempty_and_contains_smoke():
+    assert len(SERVER_SUITE) >= 10
+    assert set(SMOKE_SUITE) <= set(SERVER_SUITE)
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(KeyError):
+        get_program("no_such_workload")
+
+
+def test_traces_are_cached_identity():
+    a = get_trace(SERVER_SUITE[0], LENGTH)
+    b = get_trace(SERVER_SUITE[0], LENGTH)
+    assert a is b
+
+
+def test_mean_basic_block_sizes_span_paper_range(suite_stats):
+    """Fig. 11a needs dynamic BB sizes spanning roughly 7..15, with the
+    suite mean near the paper's 9.4."""
+    sizes = [tr.mean_basic_block_size() for tr, _ in suite_stats.values()]
+    mean = sum(sizes) / len(sizes)
+    assert 8.0 <= mean <= 12.5
+    assert min(sizes) < 8.5
+    assert max(sizes) > 11.0
+
+
+def test_branch_density_realistic(suite_stats):
+    for name, (tr, st) in suite_stats.items():
+        density = st.get("branches") / st.get("instructions")
+        assert 0.08 <= density <= 0.33, name
+
+
+def test_never_taken_conditionals_present(suite_stats):
+    """Paper §2: ~34.8 % of dynamic branches are never-taken conditional
+    branches; the suite average must be in a generous band around it."""
+    shares = []
+    for name, (tr, st) in suite_stats.items():
+        shares.append(st.get("never_taken_cond_dynamic") / st.get("branches"))
+    mean = sum(shares) / len(shares)
+    assert 0.15 <= mean <= 0.45
+
+
+def test_footprints_exceed_scaled_l1i(suite_stats):
+    """Touched code must pressure the scaled 8 KB L1I (footprints keep
+    growing with window length; this checks a 60 K-instruction window)."""
+    foots = [st.get("code_footprint_bytes") for _, st in suite_stats.values()]
+    assert min(foots) > 5 * 1024
+    assert sum(foots) / len(foots) > 8 * 1024
+
+
+def test_single_target_indirects_exist(suite_stats):
+    total_ind = 0
+    total_br = 0
+    for name, (tr, st) in suite_stats.items():
+        total_ind += st.get("branches_indirect", 0) + st.get("branches_call_indirect", 0)
+        total_br += st.get("branches")
+    assert 0.02 <= total_ind / total_br <= 0.25
+
+
+def test_all_specs_build(suite_stats):
+    for name in WORKLOAD_SPECS:
+        assert get_program(name).static_instructions() > 1000
+
+
+def test_suite_traces_helper():
+    traces = suite_traces(2000, names=SMOKE_SUITE)
+    assert [t.name for t in traces] == SMOKE_SUITE
+    assert all(len(t) == 2000 for t in traces)
