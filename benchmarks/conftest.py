@@ -7,11 +7,18 @@ output survives pytest's capture. Results are memoized in-process
 (``repro.core.runner``), so configurations shared between figures (e.g.
 the ideal I-BTB 16 baseline) simulate once.
 
+Figures additionally share the *persistent* disk cache
+(``~/.cache/repro-btb``, see ``docs/performance.md``), so re-running the
+harness skips simulation and trace synthesis for unchanged points.
+
 Environment knobs:
 
 * ``REPRO_LENGTH``  — instructions per trace (default 160000)
 * ``REPRO_WARMUP``  — warm-up instructions (default 40000)
 * ``REPRO_SMOKE=1`` — 4-workload smoke suite with short traces (CI)
+* ``REPRO_DISK_CACHE=0`` — disable the persistent cache
+* ``REPRO_CACHE_DIR``    — persistent cache root override
+* ``REPRO_JOBS``         — worker processes for figure sweeps (default 1)
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.exec import configure_disk_cache, env_cache_root
 from repro.trace.workloads import SERVER_SUITE, SMOKE_SUITE
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -29,6 +37,12 @@ SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 LENGTH = int(os.environ.get("REPRO_LENGTH", "20000" if SMOKE else "160000"))
 WARMUP = int(os.environ.get("REPRO_WARMUP", "5000" if SMOKE else "40000"))
 SUITE = SMOKE_SUITE if SMOKE else SERVER_SUITE
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
+
+if os.environ.get("REPRO_DISK_CACHE", "1") != "0":
+    configure_disk_cache(
+        True, os.environ.get("REPRO_CACHE_DIR") or env_cache_root()
+    )
 
 
 @pytest.fixture(scope="session")

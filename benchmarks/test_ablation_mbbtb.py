@@ -13,7 +13,7 @@ from repro.analysis.report import format_table
 from repro.core.config import IDEAL_IBTB16, bbtb, mbbtb
 from repro.core.runner import compare_to_baseline
 
-from benchmarks.conftest import emit, once
+from benchmarks.conftest import JOBS, emit, once
 
 CONFIGS = [
     mbbtb(2, "allbr"),
@@ -32,7 +32,7 @@ def test_ablation_mbbtb_design_choices(benchmark, bench_env):
     suite, length, warmup = bench_env
 
     def run():
-        compared = compare_to_baseline(CONFIGS, IDEAL_IBTB16, suite, length, warmup)
+        compared = compare_to_baseline(CONFIGS, IDEAL_IBTB16, suite, length, warmup, jobs=JOBS)
         rows = [
             (
                 cc.config.label,

@@ -17,7 +17,7 @@ from repro.analysis.report import format_table
 from repro.core.config import IDEAL_IBTB16, bbtb, hetero_btb, ibtb, rbtb
 from repro.core.runner import compare_to_baseline
 
-from benchmarks.conftest import emit, once
+from benchmarks.conftest import JOBS, emit, once
 
 HETERO_CONFIGS = [
     ibtb(16),
@@ -38,7 +38,7 @@ def test_ext_heterogeneous_hierarchy(benchmark, bench_env):
 
     def run():
         compared = compare_to_baseline(
-            HETERO_CONFIGS, IDEAL_IBTB16, suite, length, warmup
+            HETERO_CONFIGS, IDEAL_IBTB16, suite, length, warmup, jobs=JOBS
         )
         rows = []
         for cc in compared:
@@ -83,7 +83,7 @@ def test_ext_overflow_slots(benchmark, bench_env):
     ]
 
     def run():
-        compared = compare_to_baseline(configs, IDEAL_IBTB16, suite, length, warmup)
+        compared = compare_to_baseline(configs, IDEAL_IBTB16, suite, length, warmup, jobs=JOBS)
         rows = []
         for cc in compared:
             results = cc.results

@@ -17,7 +17,7 @@ from repro.analysis.report import format_table, whisker_table
 from repro.core.config import IDEAL_IBTB16, bbtb, ibtb, ibtb_skp, rbtb
 from repro.core.runner import compare_to_baseline, run_one
 
-from benchmarks.conftest import emit, once
+from benchmarks.conftest import JOBS, emit, once
 
 CONFIGS = [
     ibtb(8, ideal_btb=True),
@@ -40,7 +40,7 @@ def test_fig04_idealistic_organizations(benchmark, bench_env):
     suite, length, warmup = bench_env
 
     def run():
-        compared = compare_to_baseline(CONFIGS, IDEAL_IBTB16, suite, length, warmup)
+        compared = compare_to_baseline(CONFIGS, IDEAL_IBTB16, suite, length, warmup, jobs=JOBS)
         boxes = [(cc.config.label, cc.box) for cc in compared]
         parts = [whisker_table(boxes, "Fig. 4: IPC relative to ideal I-BTB 16")]
         rows = []

@@ -15,7 +15,7 @@ from repro.analysis.report import format_table, whisker_table
 from repro.core.config import IDEAL_IBTB16, bbtb, ibtb, mbbtb, rbtb
 from repro.core.runner import compare_to_baseline
 
-from benchmarks.conftest import emit, once
+from benchmarks.conftest import JOBS, emit, once
 
 CONFIGS = [
     ibtb(16),
@@ -39,7 +39,7 @@ def test_fig08_bbtb_and_mbbtb(benchmark, bench_env):
     suite, length, warmup = bench_env
 
     def run():
-        compared = compare_to_baseline(CONFIGS, IDEAL_IBTB16, suite, length, warmup)
+        compared = compare_to_baseline(CONFIGS, IDEAL_IBTB16, suite, length, warmup, jobs=JOBS)
         boxes = [(cc.config.label, cc.box) for cc in compared]
         parts = [
             whisker_table(

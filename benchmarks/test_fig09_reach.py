@@ -14,7 +14,7 @@ from repro.analysis.report import whisker_table
 from repro.core.config import IDEAL_IBTB16, bbtb, mbbtb
 from repro.core.runner import compare_to_baseline
 
-from benchmarks.conftest import emit, once
+from benchmarks.conftest import JOBS, emit, once
 
 CONFIGS = [
     bbtb(1, splitting=True, block_insts=16),
@@ -32,7 +32,7 @@ def test_fig09_entry_reach(benchmark, bench_env):
     suite, length, warmup = bench_env
 
     def run():
-        compared = compare_to_baseline(CONFIGS, IDEAL_IBTB16, suite, length, warmup)
+        compared = compare_to_baseline(CONFIGS, IDEAL_IBTB16, suite, length, warmup, jobs=JOBS)
         boxes = [(cc.config.label, cc.box) for cc in compared]
         return whisker_table(
             boxes, "Fig. 9: entry reach (block size) vs ideal I-BTB 16"

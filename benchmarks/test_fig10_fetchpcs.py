@@ -13,7 +13,7 @@ from repro.analysis.report import format_table
 from repro.core.config import IDEAL_IBTB16, bbtb, ibtb, mbbtb, rbtb
 from repro.core.runner import compare_to_baseline
 
-from benchmarks.conftest import emit, once
+from benchmarks.conftest import JOBS, emit, once
 
 CONFIGS = [
     ibtb(16),
@@ -32,7 +32,7 @@ def test_fig10_fetch_pcs_and_ipc(benchmark, bench_env):
     suite, length, warmup = bench_env
 
     def run():
-        compared = compare_to_baseline(CONFIGS, IDEAL_IBTB16, suite, length, warmup)
+        compared = compare_to_baseline(CONFIGS, IDEAL_IBTB16, suite, length, warmup, jobs=JOBS)
         rows = [
             (
                 cc.config.label,

@@ -7,7 +7,7 @@ smoke suite, flatten every (config, workload) result into rows and write
 
 Usage::
 
-    python examples/sweep_to_csv.py [outdir] [--length N]
+    python examples/sweep_to_csv.py [outdir] [--length N] [--jobs N]
 """
 
 import argparse
@@ -22,6 +22,10 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("outdir", nargs="?", default="sweep_out")
     parser.add_argument("--length", type=int, default=40_000)
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (results identical to serial)",
+    )
     args = parser.parse_args()
 
     configs = [ibtb(16), rbtb(3), bbtb(1, splitting=True), mbbtb(2, "allbr")]
@@ -29,7 +33,8 @@ def main() -> None:
     for config in configs:
         print(f"running {config.label} ...")
         results = run_suite(
-            config, SMOKE_SUITE, length=args.length, warmup=args.length // 4
+            config, SMOKE_SUITE, length=args.length, warmup=args.length // 4,
+            jobs=args.jobs,
         )
         labelled.append((config.label, results))
 

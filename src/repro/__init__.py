@@ -22,6 +22,7 @@ from repro.core import (
     bbtb,
     build_simulator,
     compare_to_baseline,
+    configure_disk_cache,
     hetero_btb,
     ibtb,
     ibtb_skp,
@@ -45,6 +46,7 @@ __all__ = [
     "bbtb",
     "build_simulator",
     "compare_to_baseline",
+    "configure_disk_cache",
     "get_trace",
     "hetero_btb",
     "ibtb",

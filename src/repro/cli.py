@@ -5,6 +5,7 @@ Subcommands::
     repro-sim characterize [workloads...]      workload statistics table
     repro-sim run CONFIG WORKLOAD              one simulation, full metrics
     repro-sim compare CONFIG [CONFIG...]       whisker table vs ideal I-BTB 16
+    repro-sim sweep [CONFIG...] --jobs N       parallel, disk-cached sweep
     repro-sim list                             workloads and config syntax
 
 Configurations are compact spec strings::
@@ -41,7 +42,8 @@ from repro.core.config import (
     rbtb,
 )
 from repro.core.config import build_simulator
-from repro.core.runner import compare_to_baseline, run_one
+from repro.core.exec import configure_disk_cache, env_cache_root
+from repro.core.runner import clear_cache, compare_to_baseline, run_one
 from repro.trace.external import load_trace_csv
 from repro.trace.workloads import SERVER_SUITE, get_trace
 
@@ -155,6 +157,96 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+#: Default sweep configurations: one representative per organization.
+SWEEP_DEFAULT_SPECS = ["ibtb:16", "rbtb:3", "bbtb:1:split", "mbbtb:2:allbr"]
+
+
+def _cmd_sweep(args) -> int:
+    """Parallel, disk-cached figure sweep; optional timing harness."""
+    import json
+    import time
+
+    configs = [parse_config(s) for s in (args.configs or SWEEP_DEFAULT_SPECS)]
+    names = args.workloads or SERVER_SUITE
+    warmup = args.warmup if args.warmup is not None else args.length // 4
+    cache = None
+    if not args.no_disk_cache:
+        cache = configure_disk_cache(True, args.cache_dir or env_cache_root())
+    elif args.bench_out:
+        print("error: --bench-out needs the disk cache", file=sys.stderr)
+        return 2
+
+    def sweep(jobs: int):
+        return compare_to_baseline(
+            configs, IDEAL_IBTB16, names, length=args.length, warmup=warmup,
+            jobs=jobs,
+        )
+
+    def timed(jobs: int, purge_disk: bool):
+        """One timed sweep phase from an empty in-process memo."""
+        clear_cache(disk=purge_disk)
+        if purge_disk:
+            # Fully cold: re-build programs and re-synthesize traces too,
+            # so serial and parallel phases pay identical costs.
+            from repro.trace.workloads import get_program, get_trace
+
+            get_program.cache_clear()
+            get_trace.cache_clear()
+        before = cache.snapshot() if cache is not None else {}
+        t0 = time.perf_counter()
+        compared = sweep(jobs)
+        seconds = time.perf_counter() - t0
+        after = cache.snapshot() if cache is not None else {}
+        delta = {k: after[k] - before.get(k, 0) for k in after}
+        return compared, {"seconds": round(seconds, 4), **delta}
+
+    if args.bench_out:
+        _, serial = timed(jobs=1, purge_disk=True)
+        _, par = timed(jobs=args.jobs, purge_disk=True)
+        compared, warm = timed(jobs=1, purge_disk=False)
+        bench = {
+            "schema": 1,
+            "configs": [c.label for c in configs],
+            "baseline": IDEAL_IBTB16.label,
+            "workloads": list(names),
+            "length": args.length,
+            "warmup": warmup,
+            "jobs": args.jobs,
+            "phases": {
+                "serial_cold": serial,
+                "parallel_cold": par,
+                "warm_cache": warm,
+            },
+            "speedup_parallel_vs_serial": round(
+                serial["seconds"] / max(par["seconds"], 1e-9), 2
+            ),
+            "speedup_warm_vs_cold": round(
+                serial["seconds"] / max(warm["seconds"], 1e-9), 2
+            ),
+        }
+        with open(args.bench_out, "w") as fh:
+            json.dump(bench, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.bench_out}")
+        print(
+            f"serial {serial['seconds']:.2f}s | parallel(x{args.jobs}) "
+            f"{par['seconds']:.2f}s | warm {warm['seconds']:.2f}s "
+            f"({bench['speedup_warm_vs_cold']:.1f}x)"
+        )
+    else:
+        compared = sweep(args.jobs)
+    boxes = [(cc.config.label, cc.box) for cc in compared]
+    print(whisker_table(boxes, "Sweep: IPC relative to ideal I-BTB 16"))
+    if cache is not None:
+        c = cache.snapshot()
+        print(
+            f"disk cache: {c['result_hits']} result hits / "
+            f"{c['result_misses']} misses, {c['trace_hits']} trace hits "
+            f"({cache.root})"
+        )
+    return 0
+
+
 def _cmd_export(args) -> int:
     import os
 
@@ -203,6 +295,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workloads", nargs="*", default=None)
     p.add_argument("--length", type=int, default=160_000)
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "sweep", help="parallel, disk-cached sweep vs ideal I-BTB 16"
+    )
+    p.add_argument("configs", nargs="*", help=f"config specs (default: {' '.join(SWEEP_DEFAULT_SPECS)})")
+    p.add_argument("--workloads", nargs="*", default=None)
+    p.add_argument("--length", type=int, default=160_000)
+    p.add_argument("--warmup", type=int, default=None, help="default: length/4")
+    p.add_argument("--jobs", type=int, default=1, help="worker processes")
+    p.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="skip the persistent cache (~/.cache/repro-btb)",
+    )
+    p.add_argument("--cache-dir", default=None, help="persistent cache root")
+    p.add_argument(
+        "--bench-out", default=None, metavar="PATH",
+        help="run the serial/parallel/warm timing harness and write JSON",
+    )
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("export", help="export workload traces to CSV")
     p.add_argument("outdir")

@@ -13,6 +13,14 @@ from repro.core.config import (
     mbbtb,
     rbtb,
 )
+from repro.core.exec import (
+    DiskCache,
+    SweepPoint,
+    configure_disk_cache,
+    execute_point,
+    get_disk_cache,
+    run_points,
+)
 from repro.core.runner import (
     DEFAULT_LENGTH,
     DEFAULT_WARMUP,
@@ -26,6 +34,12 @@ from repro.core.simulator import FrontendConfig, SimResult, Simulator
 
 __all__ = [
     "ComparedConfig",
+    "DiskCache",
+    "SweepPoint",
+    "configure_disk_cache",
+    "execute_point",
+    "get_disk_cache",
+    "run_points",
     "DEFAULT_LENGTH",
     "DEFAULT_SCALE",
     "DEFAULT_WARMUP",

@@ -1,0 +1,59 @@
+"""Sweep execution engine: parallel point runner + persistent caches.
+
+Three layers (see ``docs/performance.md``):
+
+* :mod:`repro.core.exec.cachekey` — content-hash keys (schema-versioned);
+* :mod:`repro.core.exec.diskcache` — persistent result/trace store under
+  ``~/.cache/repro-btb`` (``REPRO_CACHE_DIR`` overrides);
+* :mod:`repro.core.exec.engine` — cached single-point execution and the
+  deterministic process-pool fan-out used by
+  :func:`repro.core.runner.run_suite` / ``compare_to_baseline``.
+"""
+
+from repro.core.exec.cachekey import (
+    CACHE_SCHEMA,
+    canonical_json,
+    digest,
+    result_key,
+    trace_key,
+)
+from repro.core.exec.diskcache import (
+    DEFAULT_CACHE_DIR,
+    ENV_CACHE_DIR,
+    DiskCache,
+    default_cache_dir,
+)
+from repro.core.exec.engine import (
+    ENV_DISK_CACHE,
+    SweepPoint,
+    clear_trace_memo,
+    configure_disk_cache,
+    env_cache_root,
+    execute_point,
+    fetch_trace,
+    get_disk_cache,
+    point_key,
+    run_points,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "DiskCache",
+    "ENV_CACHE_DIR",
+    "ENV_DISK_CACHE",
+    "SweepPoint",
+    "canonical_json",
+    "clear_trace_memo",
+    "configure_disk_cache",
+    "default_cache_dir",
+    "digest",
+    "env_cache_root",
+    "execute_point",
+    "fetch_trace",
+    "get_disk_cache",
+    "point_key",
+    "result_key",
+    "run_points",
+    "trace_key",
+]

@@ -1,0 +1,83 @@
+"""Content-hash cache keys for the persistent sweep caches.
+
+A cache entry must be addressable by *what it means*, not by object
+identity: the key of a simulation result is a SHA-256 digest over a
+canonical JSON rendering of everything the result depends on — the
+:class:`~repro.core.config.MachineConfig`, the resolved
+:class:`~repro.trace.cfg.ProgramSpec` of the workload, the run
+parameters (length, warmup, seed) and a cache-schema version. Two
+configs built independently with the same fields therefore share a key,
+and changing any field (or the schema version) changes the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, is_dataclass
+
+#: Version of the cached payloads *and* of the simulation semantics they
+#: capture. Bump this whenever the simulator timing model, the trace
+#: synthesizer, or the stored JSON/npz layout changes: old entries
+#: become unreachable (they live under a different ``v<N>/`` directory)
+#: instead of being served stale.
+CACHE_SCHEMA = 1
+
+
+def _plain(obj):
+    """Reduce *obj* to JSON-serializable plain data, deterministically."""
+    if is_dataclass(obj) and not isinstance(obj, type):
+        fields = asdict(obj)
+        return {
+            "__type__": type(obj).__name__,
+            **{k: _plain(v) for k, v in fields.items()},
+        }
+    if isinstance(obj, dict):
+        return {str(k): _plain(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_plain(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for cache keying")
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON rendering (sorted keys, no whitespace)."""
+    return json.dumps(_plain(obj), sort_keys=True, separators=(",", ":"))
+
+
+def digest(payload) -> str:
+    """SHA-256 hex digest of the canonical rendering of *payload*."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def trace_key(workload: str, spec, length: int, seed: int) -> str:
+    """Key of a synthesized trace: workload spec + synthesis parameters."""
+    return digest(
+        {
+            "kind": "trace",
+            "schema": CACHE_SCHEMA,
+            "workload": workload,
+            "spec": spec,
+            "length": length,
+            "seed": seed,
+        }
+    )
+
+
+def result_key(
+    config, workload: str, spec, length: int, warmup: int, seed: int
+) -> str:
+    """Key of a :class:`~repro.core.simulator.SimResult`."""
+    return digest(
+        {
+            "kind": "result",
+            "schema": CACHE_SCHEMA,
+            "config": config,
+            "workload": workload,
+            "spec": spec,
+            "length": length,
+            "warmup": warmup,
+            "seed": seed,
+        }
+    )

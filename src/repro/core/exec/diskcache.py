@@ -1,0 +1,163 @@
+"""Persistent on-disk cache for simulation results and synthesized traces.
+
+Layout (everything under one root, default ``~/.cache/repro-btb``,
+overridable via ``REPRO_CACHE_DIR``)::
+
+    <root>/v<SCHEMA>/results/<sha256>.json   SimResult payloads
+    <root>/v<SCHEMA>/traces/<sha256>.npz     Trace columns (compressed)
+
+Writes are atomic (temp file + ``os.replace``), so a crashed or killed
+run never leaves a half-written entry behind. Reads are corruption
+tolerant: any unreadable entry is deleted and treated as a miss — the
+engine recomputes instead of crashing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.core.exec.cachekey import CACHE_SCHEMA
+from repro.core.simulator import SimResult
+from repro.trace.trace import Trace
+
+#: Environment variable overriding the cache root directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Default cache root (expanded at construction time).
+DEFAULT_CACHE_DIR = "~/.cache/repro-btb"
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-btb``."""
+    return Path(os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR).expanduser()
+
+
+class DiskCache:
+    """Content-addressed result/trace store with hit/miss counters."""
+
+    def __init__(self, root=None) -> None:
+        self.root = Path(root).expanduser() if root else default_cache_dir()
+        self.version_dir = self.root / f"v{CACHE_SCHEMA}"
+        self.results_dir = self.version_dir / "results"
+        self.traces_dir = self.version_dir / "traces"
+        self.counters: Dict[str, int] = {
+            "result_hits": 0,
+            "result_misses": 0,
+            "trace_hits": 0,
+            "trace_misses": 0,
+        }
+
+    # -- paths / plumbing ---------------------------------------------------
+
+    def result_path(self, key: str) -> Path:
+        return self.results_dir / f"{key}.json"
+
+    def trace_path(self, key: str) -> Path:
+        return self.traces_dir / f"{key}.npz"
+
+    @staticmethod
+    def _atomic_write(path: Path, writer) -> None:
+        """Write via *writer(tmp_path)* then atomically rename into place."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=path.suffix
+        )
+        os.close(fd)
+        try:
+            writer(tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _drop(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def merge_counters(self, other: Dict[str, int]) -> None:
+        """Fold hit/miss counters from a worker process into ours."""
+        for key, value in other.items():
+            self.counters[key] = self.counters.get(key, 0) + int(value)
+
+    # -- results ------------------------------------------------------------
+
+    def load_result(self, key: str) -> Optional[SimResult]:
+        """Fetch a cached :class:`SimResult`, or ``None`` on miss.
+
+        Corrupted or truncated entries are removed and count as misses.
+        """
+        path = self.result_path(key)
+        try:
+            payload = json.loads(path.read_text())
+            result = SimResult(
+                name=str(payload["name"]),
+                instructions=int(payload["instructions"]),
+                cycles=int(payload["cycles"]),
+                stats={str(k): float(v) for k, v in payload["stats"].items()},
+                structure={
+                    str(k): float(v) for k, v in payload["structure"].items()
+                },
+            )
+        except FileNotFoundError:
+            self.counters["result_misses"] += 1
+            return None
+        except Exception:
+            self._drop(path)
+            self.counters["result_misses"] += 1
+            return None
+        self.counters["result_hits"] += 1
+        return result
+
+    def store_result(self, key: str, result: SimResult) -> None:
+        payload = {
+            "name": result.name,
+            "instructions": result.instructions,
+            "cycles": result.cycles,
+            "stats": result.stats,
+            "structure": result.structure,
+        }
+        text = json.dumps(payload, sort_keys=True)
+        self._atomic_write(
+            self.result_path(key), lambda tmp: Path(tmp).write_text(text)
+        )
+
+    # -- traces -------------------------------------------------------------
+
+    def load_trace(self, key: str) -> Optional[Trace]:
+        """Fetch a cached :class:`Trace`, or ``None`` on miss/corruption."""
+        path = self.trace_path(key)
+        if not path.exists():
+            self.counters["trace_misses"] += 1
+            return None
+        try:
+            trace = Trace.load(str(path))
+        except Exception:
+            self._drop(path)
+            self.counters["trace_misses"] += 1
+            return None
+        self.counters["trace_hits"] += 1
+        return trace
+
+    def store_trace(self, key: str, trace: Trace) -> None:
+        self._atomic_write(self.trace_path(key), lambda tmp: trace.save(tmp))
+
+    # -- maintenance --------------------------------------------------------
+
+    def clear(self) -> None:
+        """Remove every cached entry, including stale schema versions."""
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of the hit/miss counters (for timing harnesses)."""
+        return dict(self.counters)

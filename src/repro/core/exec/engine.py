@@ -1,0 +1,220 @@
+"""Sweep execution engine: cached point execution and a process pool.
+
+The unit of work is a :class:`SweepPoint` — one independent
+(config, workload, length, warmup, seed) simulation, exactly the
+parallelism grain of the paper's ChampSim campaigns. Three layers:
+
+* :func:`execute_point` runs one point, consulting the persistent disk
+  cache (results *and* synthesized traces) when one is configured;
+* :func:`run_points` fans a list of points across ``multiprocessing``
+  workers. Points are chunked so that points sharing a trace land in the
+  same chunk (each worker synthesizes/loads the trace once) and results
+  are reassembled by original index, so parallel output is bit-identical
+  to serial, in the same order;
+* :func:`configure_disk_cache` / :func:`get_disk_cache` manage the
+  process-wide persistent cache (enabled explicitly, or via the
+  ``REPRO_DISK_CACHE`` environment variable).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from math import ceil
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import MachineConfig, build_simulator
+from repro.core.exec.cachekey import result_key, trace_key
+from repro.core.exec.diskcache import DiskCache
+from repro.core.simulator import SimResult
+from repro.trace.workloads import WORKLOAD_SPECS, get_trace
+
+#: Set to ``1``/``true`` (enable, default root) or a directory path to
+#: enable the persistent cache without touching code.
+ENV_DISK_CACHE = "REPRO_DISK_CACHE"
+
+_disk_cache: Optional[DiskCache] = None
+_disk_cache_configured = False
+
+#: In-process memo of traces loaded from the disk cache (or synthesized),
+#: keyed by (workload, length, seed). ``workloads.get_trace`` memoizes
+#: synthesis; this additionally memoizes disk loads.
+_trace_memo: Dict[Tuple[str, int, int], object] = {}
+
+
+def configure_disk_cache(
+    enabled: bool = True, root=None
+) -> Optional[DiskCache]:
+    """Install (or disable) the process-wide persistent cache.
+
+    Returns the active :class:`DiskCache`, or ``None`` when disabled.
+    """
+    global _disk_cache, _disk_cache_configured
+    _disk_cache = DiskCache(root) if enabled else None
+    _disk_cache_configured = True
+    _trace_memo.clear()
+    return _disk_cache
+
+
+def env_cache_root() -> Optional[str]:
+    """The directory ``REPRO_DISK_CACHE`` names, if it names one (the
+    variable also accepts plain on/off values like ``1``/``0``)."""
+    env = os.environ.get(ENV_DISK_CACHE, "").strip()
+    if env and env != "0" and env.lower() not in ("1", "true", "false", "yes"):
+        return env
+    return None
+
+
+def get_disk_cache() -> Optional[DiskCache]:
+    """The active persistent cache, resolving ``REPRO_DISK_CACHE`` lazily."""
+    global _disk_cache, _disk_cache_configured
+    if not _disk_cache_configured:
+        env = os.environ.get(ENV_DISK_CACHE, "").strip()
+        if env and env != "0" and env.lower() != "false":
+            _disk_cache = DiskCache(env_cache_root())
+        else:
+            _disk_cache = None
+        _disk_cache_configured = True
+    return _disk_cache
+
+
+def clear_trace_memo() -> None:
+    """Drop the in-process trace memo (tests use this for isolation)."""
+    _trace_memo.clear()
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent simulation: the unit of sweep parallelism."""
+
+    config: MachineConfig
+    workload: str
+    length: int
+    warmup: int
+    seed: int = 7
+
+
+def point_key(point: SweepPoint) -> str:
+    """Persistent-cache key of *point* (content hash, schema-versioned)."""
+    return result_key(
+        point.config,
+        point.workload,
+        WORKLOAD_SPECS.get(point.workload),
+        point.length,
+        point.warmup,
+        point.seed,
+    )
+
+
+def fetch_trace(workload: str, length: int, seed: int):
+    """Trace for *workload*, via memo -> disk cache -> synthesis."""
+    memo_key = (workload, length, seed)
+    trace = _trace_memo.get(memo_key)
+    if trace is not None:
+        return trace
+    disk = get_disk_cache()
+    spec = WORKLOAD_SPECS.get(workload)
+    if disk is not None and spec is not None:
+        key = trace_key(workload, spec, length, seed)
+        trace = disk.load_trace(key)
+        if trace is None:
+            trace = get_trace(workload, length, seed)
+            disk.store_trace(key, trace)
+    else:
+        trace = get_trace(workload, length, seed)
+    _trace_memo[memo_key] = trace
+    return trace
+
+
+def execute_point(point: SweepPoint) -> SimResult:
+    """Simulate one point, going through the persistent cache if enabled."""
+    disk = get_disk_cache()
+    key = None
+    if disk is not None:
+        key = point_key(point)
+        hit = disk.load_result(key)
+        if hit is not None:
+            return hit
+    trace = fetch_trace(point.workload, point.length, point.seed)
+    sim = build_simulator(point.config, trace)
+    result = sim.run(warmup=point.warmup)
+    if disk is not None:
+        disk.store_result(key, result)
+    return result
+
+
+# -- process-pool fan-out ---------------------------------------------------
+
+
+def _worker_run_chunk(payload):
+    """Run one chunk of (index, point) pairs in a worker process.
+
+    The worker reconfigures its own disk cache from the shipped root so
+    behaviour is identical under fork and spawn start methods. Returns
+    the indexed results plus the worker's cache counters, which the
+    parent folds back into its own.
+    """
+    cache_root, chunk = payload
+    disk = configure_disk_cache(enabled=cache_root is not None, root=cache_root)
+    pairs = [(index, execute_point(point)) for index, point in chunk]
+    counters = disk.snapshot() if disk is not None else {}
+    return pairs, counters
+
+
+def _chunk_points(
+    points: Sequence[SweepPoint], jobs: int
+) -> List[List[Tuple[int, SweepPoint]]]:
+    """Chunk points for the pool, grouping shared-trace points together.
+
+    Points are bucketed by (workload, length, seed) so a worker reuses
+    one synthesized trace across its whole chunk; chunks are bounded so
+    the pool stays load-balanced even when one workload dominates.
+    """
+    order = sorted(
+        range(len(points)),
+        key=lambda i: (points[i].workload, points[i].length, points[i].seed, i),
+    )
+    bound = max(1, ceil(len(points) / (jobs * 4)))
+    chunks: List[List[Tuple[int, SweepPoint]]] = []
+    current: List[Tuple[int, SweepPoint]] = []
+    current_group = None
+    for i in order:
+        point = points[i]
+        group = (point.workload, point.length, point.seed)
+        if current and (group != current_group or len(current) >= bound):
+            chunks.append(current)
+            current = []
+        current_group = group
+        current.append((i, point))
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def run_points(points: Sequence[SweepPoint], jobs: int = 1) -> List[SimResult]:
+    """Execute every point; results are positionally ordered like *points*.
+
+    ``jobs=1`` runs serially in-process. ``jobs>1`` fans chunks across a
+    process pool; because each point is an independent deterministic
+    simulation and results are reassembled by index, the output is
+    bit-identical to the serial run.
+    """
+    points = list(points)
+    jobs = max(1, int(jobs))
+    if jobs == 1 or len(points) <= 1:
+        return [execute_point(point) for point in points]
+    chunks = _chunk_points(points, jobs)
+    disk = get_disk_cache()
+    cache_root = str(disk.root) if disk is not None else None
+    payloads = [(cache_root, chunk) for chunk in chunks]
+    out: List[Optional[SimResult]] = [None] * len(points)
+    with multiprocessing.get_context().Pool(
+        processes=min(jobs, len(chunks))
+    ) as pool:
+        for pairs, counters in pool.imap_unordered(_worker_run_chunk, payloads):
+            if disk is not None:
+                disk.merge_counters(counters)
+            for index, result in pairs:
+                out[index] = result
+    return out

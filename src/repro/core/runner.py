@@ -1,9 +1,19 @@
-"""Experiment runner: config × workload sweeps with result caching.
+"""Experiment runner: config × workload sweeps with layered caching.
 
 The benchmark harness regenerates every figure by sweeping configs over
 the workload suite. Many figures share points (e.g. the ideal I-BTB 16
-baseline normalizes everything), so results are memoized in-process keyed
-by (config, workload, length, warmup, seed) — all immutable.
+baseline normalizes everything), so results go through two cache layers:
+
+* an in-process memo keyed by (config, workload, length, warmup, seed) —
+  all immutable — exactly as before;
+* optionally, the persistent disk cache of :mod:`repro.core.exec`
+  (results as JSON, synthesized traces as ``.npz``), so repeated
+  *invocations* skip both simulation and trace synthesis.
+
+``run_suite`` and ``compare_to_baseline`` accept ``jobs=N`` to fan the
+independent (config, workload) points across a process pool; parallel
+results are bit-identical to serial and come back in the same order
+(see :func:`repro.core.exec.run_points`).
 """
 
 from __future__ import annotations
@@ -12,9 +22,15 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.stats import BoxStats, geomean
-from repro.core.config import MachineConfig, build_simulator
+from repro.core.config import MachineConfig
+from repro.core.exec import (
+    SweepPoint,
+    clear_trace_memo,
+    execute_point,
+    get_disk_cache,
+    run_points,
+)
 from repro.core.simulator import SimResult
-from repro.trace.workloads import SERVER_SUITE, get_trace
 
 #: Default per-trace lengths (instructions). The paper warms 50 M and
 #: measures 50 M; we scale to what pure Python can sweep (DESIGN.md).
@@ -31,14 +47,13 @@ def run_one(
     warmup: int = DEFAULT_WARMUP,
     seed: int = 7,
 ) -> SimResult:
-    """Simulate one (config, workload) point, memoized."""
+    """Simulate one (config, workload) point, memoized (and disk-cached
+    when a persistent cache is configured)."""
     key = (config, workload, length, warmup, seed)
     hit = _cache.get(key)
     if hit is not None:
         return hit
-    trace = get_trace(workload, length, seed)
-    sim = build_simulator(config, trace)
-    result = sim.run(warmup=warmup)
+    result = execute_point(SweepPoint(config, workload, length, warmup, seed))
     _cache[key] = result
     return result
 
@@ -49,15 +64,39 @@ def run_suite(
     length: int = DEFAULT_LENGTH,
     warmup: int = DEFAULT_WARMUP,
     seed: int = 7,
+    jobs: int = 1,
 ) -> List[SimResult]:
-    """Simulate *config* across the workload suite."""
-    names = list(workloads) if workloads is not None else SERVER_SUITE
+    """Simulate *config* across the workload suite.
+
+    ``jobs>1`` runs the missing points on a process pool; the returned
+    list is ordered by workload regardless of *jobs* and bit-identical
+    to the serial run.
+    """
+    names = _suite_names(workloads)
+    _run_missing([(config, name, length, warmup, seed) for name in names], jobs)
     return [run_one(config, name, length, warmup, seed) for name in names]
 
 
-def clear_cache() -> None:
-    """Drop memoized results (tests use this for isolation)."""
+def clear_cache(disk: bool = False) -> None:
+    """Drop memoized results (tests use this for isolation).
+
+    Always clears the in-process result memo and the trace memo. With
+    ``disk=True``, additionally purges the persistent on-disk cache (if
+    one is configured) — every stored result and trace file is removed.
+
+    Cache-invalidation rule: persistent entries are content-addressed by
+    a hash that includes ``repro.core.exec.cachekey.CACHE_SCHEMA``. Any
+    change to simulation semantics, trace synthesis, or the stored
+    payload layout must bump that schema version; old entries then live
+    under a stale ``v<N>/`` directory and can never be served. Calling
+    ``clear_cache(disk=True)`` removes all schema versions' files.
+    """
     _cache.clear()
+    clear_trace_memo()
+    if disk:
+        cache = get_disk_cache()
+        if cache is not None:
+            cache.clear()
 
 
 @dataclass
@@ -89,14 +128,49 @@ def compare_to_baseline(
     length: int = DEFAULT_LENGTH,
     warmup: int = DEFAULT_WARMUP,
     seed: int = 7,
+    jobs: int = 1,
 ) -> List[ComparedConfig]:
     """The paper's standard presentation: per-workload IPC of each config
-    divided by the baseline's IPC on the same workload."""
-    base = run_suite(baseline, workloads, length, warmup, seed)
+    divided by the baseline's IPC on the same workload.
+
+    With ``jobs>1`` every missing (config, workload) point — baseline
+    included — is fanned out at once, maximizing pool utilization.
+    """
+    configs = list(configs)
+    names = _suite_names(workloads)
+    _run_missing(
+        [
+            (config, name, length, warmup, seed)
+            for config in [baseline, *configs]
+            for name in names
+        ],
+        jobs,
+    )
+    base = run_suite(baseline, names, length, warmup, seed)
     base_ipc = [r.ipc for r in base]
     out = []
     for config in configs:
-        results = run_suite(config, workloads, length, warmup, seed)
+        results = run_suite(config, names, length, warmup, seed)
         rel = [r.ipc / b for r, b in zip(results, base_ipc)]
         out.append(ComparedConfig(config=config, results=results, relative_ipc=rel))
     return out
+
+
+# -- internals ---------------------------------------------------------------
+
+
+def _suite_names(workloads: Optional[Sequence[str]]) -> List[str]:
+    from repro.trace.workloads import SERVER_SUITE
+
+    return list(workloads) if workloads is not None else list(SERVER_SUITE)
+
+
+def _run_missing(keys: Sequence[Tuple], jobs: int) -> None:
+    """Execute the not-yet-memoized points (in parallel when jobs > 1)
+    and fill the in-process memo."""
+    missing = [key for key in dict.fromkeys(keys) if key not in _cache]
+    if not missing or jobs <= 1:
+        return  # serial paths go through run_one's own memoization
+    points = [SweepPoint(*key) for key in missing]
+    for key, result in zip(missing, run_points(points, jobs=jobs)):
+        _cache[key] = result

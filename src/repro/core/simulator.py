@@ -22,12 +22,18 @@ back-end model, which returns complete/commit times.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.common.types import LINE_BYTES
 from repro.frontend.engine import MISFETCH, PredictionEngine
 from repro.frontend.ftq import FetchTargetQueue
+
+#: Bound on the I-cache line availability map. Lines past this are
+#: evicted least-recently-touched first; the map is never wholesale
+#: cleared (which would force a re-miss of every hot line).
+LINE_AVAIL_ENTRIES = 4096
 
 
 @dataclass
@@ -62,10 +68,14 @@ class SimResult:
 
     @property
     def branch_mpki(self) -> float:
+        if not self.instructions:
+            return 0.0
         return 1000.0 * self.stats.get("mispredicts", 0.0) / self.instructions
 
     @property
     def misfetch_pki(self) -> float:
+        if not self.instructions:
+            return 0.0
         return 1000.0 * self.stats.get("misfetches", 0.0) / self.instructions
 
     @property
@@ -134,9 +144,27 @@ class Simulator:
         src1s = tr.src1
         src2s = tr.src2
         maddrs = tr.maddr
+        #: Per-instruction cache-line index, computed once per trace
+        #: (vectorized) instead of dividing per access in the loop below.
+        line_ix = tr.line_index()
 
         ftq = FetchTargetQueue(fe.ftq_entries)
-        line_avail: Dict[int, int] = {}
+        line_avail: "OrderedDict[int, int]" = OrderedDict()
+
+        # Hoist hot-path bound-method lookups out of the cycle loop.
+        st_add = st.add
+        btb_scan = btb.scan
+        ftq_push = ftq.push
+        ftq_head = ftq.head
+        ftq_consume = ftq.consume
+        ftq_has_space = ftq.has_space
+        fetch_gate = backend.fetch_gate
+        backend_admit = backend.admit
+        line_avail_get = line_avail.get
+        line_avail_touch = line_avail.move_to_end
+        line_avail_evict = line_avail.popitem
+        mem_prefetch = mem.ifetch_prefetch if mem is not None else None
+        mem_ifetch = mem.ifetch if mem is not None else None
 
         cycle = 0
         i_pcgen = 0
@@ -159,30 +187,30 @@ class Simulator:
                 i_pcgen < n
                 and not pcgen_stalled
                 and cycle >= pcgen_ready
-                and ftq.has_space()
+                and ftq_has_space()
             ):
-                access = btb.scan(pcs[i_pcgen], i_pcgen, tr, engine)
+                access = btb_scan(pcs[i_pcgen], i_pcgen, tr, engine)
                 if access.count > 0:
-                    st.add("btb_accesses")
-                    st.add("fetch_pcs", access.count)
-                    st.add("blocks_per_access", access.blocks)
+                    st_add("btb_accesses")
+                    st_add("fetch_pcs", access.count)
+                    st_add("blocks_per_access", access.blocks)
                     # Segment the covered indices into cache lines and
                     # issue FDIP prefetches.
                     seg_start = i_pcgen
-                    seg_line = pcs[seg_start] // LINE_BYTES
+                    seg_line = line_ix[seg_start]
                     seg_count = 1
                     for j in range(i_pcgen + 1, i_pcgen + access.count):
-                        line = pcs[j] // LINE_BYTES
+                        line = line_ix[j]
                         if line == seg_line:
                             seg_count += 1
                             continue
-                        ftq.push(seg_line, seg_start, seg_count, cycle)
-                        if mem is not None:
-                            mem.ifetch_prefetch(seg_line * LINE_BYTES, cycle)
+                        ftq_push(seg_line, seg_start, seg_count, cycle)
+                        if mem_prefetch is not None:
+                            mem_prefetch(seg_line * LINE_BYTES, cycle)
                         seg_start, seg_line, seg_count = j, line, 1
-                    ftq.push(seg_line, seg_start, seg_count, cycle)
-                    if mem is not None:
-                        mem.ifetch_prefetch(seg_line * LINE_BYTES, cycle)
+                    ftq_push(seg_line, seg_start, seg_count, cycle)
+                    if mem_prefetch is not None:
+                        mem_prefetch(seg_line * LINE_BYTES, cycle)
                     i_pcgen += access.count
                     if access.event is not None:
                         pending_events[access.event_index] = access.event
@@ -197,23 +225,25 @@ class Simulator:
             insts_used = 0
             interleaves_used = 0
             while lines_used < fe.fetch_lines and insts_used < fe.fetch_width:
-                head = ftq.head()
+                head = ftq_head()
                 if head is None or not head.consumable(cycle):
                     break
                 il_bit = 1 << (head.line & interleave_mask)
                 if interleaves_used & il_bit:
                     break
-                if backend.fetch_gate(head.first_index) > cycle:
+                if fetch_gate(head.first_index) > cycle:
                     break
-                avail = line_avail.get(head.line)
+                avail = line_avail_get(head.line)
                 if avail is None:
-                    if mem is not None:
-                        avail = mem.ifetch(head.line * LINE_BYTES, cycle)
+                    if mem_ifetch is not None:
+                        avail = mem_ifetch(head.line * LINE_BYTES, cycle)
                     else:
                         avail = cycle
                     line_avail[head.line] = avail
-                    if len(line_avail) > 4096:
-                        line_avail.clear()
+                    if len(line_avail) > LINE_AVAIL_ENTRIES:
+                        line_avail_evict(last=False)
+                else:
+                    line_avail_touch(head.line)
                 if avail > cycle:
                     break
                 take = min(head.count, fe.fetch_width - insts_used)
@@ -222,7 +252,7 @@ class Simulator:
                 for k in range(take):
                     j = first + k
                     bt = btypes[j]
-                    complete, commit = backend.admit(
+                    complete, commit = backend_admit(
                         j,
                         decode_ready,
                         pcs[j],
@@ -252,7 +282,7 @@ class Simulator:
                 insts_used += take
                 interleaves_used |= il_bit
                 lines_used += 1
-                ftq.consume(take)
+                ftq_consume(take)
                 if admitted >= warmup and warm_snapshot is None:
                     warm_commit = last_commit
                     warm_snapshot = st.as_dict()

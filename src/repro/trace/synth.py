@@ -30,6 +30,10 @@ class TraceSynthesizer:
         self.program = program
         self.rng = SplitMix(seed)
         self._visit_count: Dict[int, int] = {}
+        # Per-block column templates for _emit_body: everything except
+        # memory addresses is static per block, so bodies are emitted with
+        # bulk list.extend instead of per-instruction appends.
+        self._body_cache: Dict[int, tuple] = {}
         # Behaviour objects live in the (shared, cached) Program; reset
         # their per-walk state so every synthesis is deterministic.
         for function in program.functions:
@@ -59,22 +63,46 @@ class TraceSynthesizer:
     # -- block execution ------------------------------------------------------
 
     def _emit_body(self, block: Block, trace: Trace) -> None:
-        for inst in block.insts:
-            maddr = 0
-            if inst.mem is not None:
-                visit = self._visit_count.get(inst.pc, 0)
-                self._visit_count[inst.pc] = visit + 1
-                maddr = inst.mem.address(visit, self.rng)
-            trace.append(
-                pc=inst.pc,
-                btype=BranchType.NONE,
-                dst=inst.dst,
-                src1=inst.src1,
-                src2=inst.src2,
-                is_load=inst.kind == "load",
-                is_store=inst.kind == "store",
-                maddr=maddr,
+        tpl = self._body_cache.get(block.start_pc)
+        if tpl is None:
+            insts = block.insts
+            tpl = (
+                [i.pc for i in insts],
+                [i.dst for i in insts],
+                [i.src1 for i in insts],
+                [i.src2 for i in insts],
+                [1 if i.kind == "load" else 0 for i in insts],
+                [1 if i.kind == "store" else 0 for i in insts],
+                [0] * len(insts),
+                [(k, i) for k, i in enumerate(insts) if i.mem is not None],
             )
+            self._body_cache[block.start_pc] = tpl
+        pcs, dsts, src1s, src2s, loads, stores, zeros, mem_insts = tpl
+        if not pcs:
+            return
+        trace.pc.extend(pcs)
+        trace.btype.extend(zeros)
+        trace.taken.extend(zeros)
+        trace.target.extend(zeros)
+        trace.dst.extend(dsts)
+        trace.src1.extend(src1s)
+        trace.src2.extend(src2s)
+        trace.is_load.extend(loads)
+        trace.is_store.extend(stores)
+        if not mem_insts:
+            trace.maddr.extend(zeros)
+            return
+        # Memory addresses are visit- and RNG-dependent; computing them in
+        # static-instruction order preserves the exact RNG call sequence of
+        # the per-instruction walker, so traces stay bit-identical.
+        maddr_col = [0] * len(pcs)
+        visit_count = self._visit_count
+        rng = self.rng
+        for off, inst in mem_insts:
+            visit = visit_count.get(inst.pc, 0)
+            visit_count[inst.pc] = visit + 1
+            maddr_col[off] = inst.mem.address(visit, rng)
+        trace.maddr.extend(maddr_col)
 
     def _run_block(self, block: Block, stack: List[int], trace: Trace, length: int) -> Block:
         """Execute one block; return the successor block."""

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.common.stats import Stats
-from repro.common.types import ILEN, BranchType, is_branch, line_of
+from repro.common.types import ILEN, LINE_BYTES, BranchType, is_branch, line_of
 
 #: Number of architectural integer registers modelled.
 NUM_REGS = 32
@@ -64,6 +64,24 @@ class Trace:
 
     def __len__(self) -> int:
         return len(self.pc)
+
+    def line_index(self) -> List[int]:
+        """Per-instruction cache-line index (``pc // LINE_BYTES``).
+
+        Computed vectorized on first use and cached; the simulator hot
+        loop indexes this instead of dividing per access. The cache is
+        invalidated by length, so appending after the first call
+        recomputes on the next call.
+        """
+        cached = self.__dict__.get("_line_index")
+        if cached is not None and len(cached) == len(self.pc):
+            return cached
+        if self.pc:
+            lines = (np.asarray(self.pc, dtype=np.int64) // LINE_BYTES).tolist()
+        else:
+            lines = []
+        self.__dict__["_line_index"] = lines
+        return lines
 
     def append(
         self,

@@ -1,0 +1,187 @@
+"""Tests for the sweep execution engine: parallelism + persistent cache."""
+
+import json
+
+import pytest
+
+from repro.core.config import bbtb, ibtb, mbbtb, rbtb
+from repro.core.exec import (
+    DiskCache,
+    SweepPoint,
+    configure_disk_cache,
+    execute_point,
+    get_disk_cache,
+    point_key,
+    run_points,
+    trace_key,
+)
+from repro.core.runner import clear_cache, compare_to_baseline, run_one, run_suite
+from repro.trace.workloads import WORKLOAD_SPECS
+
+L, W = 4_000, 1_000
+NAMES = ["web_frontend", "db_oltp", "kv_store"]
+CONFIGS = [ibtb(16), rbtb(3), mbbtb(2, "allbr")]
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches():
+    """Every test starts and ends with no memo and no disk cache."""
+    clear_cache()
+    configure_disk_cache(False)
+    yield
+    clear_cache()
+    configure_disk_cache(False)
+
+
+def _points():
+    return [
+        SweepPoint(config, name, L, W, 7) for config in CONFIGS for name in NAMES
+    ]
+
+
+# -- parallel-vs-serial determinism -----------------------------------------
+
+
+def test_parallel_results_bit_identical_to_serial():
+    """jobs=4 must reproduce jobs=1 exactly: same stats dict, cycles and
+    order for every (config, workload) point (3 configs x 3 workloads)."""
+    serial = run_points(_points(), jobs=1)
+    parallel = run_points(_points(), jobs=4)
+    assert len(serial) == len(parallel) == 9
+    for a, b in zip(serial, parallel):
+        assert a.name == b.name
+        assert a.instructions == b.instructions
+        assert a.cycles == b.cycles
+        assert a.stats == b.stats
+        assert a.structure == b.structure
+
+
+def test_run_suite_jobs_matches_serial():
+    serial = run_suite(CONFIGS[0], NAMES, L, W)
+    clear_cache()
+    parallel = run_suite(CONFIGS[0], NAMES, L, W, jobs=4)
+    assert [r.name for r in parallel] == NAMES
+    assert [r.stats for r in serial] == [r.stats for r in parallel]
+
+
+def test_compare_to_baseline_jobs_matches_serial():
+    serial = compare_to_baseline(CONFIGS, ibtb(16), NAMES, L, W)
+    clear_cache()
+    parallel = compare_to_baseline(CONFIGS, ibtb(16), NAMES, L, W, jobs=4)
+    assert [cc.relative_ipc for cc in serial] == [
+        cc.relative_ipc for cc in parallel
+    ]
+
+
+# -- cache-key stability ------------------------------------------------------
+
+
+def test_point_key_stable_across_rebuilt_configs():
+    """Two independently constructed but identical configs share a key."""
+    a = point_key(SweepPoint(mbbtb(2, "allbr"), "web_frontend", L, W, 7))
+    b = point_key(SweepPoint(mbbtb(2, "allbr"), "web_frontend", L, W, 7))
+    assert a == b
+
+
+def test_point_key_changes_with_any_field():
+    base = SweepPoint(ibtb(16), "web_frontend", L, W, 7)
+    variants = [
+        SweepPoint(ibtb(8), "web_frontend", L, W, 7),
+        SweepPoint(ibtb(16, scale=0.5), "web_frontend", L, W, 7),
+        SweepPoint(ibtb(16), "db_oltp", L, W, 7),
+        SweepPoint(ibtb(16), "web_frontend", L + 1, W, 7),
+        SweepPoint(ibtb(16), "web_frontend", L, W + 1, 7),
+        SweepPoint(ibtb(16), "web_frontend", L, W, 8),
+    ]
+    keys = {point_key(v) for v in variants}
+    assert point_key(base) not in keys
+    assert len(keys) == len(variants)
+
+
+def test_trace_key_depends_on_spec():
+    spec = WORKLOAD_SPECS["web_frontend"]
+    other = WORKLOAD_SPECS["db_oltp"]
+    assert trace_key("web_frontend", spec, L, 7) == trace_key(
+        "web_frontend", spec, L, 7
+    )
+    assert trace_key("web_frontend", spec, L, 7) != trace_key(
+        "web_frontend", other, L, 7
+    )
+
+
+# -- persistent disk cache ----------------------------------------------------
+
+
+def test_disk_cache_round_trip(tmp_path):
+    cache = configure_disk_cache(True, tmp_path)
+    point = SweepPoint(ibtb(16), "web_frontend", L, W, 7)
+    cold = execute_point(point)
+    assert cache.counters["result_misses"] == 1
+    warm = execute_point(point)
+    assert cache.counters["result_hits"] == 1
+    assert warm is not cold
+    assert warm.stats == cold.stats
+    assert warm.cycles == cold.cycles
+    assert warm.structure == cold.structure
+
+
+def test_disk_cache_serves_across_processes_via_run_points(tmp_path):
+    configure_disk_cache(True, tmp_path)
+    cold = run_points(_points()[:3], jobs=2)
+    clear_cache()
+    warm = run_points(_points()[:3], jobs=1)
+    assert [r.stats for r in cold] == [r.stats for r in warm]
+    assert get_disk_cache().counters["result_hits"] >= 3
+
+
+def test_corrupted_result_file_falls_back_to_recompute(tmp_path):
+    cache = configure_disk_cache(True, tmp_path)
+    point = SweepPoint(ibtb(16), "web_frontend", L, W, 7)
+    good = execute_point(point)
+    path = cache.result_path(point_key(point))
+    path.write_text("{ this is not json")
+    again = execute_point(point)  # must not raise
+    assert again.stats == good.stats
+    # The corrupt entry was dropped and replaced by the recomputed one.
+    assert json.loads(path.read_text())["cycles"] == good.cycles
+
+
+def test_corrupted_trace_file_falls_back_to_resynthesis(tmp_path):
+    cache = configure_disk_cache(True, tmp_path)
+    spec = WORKLOAD_SPECS["web_frontend"]
+    key = trace_key("web_frontend", spec, L, 7)
+    path = cache.trace_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"\x00not-an-npz")
+    result = execute_point(SweepPoint(ibtb(16), "web_frontend", L, W, 7))
+    assert result.instructions == L - W
+    assert cache.counters["trace_misses"] >= 1
+
+
+def test_truncated_result_payload_is_a_miss(tmp_path):
+    cache = DiskCache(tmp_path)
+    path = cache.result_path("deadbeef")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text('{"name": "x"}')  # valid JSON, missing fields
+    assert cache.load_result("deadbeef") is None
+    assert not path.exists()
+
+
+def test_clear_cache_disk_purges_persistent_entries(tmp_path):
+    cache = configure_disk_cache(True, tmp_path)
+    point = SweepPoint(ibtb(16), "web_frontend", L, W, 7)
+    execute_point(point)
+    assert cache.result_path(point_key(point)).exists()
+    clear_cache(disk=True)
+    assert not cache.result_path(point_key(point)).exists()
+    # And a fresh run repopulates without error.
+    assert execute_point(point).cycles > 0
+
+
+def test_run_one_uses_disk_cache_after_memory_clear(tmp_path):
+    configure_disk_cache(True, tmp_path)
+    a = run_one(bbtb(1), "web_frontend", L, W)
+    clear_cache()  # memory only: disk survives
+    b = run_one(bbtb(1), "web_frontend", L, W)
+    assert a is not b
+    assert a.stats == b.stats and a.cycles == b.cycles

@@ -58,3 +58,15 @@ def test_clear_cache():
     b = run_one(ibtb(16), "web_frontend", length=L, warmup=W)
     assert a is not b
     assert a.cycles == b.cycles  # determinism across cache clears
+
+
+def test_clear_cache_disk_kwarg_without_disk_cache():
+    """disk=True is a no-op when no persistent cache is configured."""
+    clear_cache(disk=True)
+    a = run_one(ibtb(16), "web_frontend", length=L, warmup=W)
+    assert a.cycles > 0
+
+
+def test_run_suite_jobs_kwarg_default_serial():
+    results = run_suite(ibtb(16), NAMES, length=L, warmup=W, jobs=1)
+    assert [r.name for r in results] == NAMES

@@ -120,3 +120,53 @@ def test_cmd_export(tmp_path, capsys):
 
     back = load_trace_csv(str(tmp_path / "traces" / "kv_store.csv"))
     assert len(back) == 3000
+
+
+def test_cmd_sweep_with_bench_out(tmp_path, capsys):
+    import json
+
+    from repro.core.exec import configure_disk_cache
+    from repro.core.runner import clear_cache
+
+    bench = tmp_path / "BENCH_sweep.json"
+    try:
+        assert main([
+            "sweep", "ibtb:16",
+            "--workloads", "web_frontend", "db_oltp",
+            "--length", "4000", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--bench-out", str(bench),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep: IPC relative to ideal I-BTB 16" in out
+        payload = json.loads(bench.read_text())
+        assert payload["jobs"] == 2
+        assert payload["phases"]["warm_cache"]["result_hits"] == 4
+        assert payload["phases"]["serial_cold"]["result_misses"] == 4
+        assert payload["speedup_warm_vs_cold"] > 1.0
+    finally:
+        clear_cache()
+        configure_disk_cache(False)
+
+
+def test_cmd_sweep_no_disk_cache(capsys):
+    from repro.core.exec import configure_disk_cache
+    from repro.core.runner import clear_cache
+
+    try:
+        assert main([
+            "sweep", "ibtb:16", "--no-disk-cache",
+            "--workloads", "web_frontend",
+            "--length", "3000",
+        ]) == 0
+        assert "disk cache" not in capsys.readouterr().out
+    finally:
+        clear_cache()
+        configure_disk_cache(False)
+
+
+def test_cmd_sweep_bench_requires_disk_cache(capsys):
+    assert main([
+        "sweep", "ibtb:16", "--no-disk-cache", "--bench-out", "/tmp/x.json",
+    ]) == 2
+    assert "disk cache" in capsys.readouterr().err

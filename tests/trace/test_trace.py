@@ -120,3 +120,22 @@ def test_save_load_roundtrip(tmp_path):
     for col in Trace._COLUMNS:
         assert getattr(back, col) == getattr(tr, col), col
     back.validate()
+
+
+def test_line_index_matches_per_pc_division():
+    from repro.common.types import LINE_BYTES
+    from repro.trace.workloads import get_trace
+
+    tr = get_trace("web_frontend", 4_000)
+    lines = tr.line_index()
+    assert lines == [pc // LINE_BYTES for pc in tr.pc]
+    assert tr.line_index() is lines  # cached
+
+
+def test_line_index_recomputes_after_append():
+    tr = Trace(name="t")
+    tr.append(pc=0x1000)
+    first = tr.line_index()
+    assert first == [0x1000 // 64]
+    tr.append(pc=0x1040)
+    assert tr.line_index() == [0x1000 // 64, 0x1040 // 64]
