@@ -72,3 +72,67 @@ def series_table(title: str, x_label: str, xs: Sequence, series: dict) -> str:
         row = [x] + [f"{series[name][i]:.4f}" for name in series]
         rows.append(row)
     return f"== {title} ==\n{format_table(headers, rows)}"
+
+
+def timeline_summary(obs, max_rows: int = 24) -> str:
+    """Terminal timeline of a :class:`repro.obs.Observation`.
+
+    Interval rows are coalesced into at most *max_rows* buckets by
+    re-summing the raw counter deltas, so derived rates stay exact for
+    each printed window regardless of the on-disk interval size.
+    """
+    total_ipc = obs.instructions / obs.cycles if obs.cycles else 0.0
+    out = [
+        f"== timeline: {obs.name} ==",
+        f"{obs.instructions} instructions in {obs.cycles} cycles "
+        f"(IPC {total_ipc:.3f})",
+    ]
+    cols = obs.intervals or {}
+    ends = cols.get("cycle_end")
+    n = len(ends) if ends is not None else 0
+    if n:
+        group = max(1, -(-n // max_rows))  # ceil division
+        peak_ipc = 0.0
+        buckets = []
+        for start in range(0, n, group):
+            stop = min(start + group, n)
+            c0 = float(cols["cycle_start"][start])
+            c1 = float(ends[stop - 1])
+            insts = float(cols["instructions"][start:stop].sum())
+            ipc = insts / max(1.0, c1 - c0)
+            occ = float(cols["ftq_occupancy"][start:stop].mean())
+            mis = float(cols["mispredicts"][start:stop].sum()) if "mispredicts" in cols else 0.0
+            mpki = 1000.0 * mis / insts if insts else 0.0
+            buckets.append((c0, c1, insts, ipc, occ, mpki))
+            peak_ipc = max(peak_ipc, ipc)
+        rows = [
+            (
+                f"{int(c0)}-{int(c1)}",
+                f"{int(insts)}",
+                f"{ipc:.3f}",
+                f"{occ:.1f}",
+                f"{mpki:.1f}",
+                ascii_bar(ipc, 0.0, peak_ipc, 24),
+            )
+            for c0, c1, insts, ipc, occ, mpki in buckets
+        ]
+        out.append(
+            format_table(
+                ("cycles", "insts", "ipc", "ftq", "mpki", "ipc bar"), rows
+            )
+        )
+    if obs.event_counts:
+        peak = max(obs.event_counts.values())
+        ev_rows = [
+            (name, count, ascii_bar(count, 0, peak, 20))
+            for name, count in sorted(
+                obs.event_counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        out.append(format_table(("event", "count", ""), ev_rows))
+    if obs.dropped or obs.sampled_out:
+        out.append(
+            f"(ring dropped {obs.dropped} events; "
+            f"sampling skipped {obs.sampled_out})"
+        )
+    return "\n".join(out)

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.common.assoc import SetAssociative
+from repro.obs.events import BTB_EVICT
+from repro.obs.probe import NULL_PROBE
 
 #: Lookup outcome levels.
 MISS = 0
@@ -90,7 +92,15 @@ class TwoLevelStore:
     * Fill/evict latency between levels is not modelled, per paper §4.1.
 
     A single-level "ideal" store is expressed by passing ``l2_geom=None``.
+
+    When an enabled probe is attached (see :func:`attach_probe`) the
+    store emits ``btb_evict`` events for entries that leave the
+    hierarchy entirely (evicted from the last level); L1->L2 demotions
+    are not evictions under inclusion.
     """
+
+    #: Observability probe (instance-assigned when a run is instrumented).
+    probe = NULL_PROBE
 
     def __init__(
         self,
@@ -121,7 +131,9 @@ class TwoLevelStore:
         victim = self.l1.insert(key, tag, entry)
         if victim is not None:
             vtag, ventry = victim
-            self.l2.insert(vtag, vtag, ventry)
+            lost = self.l2.insert(vtag, vtag, ventry)
+            if lost is not None and self.probe.enabled:
+                self.probe.emit(BTB_EVICT, lost[0])
         return L2_HIT, entry
 
     def peek_l1(self, pc: int) -> bool:
@@ -133,11 +145,19 @@ class TwoLevelStore:
         """Install *entry* in L1 (and L2 for inclusion)."""
         key, tag = self._key(pc)
         victim = self.l1.insert(key, tag, entry)
+        probe_on = self.probe.enabled
         if self.l2 is not None:
-            self.l2.insert(key, tag, entry)
+            lost = self.l2.insert(key, tag, entry)
+            if lost is not None and probe_on:
+                self.probe.emit(BTB_EVICT, lost[0])
             if victim is not None:
                 vtag, ventry = victim
-                self.l2.insert(vtag, vtag, ventry)
+                lost = self.l2.insert(vtag, vtag, ventry)
+                if lost is not None and probe_on:
+                    self.probe.emit(BTB_EVICT, lost[0])
+        elif victim is not None and probe_on:
+            # Single-level store: the L1 victim leaves the hierarchy.
+            self.probe.emit(BTB_EVICT, victim[0])
 
     def invalidate(self, pc: int) -> None:
         """Drop the entry at *pc* from both levels."""
@@ -169,6 +189,22 @@ class TwoLevelStore:
         for _, _tag, entry in store.items():
             yield entry
 
+
+
+def attach_probe(btb, probe) -> None:
+    """Wire an observability probe into *btb* and its storage.
+
+    Works for every organization: sets the org-level ``probe`` attribute
+    (read by the scan/train instrumentation sites) and, when the org is
+    backed by a :class:`TwoLevelStore`, the store-level probe that emits
+    eviction events. The heterogeneous BTB keeps raw
+    :class:`~repro.common.assoc.SetAssociative` levels and only uses the
+    org-level probe.
+    """
+    btb.probe = probe
+    store = getattr(btb, "store", None)
+    if isinstance(store, TwoLevelStore):
+        store.probe = probe
 
 
 def insert_sorted(slots: List[BranchSlot], slot: BranchSlot, key) -> None:

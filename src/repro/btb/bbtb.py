@@ -33,6 +33,8 @@ from repro.btb.base import (
 from repro.btb.replacement import POLICIES, pick_victim
 from repro.common.types import ILEN, BranchType
 from repro.frontend.engine import REDIRECT, SEQ, PredictionEngine
+from repro.obs.events import BTB_ALLOC, BTB_SPLIT
+from repro.obs.probe import NULL_PROBE
 
 
 @dataclass
@@ -64,6 +66,9 @@ class BlockBTB:
     """Block-granular BTB with optional entry splitting."""
 
     name = "B-BTB"
+
+    #: Observability probe (see :func:`repro.btb.base.attach_probe`).
+    probe = NULL_PROBE
 
     def __init__(
         self,
@@ -126,7 +131,7 @@ class BlockBTB:
             known = slot is not None
             taken = bool(takens[j])
             target = targets[j]
-            eng.note_btb(level if known else 0, taken)
+            eng.note_btb(level if known else 0, taken, pc)
             res = eng.resolve(pc, bt, taken, target, known, slot)
             entry = self._train_branch(entry, block_start, pc, bt, taken, target, slot)
             if res == SEQ:
@@ -163,6 +168,8 @@ class BlockBTB:
             entry = BlockEntry(start=block_start, length=self.block_insts)
             self._place(entry, BranchSlot(pc=pc, btype=btype, target=target))
             self.store.allocate(block_start, entry)
+            if self.probe.enabled:
+                self.probe.emit(BTB_ALLOC, block_start)
             return entry
         self._insert_slot(entry, BranchSlot(pc=pc, btype=btype, target=target))
         return entry
@@ -196,6 +203,8 @@ class BlockBTB:
         keep = staged[: self.slots_per_entry]
         spill = staged[self.slots_per_entry :]
         split_pc = keep[-1].pc + ILEN
+        if self.probe.enabled:
+            self.probe.emit(BTB_SPLIT, entry.start, split_pc)
         entry.slots = keep
         entry.ticks = [self._tick] * len(keep)
         entry.iticks = [self._tick] * len(keep)

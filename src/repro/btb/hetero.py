@@ -31,12 +31,17 @@ from repro.btb.replacement import POLICIES, pick_victim
 from repro.common.assoc import SetAssociative
 from repro.common.types import ILEN, BranchType
 from repro.frontend.engine import REDIRECT, SEQ, PredictionEngine
+from repro.obs.events import BTB_ALLOC, BTB_EVICT, BTB_SPLIT
+from repro.obs.probe import NULL_PROBE
 
 
 class HeterogeneousBTB:
     """B-BTB L1 backed by an R-BTB L2 (§3.6.2 future work, implemented)."""
 
     name = "Het-BTB"
+
+    #: Observability probe (see :func:`repro.btb.base.attach_probe`).
+    probe = NULL_PROBE
 
     def __init__(
         self,
@@ -110,7 +115,11 @@ class HeterogeneousBTB:
 
     def _install_l1(self, block: BlockEntry) -> None:
         key = block.start >> 2
-        self.l1.insert(key, key, block)
+        victim = self.l1.insert(key, key, block)
+        if victim is not None and self.probe.enabled:
+            # L1 blocks are reconstructable from L2 regions, but the
+            # block copy itself is gone — report it as an L1 eviction.
+            self.probe.emit(BTB_EVICT, victim[0])
 
     # -- PC generation ---------------------------------------------------------------
 
@@ -150,7 +159,7 @@ class HeterogeneousBTB:
             known = slot is not None
             taken = bool(takens[j])
             target = targets[j]
-            eng.note_btb(level if known else MISS, taken)
+            eng.note_btb(level if known else MISS, taken, pc)
             res = eng.resolve(pc, bt, taken, target, known, slot)
             entry = self._train(entry, block_start, pc, bt, taken, target, slot)
             if res == SEQ:
@@ -189,6 +198,8 @@ class HeterogeneousBTB:
             entry = BlockEntry(start=block_start, length=self.block_insts)
             self._append_slot(entry, BranchSlot(pc=pc, btype=btype, target=target))
             self._install_l1(entry)
+            if self.probe.enabled:
+                self.probe.emit(BTB_ALLOC, block_start)
             return entry
         if len(entry.slots) < self.l1_slots:
             self._append_slot(entry, BranchSlot(pc=pc, btype=btype, target=target))
@@ -206,6 +217,8 @@ class HeterogeneousBTB:
         entry.iticks = [self._tick] * len(keep)
         entry.length = (split_pc - entry.start) // ILEN
         entry.split = True
+        if self.probe.enabled:
+            self.probe.emit(BTB_SPLIT, entry.start, split_pc)
         for s in spill:
             if split_pc <= s.pc < split_pc + self.block_insts * ILEN:
                 fall = self._l1_lookup(split_pc)

@@ -22,12 +22,17 @@ from repro.btb.base import (
 )
 from repro.common.types import ILEN, BranchType
 from repro.frontend.engine import REDIRECT, SEQ, PredictionEngine
+from repro.obs.events import BTB_ALLOC
+from repro.obs.probe import NULL_PROBE
 
 
 class InstructionBTB:
     """Banked instruction-granular BTB with a two-level hierarchy."""
 
     name = "I-BTB"
+
+    #: Observability probe (see :func:`repro.btb.base.attach_probe`).
+    probe = NULL_PROBE
 
     def __init__(
         self,
@@ -66,7 +71,7 @@ class InstructionBTB:
             known = slot is not None
             taken = bool(takens[j])
             target = targets[j]
-            eng.note_btb(level, taken)
+            eng.note_btb(level, taken, pc)
             res = eng.resolve(pc, bt, taken, target, known, slot)
             self._train(pc, bt, taken, target, slot)
             if res == SEQ:
@@ -93,6 +98,8 @@ class InstructionBTB:
             return  # never-taken branches do not allocate (paper §2)
         if slot is None:
             self.store.allocate(pc, BranchSlot(pc=pc, btype=btype, target=target))
+            if self.probe.enabled:
+                self.probe.emit(BTB_ALLOC, pc)
         else:
             slot.target = target  # indirect targets may drift
 

@@ -39,6 +39,8 @@ from repro.btb.base import (
 )
 from repro.common.types import ILEN, BranchType
 from repro.frontend.engine import REDIRECT, SEQ, PredictionEngine
+from repro.obs.events import BTB_ALLOC, BTB_SPLIT, MB_DOWNGRADE, MB_PULL
+from repro.obs.probe import NULL_PROBE
 
 #: 6-bit stability counter threshold for indirect-branch pulling.
 STABILITY_THRESHOLD = 63
@@ -76,6 +78,9 @@ class MultiBlockBTB:
     """MB-BTB with configurable pull policy; splitting always enabled."""
 
     name = "MB-BTB"
+
+    #: Observability probe (see :func:`repro.btb.base.attach_probe`).
+    probe = NULL_PROBE
 
     def __init__(
         self,
@@ -140,7 +145,7 @@ class MultiBlockBTB:
             known = slot is not None
             taken = bool(takens[j])
             target = targets[j]
-            eng.note_btb(level if known else 0, taken)
+            eng.note_btb(level if known else 0, taken, pc)
             res = eng.resolve(pc, bt, taken, target, known, slot)
             entry = self._train_branch(entry, block_start, blk, pc, bt, taken, target, slot)
             if res == SEQ:
@@ -212,6 +217,8 @@ class MultiBlockBTB:
     def _do_pull(self, entry: MBEntry, slot: BranchSlot) -> None:
         slot.follow = True
         entry.blocks.append((slot.target, self.block_insts))
+        if self.probe.enabled:
+            self.probe.emit(MB_PULL, slot.pc, slot.target)
 
     # -- training -------------------------------------------------------------------------
 
@@ -232,6 +239,8 @@ class MultiBlockBTB:
                 # pulled block and everything after it.
                 self._truncate(entry, slot.blk_id + 1)
                 slot.follow = False
+                if self.probe.enabled:
+                    self.probe.emit(MB_DOWNGRADE, slot.pc)
             if slot is not None and slot.btype == BranchType.COND_DIRECT:
                 # Not-taken occurrence: the branch is no longer
                 # always-taken, block it from pulling in the future.
@@ -246,6 +255,8 @@ class MultiBlockBTB:
             new = BranchSlot(pc=pc, btype=btype, target=target, blk_id=0)
             entry.slots.append(new)
             self.store.allocate(block_start, entry)
+            if self.probe.enabled:
+                self.probe.emit(BTB_ALLOC, block_start)
             self._consider_pull(entry, new, first_insert=True)
             return entry
         self._insert_slot(entry, blk, pc, btype, target)
@@ -264,6 +275,8 @@ class MultiBlockBTB:
                 if slot.follow:
                     self._truncate(entry, slot.blk_id + 1)
                     slot.follow = False
+                    if self.probe.enabled:
+                        self.probe.emit(MB_DOWNGRADE, slot.pc)
                 slot.target = target
         else:
             slot.target = target
@@ -320,6 +333,8 @@ class MultiBlockBTB:
         blk_start, _length = entry.blocks[last.blk_id]
         entry.blocks[last.blk_id] = (blk_start, (last.pc + ILEN - blk_start) // ILEN)
         entry.split = True
+        if self.probe.enabled:
+            self.probe.emit(BTB_SPLIT, entry.start, last.pc + ILEN)
         # Spilled branches restart as fresh single-block entries at the
         # split fall-through (their block start in the old chain is gone).
         split_pc = last.pc + ILEN

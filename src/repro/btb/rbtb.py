@@ -33,6 +33,8 @@ from repro.btb.replacement import POLICIES, pick_victim
 from repro.common.assoc import SetAssociative
 from repro.common.types import ILEN, BranchType
 from repro.frontend.engine import REDIRECT, SEQ, PredictionEngine
+from repro.obs.events import BTB_ALLOC, RBTB_OVERFLOW
+from repro.obs.probe import NULL_PROBE
 
 
 @dataclass
@@ -56,6 +58,9 @@ class RegionBTB:
     """Region-granular BTB with optional even/odd interleaving."""
 
     name = "R-BTB"
+
+    #: Observability probe (see :func:`repro.btb.base.attach_probe`).
+    probe = NULL_PROBE
 
     def __init__(
         self,
@@ -136,7 +141,7 @@ class RegionBTB:
                 known = slot is not None
                 taken = bool(takens[j])
                 target = targets[j]
-                eng.note_btb(level if known else 0, taken)
+                eng.note_btb(level if known else 0, taken, pc)
                 res = eng.resolve(pc, bt, taken, target, known, slot)
                 self._train(region, entry, pc, bt, taken, target, slot)
                 if res == SEQ:
@@ -178,6 +183,8 @@ class RegionBTB:
             entry = RegionEntry(base=region)
             self._insert_slot(entry, new)
             self.store.allocate(region, entry)
+            if self.probe.enabled:
+                self.probe.emit(BTB_ALLOC, region)
             return
         self._insert_slot(entry, new)
 
@@ -193,6 +200,8 @@ class RegionBTB:
             if self.overflow is not None:
                 # Spill to the shared overflow pool instead of dropping.
                 self.overflow.insert(displaced.pc, displaced.pc, displaced)
+                if self.probe.enabled:
+                    self.probe.emit(RBTB_OVERFLOW, displaced.pc)
         pos = 0
         while pos < len(entry.slots) and entry.slots[pos].pc <= slot.pc:
             pos += 1

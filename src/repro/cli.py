@@ -4,6 +4,9 @@ Subcommands::
 
     repro-sim characterize [workloads...]      workload statistics table
     repro-sim run CONFIG WORKLOAD              one simulation, full metrics
+    repro-sim trace WORKLOAD [CONFIG]          instrumented run (repro.obs):
+                                               event trace, interval metrics,
+                                               Chrome/Perfetto + CSV export
     repro-sim compare CONFIG [CONFIG...]       whisker table vs ideal I-BTB 16
     repro-sim sweep [CONFIG...] --jobs N       parallel, disk-cached sweep
     repro-sim list                             workloads and config syntax
@@ -143,6 +146,49 @@ def _cmd_run(args) -> int:
     print(f"  L1 BTB hit rate    {result.l1_btb_hit_rate * 100:7.1f}%")
     print(f"  L1+L2 BTB hit rate {result.l2_btb_hit_rate * 100:7.1f}%")
     print(f"  fetch PCs/access   {result.fetch_pcs_per_access:8.2f}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Instrumented run: event trace + interval metrics + exports."""
+    from repro.analysis.report import timeline_summary
+    from repro.obs import Observer
+    from repro.obs.export import (
+        write_chrome_trace,
+        write_intervals_csv,
+        write_observation_json,
+    )
+
+    config = parse_config(args.config)
+    observer = Observer(
+        events=args.events,
+        interval=args.intervals,
+        sample=args.sample,
+        capacity=args.capacity,
+        meta={"config": config.label, "workload": args.workload},
+    )
+    if args.workload.endswith(".csv"):
+        trace = load_trace_csv(args.workload)
+    else:
+        trace = get_trace(args.workload, args.length)
+    sim = build_simulator(config, trace, probe=observer)
+    result = sim.run(warmup=args.warmup)
+    obs = observer.observation()
+    print(timeline_summary(obs))
+    print(
+        f"(SimResult: IPC {result.ipc:.3f}, "
+        f"branch MPKI {result.branch_mpki:.2f}, "
+        f"misfetch PKI {result.misfetch_pki:.2f})"
+    )
+    if args.chrome:
+        write_chrome_trace(obs, args.chrome)
+        print(f"wrote {args.chrome} (load in chrome://tracing or Perfetto)")
+    if args.csv:
+        write_intervals_csv(obs, args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        write_observation_json(obs, args.json)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -289,6 +335,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload", help="workload name, or a .csv trace file")
     p.add_argument("--length", type=int, default=160_000)
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "trace", help="instrumented run with event/interval export (repro.obs)"
+    )
+    p.add_argument("workload", help="workload name, or a .csv trace file")
+    p.add_argument(
+        "config", nargs="?", default="mbbtb:2:allbr",
+        help="config spec (default: mbbtb:2:allbr)",
+    )
+    p.add_argument("--length", type=int, default=50_000)
+    p.add_argument(
+        "--warmup", type=int, default=0,
+        help="instructions before measurement (default 0: intervals "
+        "reconcile exactly with the SimResult totals)",
+    )
+    p.add_argument(
+        "--events", action=argparse.BooleanOptionalAction, default=True,
+        help="capture typed pipeline events (default: on)",
+    )
+    p.add_argument(
+        "--intervals", type=int, default=1000, metavar="N",
+        help="metrics snapshot every N cycles; 0 disables (default 1000)",
+    )
+    p.add_argument(
+        "--sample", type=int, default=1, metavar="K",
+        help="buffer every K-th event per kind (counts stay exact)",
+    )
+    p.add_argument(
+        "--capacity", type=int, default=65536,
+        help="event ring-buffer capacity (default 65536)",
+    )
+    p.add_argument("--chrome", default=None, metavar="PATH",
+                   help="write Chrome trace_event JSON (Perfetto-loadable)")
+    p.add_argument("--csv", default=None, metavar="PATH",
+                   help="write interval metrics CSV")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the full observation dump as JSON")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("compare", help="compare configs vs ideal I-BTB 16")
     p.add_argument("configs", nargs="+", help="config specs")

@@ -170,10 +170,15 @@ class Histogram:
         return sum(v * c for v, c in self.bins.items()) / total
 
     def quantile(self, q: float) -> int:
-        """Smallest bin value covering fraction *q* of the mass."""
+        """Smallest bin value covering fraction *q* of the mass.
+
+        An empty histogram yields 0, matching :attr:`mean` — callers
+        summarizing a run that never touched the histogram should see a
+        neutral value, not an exception.
+        """
         total = self.total
         if not total:
-            raise ValueError("quantile of empty histogram")
+            return 0
         need = q * total
         seen = 0
         for value in sorted(self.bins):

@@ -144,8 +144,12 @@ class MachineConfig:
         raise ValueError(f"unknown btb_kind {self.btb_kind!r}")
 
 
-def build_simulator(config: MachineConfig, trace) -> Simulator:
-    """Fresh simulator (all-new hardware state) for *config* on *trace*."""
+def build_simulator(config: MachineConfig, trace, probe=None) -> Simulator:
+    """Fresh simulator (all-new hardware state) for *config* on *trace*.
+
+    *probe* optionally attaches a :mod:`repro.obs` observer; ``None``
+    (the default) leaves the run uninstrumented (NullProbe fast path).
+    """
     engine = PredictionEngine(bp_size_kb=config.bp_size_kb)
     memory = MemoryHierarchy(MemoryConfig(scale=config.scale))
     if config.ideal_backend:
@@ -159,6 +163,7 @@ def build_simulator(config: MachineConfig, trace) -> Simulator:
         backend=backend,
         memory=memory,
         frontend=FrontendConfig(early_resteer=config.early_resteer),
+        probe=probe,
     )
 
 

@@ -5,6 +5,10 @@ overridable via ``REPRO_CACHE_DIR``)::
 
     <root>/v<SCHEMA>/results/<sha256>.json   SimResult payloads
     <root>/v<SCHEMA>/traces/<sha256>.npz     Trace columns (compressed)
+    <root>/v<SCHEMA>/obs/<sha256>.json       observability artifacts
+                                             (repro.obs observation dumps,
+                                             stored alongside the result
+                                             under the same key)
 
 Writes are atomic (temp file + ``os.replace``), so a crashed or killed
 run never leaves a half-written entry behind. Reads are corruption
@@ -45,6 +49,7 @@ class DiskCache:
         self.version_dir = self.root / f"v{CACHE_SCHEMA}"
         self.results_dir = self.version_dir / "results"
         self.traces_dir = self.version_dir / "traces"
+        self.obs_dir = self.version_dir / "obs"
         self.counters: Dict[str, int] = {
             "result_hits": 0,
             "result_misses": 0,
@@ -59,6 +64,9 @@ class DiskCache:
 
     def trace_path(self, key: str) -> Path:
         return self.traces_dir / f"{key}.npz"
+
+    def obs_path(self, key: str) -> Path:
+        return self.obs_dir / f"{key}.json"
 
     @staticmethod
     def _atomic_write(path: Path, writer) -> None:
@@ -151,6 +159,26 @@ class DiskCache:
 
     def store_trace(self, key: str, trace: Trace) -> None:
         self._atomic_write(self.trace_path(key), lambda tmp: trace.save(tmp))
+
+    # -- observability artifacts --------------------------------------------
+
+    def load_obs(self, key: str) -> Optional[dict]:
+        """Fetch a stored observation dump, or ``None`` on miss/corruption."""
+        path = self.obs_path(key)
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self._drop(path)
+            return None
+
+    def store_obs(self, key: str, payload: dict) -> None:
+        """Store an observation dump (JSON) under the result's key."""
+        text = json.dumps(payload, sort_keys=True)
+        self._atomic_write(
+            self.obs_path(key), lambda tmp: Path(tmp).write_text(text)
+        )
 
     # -- maintenance --------------------------------------------------------
 

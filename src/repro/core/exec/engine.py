@@ -28,6 +28,7 @@ from repro.core.config import MachineConfig, build_simulator
 from repro.core.exec.cachekey import result_key, trace_key
 from repro.core.exec.diskcache import DiskCache
 from repro.core.simulator import SimResult
+from repro.obs.observer import ObsSpec, Observer
 from repro.trace.workloads import WORKLOAD_SPECS, get_trace
 
 #: Set to ``1``/``true`` (enable, default root) or a directory path to
@@ -86,17 +87,29 @@ def clear_trace_memo() -> None:
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One independent simulation: the unit of sweep parallelism."""
+    """One independent simulation: the unit of sweep parallelism.
+
+    ``obs`` optionally requests observability (event trace + interval
+    metrics, see :mod:`repro.obs`) for this point. Observation never
+    changes simulated behaviour, so it is deliberately **excluded from
+    the cache key**: the artifact is stored next to the cached result
+    (``DiskCache.store_obs``) under the same key, and a cached result
+    satisfies an observed point only if its artifact is present too.
+    """
 
     config: MachineConfig
     workload: str
     length: int
     warmup: int
     seed: int = 7
+    obs: Optional[ObsSpec] = None
 
 
 def point_key(point: SweepPoint) -> str:
-    """Persistent-cache key of *point* (content hash, schema-versioned)."""
+    """Persistent-cache key of *point* (content hash, schema-versioned).
+
+    ``point.obs`` is intentionally not hashed — see :class:`SweepPoint`.
+    """
     return result_key(
         point.config,
         point.workload,
@@ -128,19 +141,39 @@ def fetch_trace(workload: str, length: int, seed: int):
 
 
 def execute_point(point: SweepPoint) -> SimResult:
-    """Simulate one point, going through the persistent cache if enabled."""
+    """Simulate one point, going through the persistent cache if enabled.
+
+    When ``point.obs`` is set, the run is instrumented and the resulting
+    observation dump is stored alongside the cached result; a prior
+    cached result only short-circuits the run if its observation
+    artifact already exists (otherwise the point is re-simulated to
+    produce it — observation does not perturb results, so the refreshed
+    result is identical).
+    """
     disk = get_disk_cache()
     key = None
     if disk is not None:
         key = point_key(point)
         hit = disk.load_result(key)
-        if hit is not None:
+        if hit is not None and (
+            point.obs is None or disk.obs_path(key).exists()
+        ):
             return hit
     trace = fetch_trace(point.workload, point.length, point.seed)
-    sim = build_simulator(point.config, trace)
+    probe = None
+    if point.obs is not None:
+        probe = Observer.from_spec(
+            point.obs,
+            meta={"config": point.config.label, "workload": point.workload},
+        )
+    sim = build_simulator(point.config, trace, probe=probe)
     result = sim.run(warmup=point.warmup)
     if disk is not None:
         disk.store_result(key, result)
+        if probe is not None:
+            from repro.obs.export import observation_to_json
+
+            disk.store_obs(key, observation_to_json(probe.observation()))
     return result
 
 

@@ -27,8 +27,11 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.common.types import LINE_BYTES
+from repro.btb.base import attach_probe
 from repro.frontend.engine import MISFETCH, PredictionEngine
 from repro.frontend.ftq import FetchTargetQueue
+from repro.obs.events import ICACHE_WAIT, RESTEER
+from repro.obs.probe import NULL_PROBE
 
 #: Bound on the I-cache line availability map. Lines past this are
 #: evicted least-recently-touched first; the map is never wholesale
@@ -115,6 +118,7 @@ class Simulator:
         backend,
         memory=None,
         frontend: Optional[FrontendConfig] = None,
+        probe=None,
     ) -> None:
         self.trace = trace
         self.btb = btb
@@ -123,6 +127,9 @@ class Simulator:
         self.memory = memory
         self.fe = frontend if frontend is not None else FrontendConfig()
         self.stats = engine.stats  # one shared counter bag
+        #: Observability probe (see :mod:`repro.obs`); the default
+        #: :data:`NULL_PROBE` keeps the run uninstrumented.
+        self.probe = probe if probe is not None else NULL_PROBE
 
     def run(self, warmup: int = 0, sample_structure: bool = True) -> SimResult:
         """Simulate the whole trace; measure after *warmup* instructions."""
@@ -148,7 +155,16 @@ class Simulator:
         #: (vectorized) instead of dividing per access in the loop below.
         line_ix = tr.line_index()
 
-        ftq = FetchTargetQueue(fe.ftq_entries)
+        probe = self.probe
+        probe_on = probe.enabled
+        if probe_on:
+            probe.begin(tr.name, n, warmup, st)
+            attach_probe(btb, probe)
+            engine.probe = probe
+            if mem is not None:
+                mem.set_probe(probe)
+
+        ftq = FetchTargetQueue(fe.ftq_entries, probe if probe_on else None)
         line_avail: "OrderedDict[int, int]" = OrderedDict()
 
         # Hoist hot-path bound-method lookups out of the cycle loop.
@@ -182,6 +198,8 @@ class Simulator:
         interleave_mask = fe.interleaves - 1
 
         while admitted < n:
+            if probe_on:
+                probe.on_cycle(cycle, len(ftq), admitted)
             # ---- PC generation ------------------------------------------------
             if (
                 i_pcgen < n
@@ -245,6 +263,8 @@ class Simulator:
                 else:
                     line_avail_touch(head.line)
                 if avail > cycle:
+                    if probe_on:
+                        probe.emit(ICACHE_WAIT, head.line, avail - cycle)
                     break
                 take = min(head.count, fe.fetch_width - insts_used)
                 decode_ready = cycle + fe.decode_depth
@@ -278,6 +298,13 @@ class Simulator:
                             if resume > pcgen_ready:
                                 pcgen_ready = resume
                             pcgen_stalled = False
+                            if probe_on:
+                                probe.emit_at(
+                                    resteer,
+                                    RESTEER,
+                                    j,
+                                    0 if kind == MISFETCH else 1,
+                                )
                 admitted += take
                 insts_used += take
                 interleaves_used |= il_bit
@@ -293,6 +320,9 @@ class Simulator:
                     f"simulator wedged at cycle {cycle} "
                     f"(admitted {admitted}/{n}, ftq={len(ftq)})"
                 )
+
+        if probe_on:
+            probe.finish(cycle, admitted)
 
         if warm_snapshot is None:
             warm_snapshot = {}

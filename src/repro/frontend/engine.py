@@ -31,6 +31,8 @@ from repro.branch.perceptron import HashedPerceptron
 from repro.btb.base import L1_HIT, L2_HIT, BranchSlot
 from repro.common.stats import Stats
 from repro.common.types import ILEN, BranchType
+from repro.obs import events as ev
+from repro.obs.probe import NULL_PROBE
 
 SEQ = "seq"
 REDIRECT = "redirect"
@@ -40,6 +42,10 @@ MISPREDICT = "mispredict"
 
 class PredictionEngine:
     """Bundles the predictors and implements per-branch resolution."""
+
+    #: Observability probe (instance-assigned by the simulator when a run
+    #: is instrumented; the class default keeps construction unchanged).
+    probe = NULL_PROBE
 
     def __init__(
         self,
@@ -56,7 +62,7 @@ class PredictionEngine:
 
     # -- statistics helpers ---------------------------------------------------
 
-    def note_btb(self, level: int, taken: bool) -> None:
+    def note_btb(self, level: int, taken: bool, pc: int = 0) -> None:
         """Record per-level BTB hit statistics (taken branches only,
         matching the paper's hit-rate definition)."""
         if not taken:
@@ -67,6 +73,14 @@ class PredictionEngine:
             st.add("btb_taken_l1_hits")
         elif level == L2_HIT:
             st.add("btb_taken_l2_hits")
+        probe = self.probe
+        if probe.enabled:
+            if level == L1_HIT:
+                probe.emit(ev.BTB_HIT_L1, pc)
+            elif level == L2_HIT:
+                probe.emit(ev.BTB_HIT_L2, pc)
+            else:
+                probe.emit(ev.BTB_MISS, pc)
 
     # -- branch resolution ------------------------------------------------------
 
@@ -95,11 +109,15 @@ class PredictionEngine:
                 if taken:
                     st.add("mispredicts")
                     st.add("mispredicts_cond_untracked")
+                    if self.probe.enabled:
+                        self.probe.emit(ev.MISPREDICT, pc, btype)
                     return MISPREDICT
                 return SEQ
             if predicted_taken != taken:
                 st.add("mispredicts")
                 st.add("mispredicts_cond")
+                if self.probe.enabled:
+                    self.probe.emit(ev.MISPREDICT, pc, btype)
                 return MISPREDICT
             return REDIRECT if taken else SEQ
 
@@ -112,6 +130,8 @@ class PredictionEngine:
             if known:
                 return REDIRECT
             st.add("misfetches")
+            if self.probe.enabled:
+                self.probe.emit(ev.MISFETCH, pc, btype)
             return MISFETCH
 
         if btype == BranchType.RETURN:
@@ -120,11 +140,15 @@ class PredictionEngine:
             if not ras_ok:
                 st.add("mispredicts")
                 st.add("mispredicts_return")
+                if self.probe.enabled:
+                    self.probe.emit(ev.MISPREDICT, pc, btype)
                 return MISPREDICT
             if known:
                 return REDIRECT
             # Decode identifies the return and reads the (correct) RAS.
             st.add("misfetches")
+            if self.probe.enabled:
+                self.probe.emit(ev.MISFETCH, pc, btype)
             return MISFETCH
 
         # Indirect jump / indirect call.
@@ -137,9 +161,13 @@ class PredictionEngine:
         if not known:
             st.add("mispredicts")
             st.add("mispredicts_ind_untracked")
+            if self.probe.enabled:
+                self.probe.emit(ev.MISPREDICT, pc, btype)
             return MISPREDICT
         if predicted != target:
             st.add("mispredicts")
             st.add("mispredicts_indirect")
+            if self.probe.enabled:
+                self.probe.emit(ev.MISPREDICT, pc, btype)
             return MISPREDICT
         return REDIRECT

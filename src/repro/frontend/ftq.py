@@ -5,12 +5,20 @@ line): PC generation pushes (line, first trace index, instruction count)
 segments; the fetch stage pops them subject to width, interleave and
 I-cache availability constraints. When the queue is empty an entry pushed
 this cycle may be consumed this cycle (FTQ bypass, §4.1).
+
+When constructed with an enabled probe (see :mod:`repro.obs`), the queue
+emits ``ftq_enqueue`` / ``ftq_dequeue`` / ``ftq_drain`` / ``ftq_flush``
+events; with the default :data:`~repro.obs.probe.NULL_PROBE` the hooks
+reduce to one cached boolean test.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from typing import Deque, Optional
+
+from repro.obs.events import FTQ_DEQUEUE, FTQ_DRAIN, FTQ_ENQUEUE, FTQ_FLUSH
+from repro.obs.probe import NULL_PROBE
 
 
 class FTQEntry:
@@ -42,11 +50,13 @@ class FetchTargetQueue:
     simplification — structures train exactly once per access).
     """
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(self, capacity: int = 64, probe=None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._entries: Deque[FTQEntry] = deque()
+        self.probe = probe if probe is not None else NULL_PROBE
+        self._probe_on = self.probe.enabled
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -62,6 +72,8 @@ class FetchTargetQueue:
     def push(self, line: int, first_index: int, count: int, cycle: int) -> None:
         bypass = not self._entries
         self._entries.append(FTQEntry(line, first_index, count, cycle, bypass))
+        if self._probe_on:
+            self.probe.emit(FTQ_ENQUEUE, line, count)
 
     def head(self) -> Optional[FTQEntry]:
         return self._entries[0] if self._entries else None
@@ -80,7 +92,13 @@ class FetchTargetQueue:
         else:
             head.count -= count
             head.first_index += count
+        if self._probe_on:
+            self.probe.emit(FTQ_DEQUEUE, head.line, count)
+            if not self._entries:
+                self.probe.emit(FTQ_DRAIN)
 
     def flush(self) -> None:
         """Drop all entries (pipeline resteer)."""
+        if self._probe_on and self._entries:
+            self.probe.emit(FTQ_FLUSH, len(self._entries))
         self._entries.clear()

@@ -96,6 +96,16 @@ class MemoryHierarchy:
         self.itlb = TLB("ITLB", _scale_sets(cfg.itlb_sets, s), cfg.itlb_ways, 1, self.l2tlb)
         self.dtlb = TLB("DTLB", cfg.dtlb_sets, cfg.dtlb_ways, 1, self.l2tlb)
 
+    # -- observability ------------------------------------------------------------
+
+    def set_probe(self, probe) -> None:
+        """Wire an observability probe into the hierarchy's prefetchers
+        (see :mod:`repro.obs`); they emit ``prefetch_issue`` events."""
+        for cache in (self.l1i, self.l1d, self.l2, self.llc):
+            prefetcher = getattr(cache, "prefetcher", None)
+            if prefetcher is not None:
+                prefetcher.probe = probe
+
     # -- front-end interface -----------------------------------------------------
 
     def ifetch_prefetch(self, line_addr: int, cycle: int) -> None:

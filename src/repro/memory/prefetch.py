@@ -1,14 +1,23 @@
-"""Hardware prefetchers from Table 1: next-line (L2) and IP-stride (L1D)."""
+"""Hardware prefetchers from Table 1: next-line (L2) and IP-stride (L1D).
+
+Both prefetchers carry an observability ``probe`` (class default: the
+inert :data:`~repro.obs.probe.NULL_PROBE`) and emit ``prefetch_issue``
+events for every line they push into their cache when instrumented.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, Tuple
 
 from repro.common.types import LINE_BYTES
+from repro.obs.events import PREFETCH_ISSUE
+from repro.obs.probe import NULL_PROBE
 
 
 class NextLinePrefetcher:
     """Fetch line N+1 on every demand access (Table 1's L2 prefetcher)."""
+
+    probe = NULL_PROBE
 
     def __init__(self, degree: int = 1) -> None:
         if degree < 1:
@@ -17,8 +26,11 @@ class NextLinePrefetcher:
 
     def on_access(self, cache, addr: int, cycle: int, hit: bool) -> None:
         line = addr // LINE_BYTES
+        probe_on = self.probe.enabled
         for d in range(1, self.degree + 1):
             cache.prefetch((line + d) * LINE_BYTES, cycle)
+            if probe_on:
+                self.probe.emit(PREFETCH_ISSUE, (line + d) * LINE_BYTES)
 
 
 class IPStridePrefetcher:
@@ -28,6 +40,8 @@ class IPStridePrefetcher:
     confidence; once the same stride repeats, prefetches ``degree`` lines
     ahead along it.
     """
+
+    probe = NULL_PROBE
 
     def __init__(self, table_entries: int = 256, degree: int = 2) -> None:
         self.table_entries = table_entries
@@ -57,5 +71,8 @@ class IPStridePrefetcher:
             conf = max(conf - 1, 0)
         self._table[pc] = (addr, stride, conf)
         if conf >= 2 and stride != 0:
+            probe_on = self.probe.enabled
             for d in range(1, self.degree + 1):
                 cache.prefetch(addr + stride * d, cycle)
+                if probe_on:
+                    self.probe.emit(PREFETCH_ISSUE, addr + stride * d)

@@ -1,0 +1,39 @@
+"""``repro.obs`` — pipeline observability: probes, event tracing,
+interval metrics and exporters.
+
+The default probe is the inert :data:`~repro.obs.probe.NULL_PROBE`;
+uninstrumented simulations are timing-identical and within noise of the
+pre-observability simulator (see docs/observability.md for the
+measured overhead). To observe a run::
+
+    from repro.obs import Observer
+    from repro.obs.export import write_chrome_trace
+
+    observer = Observer(events=True, interval=1000)
+    sim = build_simulator(config, trace, probe=observer)
+    result = sim.run(warmup=0)
+    obs = observer.observation()
+    write_chrome_trace(obs, "out.trace.json")   # chrome://tracing
+
+or from the CLI: ``repro-sim trace WORKLOAD --events --intervals 1000
+--chrome out.trace.json``.
+"""
+
+from repro.obs.events import EVENT_COMPONENT, EVENT_NAMES, event_name
+from repro.obs.intervals import IntervalCollector
+from repro.obs.observer import Observation, Observer, ObsSpec
+from repro.obs.probe import NULL_PROBE, NullProbe
+from repro.obs.tracer import EventTracer
+
+__all__ = [
+    "EVENT_COMPONENT",
+    "EVENT_NAMES",
+    "event_name",
+    "IntervalCollector",
+    "Observation",
+    "Observer",
+    "ObsSpec",
+    "NULL_PROBE",
+    "NullProbe",
+    "EventTracer",
+]

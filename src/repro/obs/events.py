@@ -1,0 +1,116 @@
+"""Typed pipeline-event schema shared by the tracer and the exporters.
+
+Every instrumented component emits events as small integer *kinds* plus
+up to three integer arguments (``a``, ``b``, ``c``); the tracer stamps
+the current cycle. Integer kinds keep the hot emit path allocation-free
+(one tuple per recorded event) and make ring-buffer records trivially
+serializable. :data:`EVENT_NAMES` maps kinds to stable human-readable
+names used in exports, and :data:`EVENT_COMPONENT` groups kinds into the
+pipeline component ("thread") they belong to — Chrome ``trace_event``
+viewers render one track per component.
+
+Event argument conventions (``a``/``b`` unless noted):
+
+====================  =====================================================
+kind                  arguments
+====================  =====================================================
+``FTQ_ENQUEUE``       a=cache line index, b=instruction count
+``FTQ_DEQUEUE``       a=cache line index, b=instructions consumed
+``FTQ_DRAIN``         (queue just ran dry)
+``FTQ_FLUSH``         a=entries dropped
+``BTB_HIT_L1``        a=branch pc (taken-branch lookups, paper's metric)
+``BTB_HIT_L2``        a=branch pc
+``BTB_MISS``          a=branch pc
+``BTB_ALLOC``         a=entry/branch pc
+``BTB_EVICT``         a=evicted tag
+``BTB_SPLIT``         a=entry start pc, b=split point pc
+``MB_PULL``           a=pulling slot pc, b=pulled target
+``MB_DOWNGRADE``      a=downgraded slot pc
+``RBTB_OVERFLOW``     a=spilled branch pc
+``MISFETCH``          a=branch pc, b=branch type
+``MISPREDICT``        a=branch pc, b=branch type
+``RESTEER``           a=trace index, b=0 misfetch / 1 mispredict
+``ICACHE_WAIT``       a=cache line index, b=cycles until available
+``PREFETCH_ISSUE``    a=byte address
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+# -- event kinds --------------------------------------------------------------
+
+FTQ_ENQUEUE = 1
+FTQ_DEQUEUE = 2
+FTQ_DRAIN = 3
+FTQ_FLUSH = 4
+
+BTB_HIT_L1 = 5
+BTB_HIT_L2 = 6
+BTB_MISS = 7
+BTB_ALLOC = 8
+BTB_EVICT = 9
+BTB_SPLIT = 10
+MB_PULL = 11
+MB_DOWNGRADE = 12
+RBTB_OVERFLOW = 13
+
+MISFETCH = 14
+MISPREDICT = 15
+RESTEER = 16
+
+ICACHE_WAIT = 17
+PREFETCH_ISSUE = 18
+
+#: kind -> stable export name.
+EVENT_NAMES: Dict[int, str] = {
+    FTQ_ENQUEUE: "ftq_enqueue",
+    FTQ_DEQUEUE: "ftq_dequeue",
+    FTQ_DRAIN: "ftq_drain",
+    FTQ_FLUSH: "ftq_flush",
+    BTB_HIT_L1: "btb_hit_l1",
+    BTB_HIT_L2: "btb_hit_l2",
+    BTB_MISS: "btb_miss",
+    BTB_ALLOC: "btb_alloc",
+    BTB_EVICT: "btb_evict",
+    BTB_SPLIT: "btb_split",
+    MB_PULL: "mb_pull",
+    MB_DOWNGRADE: "mb_downgrade",
+    RBTB_OVERFLOW: "rbtb_overflow",
+    MISFETCH: "misfetch",
+    MISPREDICT: "mispredict",
+    RESTEER: "resteer",
+    ICACHE_WAIT: "icache_wait",
+    PREFETCH_ISSUE: "prefetch_issue",
+}
+
+#: kind -> pipeline component (one Chrome-trace track per component).
+EVENT_COMPONENT: Dict[int, str] = {
+    FTQ_ENQUEUE: "ftq",
+    FTQ_DEQUEUE: "ftq",
+    FTQ_DRAIN: "ftq",
+    FTQ_FLUSH: "ftq",
+    BTB_HIT_L1: "btb",
+    BTB_HIT_L2: "btb",
+    BTB_MISS: "btb",
+    BTB_ALLOC: "btb",
+    BTB_EVICT: "btb",
+    BTB_SPLIT: "btb",
+    MB_PULL: "btb",
+    MB_DOWNGRADE: "btb",
+    RBTB_OVERFLOW: "btb",
+    MISFETCH: "pcgen",
+    MISPREDICT: "pcgen",
+    RESTEER: "pcgen",
+    ICACHE_WAIT: "fetch",
+    PREFETCH_ISSUE: "memory",
+}
+
+#: Component tracks in display order (Chrome-trace thread ids).
+COMPONENTS = ("pcgen", "ftq", "fetch", "btb", "memory")
+
+
+def event_name(kind: int) -> str:
+    """Export name of *kind* (unknown kinds render as ``event_<kind>``)."""
+    return EVENT_NAMES.get(kind, f"event_{kind}")

@@ -1,0 +1,154 @@
+"""The live probe implementation and its frozen result artifact.
+
+:class:`Observer` implements the probe protocol of :mod:`repro.obs.probe`
+by composing an :class:`~repro.obs.tracer.EventTracer` (opt-in) and an
+:class:`~repro.obs.intervals.IntervalCollector` (opt-in). Pass one to
+:meth:`Simulator.run <repro.core.simulator.Simulator>` (via the
+``probe`` constructor argument or ``build_simulator(..., probe=...)``)
+and call :meth:`Observer.observation` afterwards for the immutable
+:class:`Observation` that the exporters consume.
+
+:class:`ObsSpec` is the hashable "what to observe" description used by
+the sweep engine (:mod:`repro.core.exec.engine`) so observability can be
+requested per sweep point without changing cache keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.obs.events import event_name
+from repro.obs.intervals import IntervalCollector
+from repro.obs.tracer import DEFAULT_CAPACITY, EventRecord, EventTracer
+
+
+@dataclass(frozen=True)
+class ObsSpec:
+    """Hashable observability request (used by sweep points)."""
+
+    events: bool = True
+    interval: int = 1000
+    sample: int = 1
+    capacity: int = DEFAULT_CAPACITY
+
+
+@dataclass
+class Observation:
+    """Frozen outcome of one observed run."""
+
+    name: str
+    cycles: int
+    instructions: int
+    warmup: int
+    interval: int
+    #: Buffered (cycle, kind, a, b, c) records, oldest first.
+    events: List[EventRecord] = field(default_factory=list)
+    #: Exact per-kind totals by export name (independent of bounding).
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    dropped: int = 0
+    sampled_out: int = 0
+    #: Interval columns (name -> float64 array); empty when not collected.
+    intervals: Dict[str, np.ndarray] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class Observer:
+    """Composite probe: event tracing + interval metrics.
+
+    Construct with ``events=False`` or ``interval=0`` to disable either
+    half; an Observer with both disabled still tracks run framing and is
+    valid (if pointless). The simulator only ever sees the probe
+    protocol — ``begin`` / ``on_cycle`` / ``emit`` / ``emit_at`` /
+    ``finish``.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        events: bool = True,
+        interval: int = 0,
+        sample: int = 1,
+        capacity: int = DEFAULT_CAPACITY,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.now = 0
+        self.tracer = EventTracer(capacity, sample) if events else None
+        self.intervals = IntervalCollector(interval) if interval > 0 else None
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self.name = ""
+        self.trace_instructions = 0
+        self.warmup = 0
+        self.final_cycle = 0
+        self.final_admitted = 0
+        self._stats = None
+
+    @classmethod
+    def from_spec(cls, spec: ObsSpec, meta: Optional[Dict[str, Any]] = None) -> "Observer":
+        return cls(
+            events=spec.events,
+            interval=spec.interval,
+            sample=spec.sample,
+            capacity=spec.capacity,
+            meta=meta,
+        )
+
+    # -- probe protocol -----------------------------------------------------
+
+    def begin(self, name, instructions, warmup, stats) -> None:
+        self.name = name
+        self.trace_instructions = instructions
+        self.warmup = warmup
+        self._stats = stats
+        if self.intervals is not None:
+            self.intervals.begin(stats)
+
+    def on_cycle(self, cycle, ftq_len=0, admitted=0) -> None:
+        self.now = cycle
+        iv = self.intervals
+        if iv is not None:
+            iv.on_cycle(cycle, ftq_len, admitted)
+
+    def emit(self, kind, a=0, b=0, c=0) -> None:
+        tr = self.tracer
+        if tr is not None:
+            tr.add(self.now, kind, a, b, c)
+
+    def emit_at(self, cycle, kind, a=0, b=0, c=0) -> None:
+        tr = self.tracer
+        if tr is not None:
+            tr.add(cycle, kind, a, b, c)
+
+    def finish(self, cycle, admitted=0) -> None:
+        self.final_cycle = cycle
+        self.final_admitted = admitted
+        if self.intervals is not None:
+            self.intervals.finish(cycle, admitted)
+
+    # -- results ------------------------------------------------------------
+
+    def observation(self) -> Observation:
+        """Snapshot everything observed so far as an :class:`Observation`."""
+        tr = self.tracer
+        return Observation(
+            name=self.name,
+            cycles=self.final_cycle,
+            instructions=self.final_admitted,
+            warmup=self.warmup,
+            interval=self.intervals.interval if self.intervals is not None else 0,
+            events=tr.records() if tr is not None else [],
+            event_counts=(
+                {event_name(k): n for k, n in sorted(tr.counts.items())}
+                if tr is not None
+                else {}
+            ),
+            dropped=tr.dropped if tr is not None else 0,
+            sampled_out=tr.sampled_out if tr is not None else 0,
+            intervals=(
+                self.intervals.finalize() if self.intervals is not None else {}
+            ),
+            meta=dict(self.meta),
+        )

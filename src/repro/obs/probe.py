@@ -1,0 +1,67 @@
+"""The ``Probe`` protocol and its do-nothing fast path.
+
+A *probe* is the single object the pipeline talks to when instrumented.
+Components never import tracers or collectors; they hold a ``probe``
+attribute (class-level default :data:`NULL_PROBE`) and guard every
+emission site with ``if probe.enabled:`` so that uninstrumented runs pay
+at most one attribute load + branch per already-rare event — and nothing
+at all on the per-instruction fast paths.
+
+Probe protocol (duck-typed; :class:`~repro.obs.observer.Observer` is the
+real implementation):
+
+``enabled``
+    Bool. False on :class:`NullProbe`; instrumentation sites use it as
+    the cheap gate.
+``now``
+    The current simulation cycle; maintained by the simulator via
+    :meth:`on_cycle`, read implicitly by :meth:`emit`.
+``begin(name, instructions, warmup, stats)``
+    Called once at the start of :meth:`Simulator.run` with the workload
+    name, trace length, warmup boundary and the live ``Stats`` bag.
+``on_cycle(cycle, ftq_len, admitted)``
+    Called once per simulated cycle (only when enabled): advances
+    ``now``, feeds interval collection.
+``emit(kind, a=0, b=0, c=0)``
+    Record one typed event at cycle ``now``.
+``emit_at(cycle, kind, a=0, b=0, c=0)``
+    Record one typed event at an explicit *cycle* (used for events whose
+    timestamp is in the future, e.g. the resteer completion).
+``finish(cycle, admitted)``
+    Called once when the run ends; flushes the final partial interval.
+"""
+
+from __future__ import annotations
+
+
+class NullProbe:
+    """Inert probe: every hook is a no-op and ``enabled`` is False.
+
+    The simulator hoists ``probe.enabled`` into a local before its cycle
+    loop, so a run wired to the :data:`NULL_PROBE` singleton executes the
+    exact same instruction stream as one with no probe argument at all.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    now = 0
+
+    def begin(self, name, instructions, warmup, stats) -> None:
+        pass
+
+    def on_cycle(self, cycle, ftq_len=0, admitted=0) -> None:
+        pass
+
+    def emit(self, kind, a=0, b=0, c=0) -> None:
+        pass
+
+    def emit_at(self, cycle, kind, a=0, b=0, c=0) -> None:
+        pass
+
+    def finish(self, cycle, admitted=0) -> None:
+        pass
+
+
+#: Process-wide inert probe; components default to this.
+NULL_PROBE = NullProbe()

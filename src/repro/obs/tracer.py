@@ -1,0 +1,69 @@
+"""Structured event tracer: a bounded ring buffer with sampling.
+
+Records are ``(cycle, kind, a, b, c)`` tuples. Two independent bounding
+mechanisms keep long runs cheap:
+
+* ``sample=K`` keeps every K-th event *per kind* (kind-stratified, so a
+  flood of FTQ enqueues cannot starve rare misfetch events out of the
+  sample);
+* ``capacity`` bounds the buffer; once full, the oldest records are
+  dropped (ring semantics) and counted in :attr:`dropped`.
+
+Per-kind totals in :attr:`counts` are exact regardless of sampling or
+ring drops, so aggregate analyses never depend on buffer sizing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Tuple
+
+#: One recorded event: (cycle, kind, a, b, c).
+EventRecord = Tuple[int, int, int, int, int]
+
+#: Default ring capacity (records).
+DEFAULT_CAPACITY = 65536
+
+
+class EventTracer:
+    """Bounded, optionally sampling, typed event recorder."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, sample: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if sample < 1:
+            raise ValueError("sample must be >= 1")
+        self.capacity = capacity
+        self.sample = sample
+        self._ring: Deque[EventRecord] = deque(maxlen=capacity)
+        #: Exact emitted-event totals per kind (independent of bounding).
+        self.counts: Dict[int, int] = {}
+        #: Events that fell out of the full ring.
+        self.dropped = 0
+        #: Events skipped by the sampling stride.
+        self.sampled_out = 0
+
+    def add(self, cycle: int, kind: int, a: int = 0, b: int = 0, c: int = 0) -> None:
+        """Record one event (subject to sampling and ring bounding)."""
+        counts = self.counts
+        seen = counts.get(kind, 0)
+        counts[kind] = seen + 1
+        if self.sample > 1 and seen % self.sample:
+            self.sampled_out += 1
+            return
+        ring = self._ring
+        if len(ring) == self.capacity:
+            self.dropped += 1
+        ring.append((cycle, kind, a, b, c))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def total(self) -> int:
+        """Exact number of emitted events across all kinds."""
+        return sum(self.counts.values())
+
+    def records(self) -> List[EventRecord]:
+        """Buffered records in emission order (oldest first)."""
+        return list(self._ring)

@@ -12,9 +12,13 @@ optional columns (default 0 / -1 for registers)::
 
 ``pc``/``target``/``maddr`` accept decimal or 0x-prefixed hex. ``btype``
 accepts the numeric :class:`~repro.common.types.BranchType` value or its
-name (``COND_DIRECT``, ``RETURN``, ...; case-insensitive). Loaded traces
-are validated for control-flow consistency (each instruction's successor
-must be the next record).
+name (``COND_DIRECT``, ``RETURN``, ...; case-insensitive). Blank lines
+and comment lines (first non-space character ``#``) are skipped anywhere
+in the file — before the header, between records, or trailing — so
+hand-annotated or tool-generated traces load as-is; error messages still
+report physical line numbers. Loaded traces are validated for
+control-flow consistency (each instruction's successor must be the next
+record).
 """
 
 from __future__ import annotations
@@ -38,6 +42,31 @@ OPTIONAL_DEFAULTS: Dict[str, int] = {
 
 class TraceFormatError(ValueError):
     """Raised for malformed trace files."""
+
+
+class _LineFilter:
+    """Line iterator that drops blank and ``#`` comment lines.
+
+    Feeds :class:`csv.DictReader` while remembering the *physical* line
+    number of the last line yielded, so diagnostics point at the real
+    location in the file even when lines were skipped before it.
+    """
+
+    def __init__(self, handle) -> None:
+        self._numbered = enumerate(handle, start=1)
+        self.line_no = 0
+
+    def __iter__(self) -> "_LineFilter":
+        return self
+
+    def __next__(self) -> str:
+        for no, line in self._numbered:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            self.line_no = no
+            return line
+        raise StopIteration
 
 
 def _parse_int(text: str, line_no: int, column: str) -> int:
@@ -74,14 +103,16 @@ def load_trace_csv(path: str, name: Optional[str] = None, validate: bool = True)
     """Load a trace from *path*; see module docstring for the format."""
     trace = Trace(name=name or str(path))
     with open(path, newline="") as handle:
-        reader = csv.DictReader(handle)
+        source = _LineFilter(handle)
+        reader = csv.DictReader(source)
         if reader.fieldnames is None:
             raise TraceFormatError("empty trace file (missing header)")
         fields = [f.strip() for f in reader.fieldnames]
         missing = [c for c in REQUIRED_COLUMNS if c not in fields]
         if missing:
             raise TraceFormatError(f"missing required columns: {', '.join(missing)}")
-        for line_no, row in enumerate(reader, start=2):
+        for row in reader:
+            line_no = source.line_no
             row = {k.strip(): (v or "") for k, v in row.items() if k}
             kwargs = {}
             for column, default in OPTIONAL_DEFAULTS.items():

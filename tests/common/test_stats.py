@@ -112,6 +112,22 @@ def test_stats_merge_accumulates():
     assert a.get("only_b") == 5
 
 
+def test_stats_merge_disjoint_and_overlapping_keys():
+    a, b = Stats(), Stats()
+    a.add("only_a", 4)
+    a.add("shared", 1.5)
+    b.add("only_b", 2)
+    b.add("shared", 2.5)
+    a.merge(b)
+    # Overlapping keys sum; disjoint keys from either side survive.
+    assert a.as_dict() == {"only_a": 4.0, "shared": 4.0, "only_b": 2.0}
+    # The source of the merge is untouched.
+    assert b.as_dict() == {"only_b": 2.0, "shared": 2.5}
+    # Merging an empty bag is a no-op.
+    a.merge(Stats())
+    assert a.get("shared") == 4.0
+
+
 def test_stats_as_dict_is_snapshot():
     st = Stats()
     st.add("k")
@@ -147,6 +163,8 @@ def test_histogram_quantile():
     assert h.quantile(1.0) == 10
 
 
-def test_histogram_quantile_empty_raises():
-    with pytest.raises(ValueError):
-        Histogram().quantile(0.5)
+def test_histogram_empty_is_neutral():
+    h = Histogram()
+    assert h.quantile(0.5) == 0
+    assert h.mean == 0.0
+    assert h.total == 0

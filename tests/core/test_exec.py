@@ -158,6 +158,28 @@ def test_corrupted_trace_file_falls_back_to_resynthesis(tmp_path):
     assert cache.counters["trace_misses"] >= 1
 
 
+def test_truncated_trace_npz_is_a_miss_and_resynthesized(tmp_path):
+    """Trace-side mirror of the result-corruption tests: a genuinely
+    cached .npz cut off mid-archive must be treated as a miss, dropped,
+    and transparently re-synthesized (then re-stored intact)."""
+    cache = configure_disk_cache(True, tmp_path)
+    spec = WORKLOAD_SPECS["web_frontend"]
+    key = trace_key("web_frontend", spec, L, 7)
+    good = execute_point(SweepPoint(ibtb(16), "web_frontend", L, W, 7))
+    path = cache.trace_path(key)
+    assert path.exists()
+    payload = path.read_bytes()
+    path.write_bytes(payload[: len(payload) // 2])
+    # New config, same trace: misses the result cache, so the truncated
+    # trace entry is actually consulted (memos cleared first).
+    cache = configure_disk_cache(True, tmp_path)
+    again = execute_point(SweepPoint(ibtb(8), "web_frontend", L, W, 7))
+    assert again.instructions == good.instructions
+    assert cache.counters["trace_misses"] >= 1
+    # The broken entry was replaced by a fresh, loadable copy.
+    assert cache.load_trace(key) is not None
+
+
 def test_truncated_result_payload_is_a_miss(tmp_path):
     cache = DiskCache(tmp_path)
     path = cache.result_path("deadbeef")
@@ -165,6 +187,53 @@ def test_truncated_result_payload_is_a_miss(tmp_path):
     path.write_text('{"name": "x"}')  # valid JSON, missing fields
     assert cache.load_result("deadbeef") is None
     assert not path.exists()
+
+
+def test_sweep_point_obs_artifact_stored_alongside_result(tmp_path):
+    """Observability opt-in: same cache key, artifact stored next to the
+    result, cached results only reused once the artifact exists."""
+    from repro.obs import ObsSpec
+
+    cache = configure_disk_cache(True, tmp_path)
+    plain = SweepPoint(ibtb(16), "web_frontend", L, W, 7)
+    observed = SweepPoint(
+        ibtb(16), "web_frontend", L, W, 7, obs=ObsSpec(interval=500)
+    )
+    # Observation does not participate in the cache key.
+    key = point_key(plain)
+    assert key == point_key(observed)
+
+    base = execute_point(plain)
+    assert cache.load_obs(key) is None
+    # Cached result without artifact: point re-runs instrumented and is
+    # still bit-identical (the golden-equivalence guarantee).
+    again = execute_point(observed)
+    assert again.stats == base.stats and again.cycles == base.cycles
+    payload = cache.load_obs(key)
+    assert payload is not None
+    # The observation spans the whole run; warmup is recorded alongside.
+    assert payload["instructions"] == L
+    assert payload["warmup"] == W
+    assert sum(payload["event_counts"].values()) > 0
+    assert payload["meta"]["workload"] == "web_frontend"
+    # Fully cached now: served without recomputing the artifact.
+    hits_before = cache.counters["result_hits"]
+    assert execute_point(observed).stats == base.stats
+    assert cache.counters["result_hits"] == hits_before + 1
+
+
+def test_corrupt_obs_artifact_is_dropped(tmp_path):
+    from repro.obs import ObsSpec
+
+    cache = configure_disk_cache(True, tmp_path)
+    point = SweepPoint(
+        ibtb(16), "web_frontend", L, W, 7, obs=ObsSpec(interval=500)
+    )
+    execute_point(point)
+    key = point_key(point)
+    cache.obs_path(key).write_text("{ nope")
+    assert cache.load_obs(key) is None
+    assert not cache.obs_path(key).exists()
 
 
 def test_clear_cache_disk_purges_persistent_entries(tmp_path):

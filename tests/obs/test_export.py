@@ -1,0 +1,116 @@
+"""Unit tests for the Chrome/CSV/JSON exporters."""
+
+import csv
+import json
+
+import numpy as np
+
+from repro.obs.events import BTB_MISS, MISFETCH, MISPREDICT, RESTEER
+from repro.obs.export import (
+    CHROME_COUNTERS,
+    chrome_trace,
+    observation_to_json,
+    write_chrome_trace,
+    write_intervals_csv,
+    write_observation_json,
+)
+from repro.obs.observer import Observation
+
+
+def make_observation():
+    return Observation(
+        name="toy",
+        cycles=40,
+        instructions=64,
+        warmup=0,
+        interval=20,
+        events=[
+            (2, BTB_MISS, 0x400, 0, 0),
+            (3, MISFETCH, 0x404, 2, 0),
+            (7, RESTEER, 11, 0, 0),
+            (9, MISPREDICT, 0x420, 1, 0),
+            (15, RESTEER, 12, 1, 0),
+        ],
+        event_counts={"btb_miss": 1, "misfetch": 1, "mispredict": 1, "resteer": 2},
+        intervals={
+            "cycle_start": np.array([0.0, 20.0]),
+            "cycle_end": np.array([20.0, 40.0]),
+            "instructions": np.array([30.0, 34.0]),
+            "ipc": np.array([1.5, 1.7]),
+            "ftq_occupancy": np.array([3.0, 4.0]),
+            "misfetch_pki": np.array([33.3, 0.0]),
+            "branch_mpki": np.array([0.0, 29.4]),
+            "l1_btb_hit_rate": np.array([0.5, 0.9]),
+        },
+        meta={"config": "toy-cfg"},
+    )
+
+
+def test_chrome_trace_structure():
+    doc = chrome_trace(make_observation())
+    events = doc["traceEvents"]
+    by_phase = {}
+    for e in events:
+        by_phase.setdefault(e["ph"], []).append(e)
+    # Metadata names the process and one thread per track.
+    assert any(e["name"] == "process_name" for e in by_phase["M"])
+    thread_names = {
+        e["args"]["name"] for e in by_phase["M"] if e["name"] == "thread_name"
+    }
+    assert {"pcgen", "ftq", "fetch", "btb", "memory", "stalls"} <= thread_names
+    # Every buffered event appears as an instant event at its cycle.
+    assert len(by_phase["i"]) == 5
+    assert sorted(e["ts"] for e in by_phase["i"]) == [2, 3, 7, 9, 15]
+    # misfetch->resteer and mispredict->resteer pair into duration slices.
+    slices = by_phase["X"]
+    assert [(s["ts"], s["dur"], s["name"]) for s in slices] == [
+        (3, 4, "misfetch"),
+        (9, 6, "mispredict"),
+    ]
+    # One counter sample per interval per exported metric.
+    assert len(by_phase["C"]) == 2 * len(CHROME_COUNTERS)
+    assert doc["otherData"]["workload"] == "toy"
+    assert doc["otherData"]["config"] == "toy-cfg"
+
+
+def test_chrome_trace_file_is_valid_json(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(make_observation(), str(path))
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"]
+
+
+def test_intervals_csv_round_trips(tmp_path):
+    obs = make_observation()
+    path = tmp_path / "iv.csv"
+    write_intervals_csv(obs, str(path))
+    with open(path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 2
+    assert float(rows[0]["ipc"]) == 1.5
+    assert float(rows[1]["cycle_end"]) == 40.0
+    assert set(rows[0]) == set(obs.intervals)
+
+
+def test_observation_json_round_trips(tmp_path):
+    obs = make_observation()
+    path = tmp_path / "obs.json"
+    write_observation_json(obs, str(path))
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == 1
+    assert payload["name"] == "toy"
+    assert payload["event_counts"]["resteer"] == 2
+    assert payload["events"][0] == [2, BTB_MISS, 0x400, 0, 0]
+    assert payload["intervals"]["instructions"] == [30.0, 34.0]
+    # And it matches the in-memory rendering exactly.
+    assert payload == json.loads(json.dumps(observation_to_json(obs)))
+
+
+def test_empty_observation_exports_cleanly(tmp_path):
+    obs = Observation(
+        name="empty", cycles=0, instructions=0, warmup=0, interval=0
+    )
+    doc = chrome_trace(obs)
+    assert all(e["ph"] == "M" for e in doc["traceEvents"])
+    write_intervals_csv(obs, str(tmp_path / "e.csv"))
+    assert (tmp_path / "e.csv").read_text().strip() == ""

@@ -1,0 +1,102 @@
+"""Golden-equivalence and reconciliation tests for instrumented runs.
+
+The observability contract: attaching a probe never changes what is
+simulated. A probed run must produce a bit-identical SimResult for
+every BTB organization, its event census must agree with the engine's
+counters, and interval columns must sum to the end-of-run totals.
+"""
+
+import pytest
+
+from repro.core.config import bbtb, build_simulator, hetero_btb, ibtb, mbbtb, rbtb
+from repro.obs import Observer
+from repro.trace.workloads import get_trace
+
+L = 8_000
+CONFIGS = [
+    ibtb(16),
+    rbtb(3, overflow=4),
+    bbtb(1, splitting=True),
+    mbbtb(2, "allbr"),
+    hetero_btb(1, 2),
+]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return get_trace("web_frontend", L)
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.label)
+def test_probed_run_is_bit_identical(config, trace):
+    plain = build_simulator(config, trace).run(warmup=0)
+    obs = Observer(events=True, interval=500)
+    probed = build_simulator(config, trace, probe=obs).run(warmup=0)
+    assert probed.cycles == plain.cycles
+    assert probed.instructions == plain.instructions
+    assert probed.stats == plain.stats
+    assert probed.structure == plain.structure
+
+
+@pytest.mark.parametrize("config", CONFIGS[:2], ids=lambda c: c.label)
+def test_probed_run_is_bit_identical_with_warmup(config, trace):
+    plain = build_simulator(config, trace).run(warmup=L // 4)
+    obs = Observer(events=True, interval=500)
+    probed = build_simulator(config, trace, probe=obs).run(warmup=L // 4)
+    assert probed.stats == plain.stats
+    assert probed.cycles == plain.cycles
+
+
+def test_event_census_matches_stats_counters(trace):
+    obs = Observer(events=True, interval=0)
+    result = build_simulator(mbbtb(2, "allbr"), trace, probe=obs).run(warmup=0)
+    counts = obs.observation().event_counts
+    # Resolution events map 1:1 onto the engine's counters.
+    assert counts["misfetch"] == result.stats["misfetches"]
+    assert counts["mispredict"] == result.stats["mispredicts"]
+    # Every misfetch/mispredict eventually resteers PC generation.
+    assert counts["resteer"] == counts["misfetch"] + counts["mispredict"]
+    # Taken-lookup outcome events match the paper's BTB counters.
+    assert counts["btb_hit_l1"] == result.stats["btb_taken_l1_hits"]
+    assert counts["btb_hit_l2"] == result.stats.get("btb_taken_l2_hits", 0)
+    hit_or_miss = (
+        counts["btb_hit_l1"] + counts["btb_hit_l2"] + counts["btb_miss"]
+    )
+    assert hit_or_miss == result.stats["btb_taken_lookups"]
+
+
+def test_intervals_reconcile_with_sim_result(trace):
+    obs = Observer(events=False, interval=750)
+    result = build_simulator(ibtb(16), trace, probe=obs).run(warmup=0)
+    cols = obs.observation().intervals
+    assert cols["instructions"].sum() == result.instructions
+    # Raw counter deltas reproduce the measured totals exactly.
+    for name in ("mispredicts", "misfetches", "btb_accesses", "fetch_pcs"):
+        assert cols[name].sum() == result.stats[name], name
+    # The final interval edge is the last simulated cycle.
+    assert cols["cycle_end"][-1] == obs.observation().cycles
+
+
+def test_observation_framing(trace):
+    obs = Observer(events=True, interval=1000, meta={"tag": "x"})
+    build_simulator(ibtb(16), trace, probe=obs).run(warmup=0)
+    o = obs.observation()
+    assert o.name == trace.name
+    assert o.instructions == L
+    assert o.cycles > 0
+    assert o.interval == 1000
+    assert o.meta == {"tag": "x"}
+    assert o.events, "no events buffered"
+    # Buffered records never exceed exact counts.
+    assert len(o.events) <= sum(o.event_counts.values())
+
+
+def test_sampled_observer_keeps_exact_counts(trace):
+    full = Observer(events=True, interval=0)
+    build_simulator(ibtb(16), trace, probe=full).run(warmup=0)
+    sampled = Observer(events=True, interval=0, sample=8, capacity=256)
+    build_simulator(ibtb(16), trace, probe=sampled).run(warmup=0)
+    a, b = full.observation(), sampled.observation()
+    assert a.event_counts == b.event_counts
+    assert len(b.events) <= 256
+    assert b.sampled_out > 0

@@ -1,0 +1,56 @@
+"""Unit tests for the probe protocol and the NullProbe fast path."""
+
+from repro.obs.probe import NULL_PROBE, NullProbe
+
+
+def test_null_probe_is_disabled_singleton():
+    assert NULL_PROBE.enabled is False
+    assert NULL_PROBE.now == 0
+    assert isinstance(NULL_PROBE, NullProbe)
+
+
+def test_null_probe_protocol_is_noop():
+    # Every protocol method accepts its arguments and returns None.
+    assert NULL_PROBE.begin("name", 100, 10, object()) is None
+    assert NULL_PROBE.on_cycle(5, 3, 40) is None
+    assert NULL_PROBE.emit(1, 2, 3, 4) is None
+    assert NULL_PROBE.emit_at(7, 1, 2) is None
+    assert NULL_PROBE.finish(9) is None
+    assert NULL_PROBE.finish(9, 100) is None
+
+
+def test_null_probe_has_no_instance_dict():
+    # __slots__ = () keeps the hot-path attribute reads cheap and the
+    # singleton immutable-ish (no accidental per-run state).
+    assert not hasattr(NullProbe(), "__dict__")
+
+
+def test_components_default_to_null_probe():
+    from repro.btb.base import BTBGeometry, TwoLevelStore
+    from repro.btb.ibtb import InstructionBTB
+    from repro.frontend.engine import PredictionEngine
+    from repro.frontend.ftq import FetchTargetQueue
+    from repro.memory.prefetch import IPStridePrefetcher, NextLinePrefetcher
+
+    geom = BTBGeometry(sets=4, ways=2)
+    for obj in (
+        InstructionBTB(geom, geom),
+        TwoLevelStore(geom, geom, 2),
+        PredictionEngine(),
+        FetchTargetQueue(8),
+        NextLinePrefetcher(),
+        IPStridePrefetcher(),
+    ):
+        assert obj.probe is NULL_PROBE
+
+
+def test_attach_probe_reaches_the_store():
+    from repro.btb.base import BTBGeometry, attach_probe
+    from repro.btb.ibtb import InstructionBTB
+    from repro.obs import Observer
+
+    btb = InstructionBTB(BTBGeometry(4, 2), BTBGeometry(8, 2))
+    obs = Observer()
+    attach_probe(btb, obs)
+    assert btb.probe is obs
+    assert btb.store.probe is obs

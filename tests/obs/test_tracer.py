@@ -1,0 +1,64 @@
+"""Unit tests for the bounded, sampling event tracer."""
+
+import pytest
+
+from repro.obs.events import (
+    BTB_MISS,
+    EVENT_COMPONENT,
+    EVENT_NAMES,
+    FTQ_ENQUEUE,
+    MISFETCH,
+    event_name,
+)
+from repro.obs.tracer import EventTracer
+
+
+def test_records_in_emission_order():
+    tr = EventTracer()
+    tr.add(1, FTQ_ENQUEUE, 10, 2)
+    tr.add(3, BTB_MISS, 0x400)
+    assert tr.records() == [(1, FTQ_ENQUEUE, 10, 2, 0), (3, BTB_MISS, 0x400, 0, 0)]
+    assert len(tr) == 2
+    assert tr.total == 2
+    assert tr.dropped == 0 and tr.sampled_out == 0
+
+
+def test_ring_bounding_drops_oldest_and_counts():
+    tr = EventTracer(capacity=4)
+    for cycle in range(10):
+        tr.add(cycle, FTQ_ENQUEUE)
+    assert len(tr) == 4
+    assert [r[0] for r in tr.records()] == [6, 7, 8, 9]
+    assert tr.dropped == 6
+    # Exact totals are unaffected by the ring.
+    assert tr.counts[FTQ_ENQUEUE] == 10
+
+
+def test_sampling_is_kind_stratified():
+    tr = EventTracer(sample=4)
+    for cycle in range(8):
+        tr.add(cycle, FTQ_ENQUEUE)
+    tr.add(100, MISFETCH)  # first of its kind: always buffered
+    kinds = [r[1] for r in tr.records()]
+    assert kinds == [FTQ_ENQUEUE, FTQ_ENQUEUE, MISFETCH]
+    assert tr.sampled_out == 6
+    # Counts stay exact per kind.
+    assert tr.counts == {FTQ_ENQUEUE: 8, MISFETCH: 1}
+    assert tr.total == 9
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        EventTracer(capacity=0)
+    with pytest.raises(ValueError):
+        EventTracer(sample=0)
+
+
+def test_event_kind_tables_are_complete():
+    # Every kind has a name and a component track; names are unique.
+    assert set(EVENT_COMPONENT) == set(EVENT_NAMES)
+    assert len(set(EVENT_NAMES.values())) == len(EVENT_NAMES)
+    for kind in EVENT_NAMES:
+        assert event_name(kind) == EVENT_NAMES[kind]
+    # Unknown kinds render as a stable fallback rather than raising.
+    assert event_name(9999) == "event_9999"

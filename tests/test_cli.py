@@ -111,6 +111,53 @@ def test_cmd_run_external_trace(tmp_path, capsys):
     assert "IPC" in capsys.readouterr().out
 
 
+def test_cmd_trace_exports_all_formats(tmp_path, capsys):
+    import csv
+    import json
+
+    chrome = tmp_path / "trace.json"
+    iv_csv = tmp_path / "intervals.csv"
+    dump = tmp_path / "obs.json"
+    code = main(
+        [
+            "trace", "db_oltp", "mbbtb:2:allbr", "--length", "6000",
+            "--intervals", "500",
+            "--chrome", str(chrome), "--csv", str(iv_csv), "--json", str(dump),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "timeline: db_oltp" in out
+    assert "mispredict" in out
+    # Chrome document parses and is non-empty.
+    doc = json.loads(chrome.read_text())
+    assert doc["traceEvents"]
+    assert doc["otherData"]["event_counts"]
+    # Interval CSV has rows; instruction deltas cover the whole run.
+    with open(iv_csv, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    assert sum(float(r["instructions"]) for r in rows) == 6000
+    # Full dump round-trips.
+    payload = json.loads(dump.read_text())
+    assert payload["schema"] == 1 and payload["instructions"] == 6000
+
+
+def test_cmd_trace_default_config_and_no_events(capsys):
+    assert main(["trace", "kv_store", "--length", "4000", "--no-events"]) == 0
+    out = capsys.readouterr().out
+    assert "timeline: kv_store" in out
+
+
+def test_cmd_trace_external_csv(tmp_path, capsys):
+    from repro.trace.external import save_trace_csv
+    from repro.trace.workloads import get_trace
+
+    path = str(tmp_path / "ext.csv")
+    save_trace_csv(get_trace("kv_store", 4000), path)
+    assert main(["trace", path, "ibtb:16"]) == 0
+    assert "timeline" in capsys.readouterr().out
+
+
 def test_cmd_export(tmp_path, capsys):
     outdir = str(tmp_path / "traces")
     assert main(["export", outdir, "kv_store", "--length", "3000"]) == 0

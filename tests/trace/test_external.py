@@ -76,6 +76,42 @@ def test_unknown_btype_name_raises(tmp_path):
         load_trace_csv(path)
 
 
+def test_blank_and_comment_lines_skipped(tmp_path):
+    path = write(
+        tmp_path,
+        "# hand-annotated trace\n"
+        "\n"
+        "pc,btype,taken,target\n"
+        "0x100,NONE,0,0\n"
+        "   \n"
+        "# hot loop below\n"
+        "0x104,UNCOND_DIRECT,1,0x200\n"
+        "0x200,NONE,0,0\n"
+        "\n",
+    )
+    trace = load_trace_csv(path)
+    assert trace.pc == [0x100, 0x104, 0x200]
+
+
+def test_error_line_numbers_account_for_skipped_lines(tmp_path):
+    path = write(
+        tmp_path,
+        "# comment\n"
+        "pc,btype,taken,target\n"
+        "0x100,NONE,0,0\n"
+        "\n"
+        "zzz,NONE,0,0\n",  # physical line 5
+    )
+    with pytest.raises(TraceFormatError, match="line 5"):
+        load_trace_csv(path)
+
+
+def test_comment_only_file_raises(tmp_path):
+    path = write(tmp_path, "# nothing but commentary\n\n# more\n")
+    with pytest.raises(TraceFormatError, match="missing header"):
+        load_trace_csv(path)
+
+
 def test_empty_file_raises(tmp_path):
     path = write(tmp_path, "")
     with pytest.raises(TraceFormatError):
