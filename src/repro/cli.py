@@ -45,9 +45,23 @@ from repro.core.config import (
     rbtb,
 )
 from repro.core.config import build_simulator
-from repro.core.exec import configure_disk_cache, env_cache_root
-from repro.core.runner import clear_cache, compare_to_baseline, run_one
-from repro.trace.external import load_trace_csv
+from repro.core.exec import (
+    RetryPolicy,
+    SweepError,
+    SweepJournal,
+    SweepPoint,
+    configure_disk_cache,
+    env_cache_root,
+    point_key,
+    sweep_key,
+)
+from repro.core.runner import (
+    clear_cache,
+    compare_to_baseline,
+    run_one,
+    sweep_compare,
+)
+from repro.trace.external import TraceFormatError, load_trace_csv
 from repro.trace.workloads import SERVER_SUITE, get_trace
 
 
@@ -207,8 +221,50 @@ def _cmd_compare(args) -> int:
 SWEEP_DEFAULT_SPECS = ["ibtb:16", "rbtb:3", "bbtb:1:split", "mbbtb:2:allbr"]
 
 
+#: Resilience counters surfaced per bench phase and in the summary line.
+_RESILIENCE_COLUMNS = (
+    "retries",
+    "failed",
+    "timeouts",
+    "worker_crashes",
+    "resumed",
+    "deferred",
+)
+
+
+def _sweep_results_payload(compared, baseline_label: str) -> dict:
+    """Deterministic per-point results document (``sweep --out``).
+
+    Fault-injected runs must produce byte-identical output to clean
+    runs, so everything is plain sorted JSON derived from SimResults.
+    """
+    configs = {}
+    relative = {}
+    for cc in compared:
+        per_workload = {}
+        for result in cc.results:
+            per_workload[result.name] = {
+                "instructions": result.instructions,
+                "cycles": result.cycles,
+                "ipc": result.ipc,
+                "branch_mpki": result.branch_mpki,
+                "misfetch_pki": result.misfetch_pki,
+                "stats": result.stats,
+            }
+        configs[cc.config.label] = per_workload
+        relative[cc.config.label] = {
+            r.name: rel for r, rel in zip(cc.results, cc.relative_ipc)
+        }
+    return {
+        "schema": 1,
+        "baseline": baseline_label,
+        "configs": configs,
+        "relative_ipc": relative,
+    }
+
+
 def _cmd_sweep(args) -> int:
-    """Parallel, disk-cached figure sweep; optional timing harness."""
+    """Parallel, disk-cached, fault-tolerant figure sweep."""
     import json
     import time
 
@@ -221,11 +277,33 @@ def _cmd_sweep(args) -> int:
     elif args.bench_out:
         print("error: --bench-out needs the disk cache", file=sys.stderr)
         return 2
+    elif args.resume:
+        print("error: --resume needs the disk cache", file=sys.stderr)
+        return 2
+
+    policy = RetryPolicy(max_retries=args.max_retries, timeout=args.timeout)
+
+    # Checkpoint journal, keyed by the sweep's point grid so --resume
+    # finds the journal of the interrupted run. Skipped by the bench
+    # harness, whose phases purge the caches the journal points into.
+    journal = None
+    if cache is not None and not args.bench_out:
+        grid = [
+            point_key(SweepPoint(config, name, args.length, warmup, 7))
+            for config in [IDEAL_IBTB16, *configs]
+            for name in names
+        ]
+        journal = SweepJournal(
+            cache.version_dir / "journal" / f"{sweep_key(grid)}.jsonl"
+        )
+        if not args.resume:
+            journal.discard()
 
     def sweep(jobs: int):
-        return compare_to_baseline(
+        return sweep_compare(
             configs, IDEAL_IBTB16, names, length=args.length, warmup=warmup,
-            jobs=jobs,
+            jobs=jobs, policy=policy, journal=journal, resume=args.resume,
+            strict=args.strict,
         )
 
     def timed(jobs: int, purge_disk: bool):
@@ -240,49 +318,94 @@ def _cmd_sweep(args) -> int:
             get_trace.cache_clear()
         before = cache.snapshot() if cache is not None else {}
         t0 = time.perf_counter()
-        compared = sweep(jobs)
+        compared, rep, _ = sweep(jobs)
         seconds = time.perf_counter() - t0
         after = cache.snapshot() if cache is not None else {}
         delta = {k: after[k] - before.get(k, 0) for k in after}
-        return compared, {"seconds": round(seconds, 4), **delta}
+        resilience = {k: rep.counters.get(k, 0) for k in _RESILIENCE_COLUMNS}
+        return compared, {"seconds": round(seconds, 4), **delta, **resilience}
 
-    if args.bench_out:
-        _, serial = timed(jobs=1, purge_disk=True)
-        _, par = timed(jobs=args.jobs, purge_disk=True)
-        compared, warm = timed(jobs=1, purge_disk=False)
-        bench = {
-            "schema": 1,
-            "configs": [c.label for c in configs],
-            "baseline": IDEAL_IBTB16.label,
-            "workloads": list(names),
-            "length": args.length,
-            "warmup": warmup,
-            "jobs": args.jobs,
-            "phases": {
-                "serial_cold": serial,
-                "parallel_cold": par,
-                "warm_cache": warm,
-            },
-            "speedup_parallel_vs_serial": round(
-                serial["seconds"] / max(par["seconds"], 1e-9), 2
-            ),
-            "speedup_warm_vs_cold": round(
-                serial["seconds"] / max(warm["seconds"], 1e-9), 2
-            ),
-        }
-        with open(args.bench_out, "w") as fh:
-            json.dump(bench, fh, indent=2)
+    report = None
+    skipped = []
+    try:
+        if args.bench_out:
+            _, serial = timed(jobs=1, purge_disk=True)
+            _, par = timed(jobs=args.jobs, purge_disk=True)
+            compared, warm = timed(jobs=1, purge_disk=False)
+            bench = {
+                "schema": 2,
+                "configs": [c.label for c in configs],
+                "baseline": IDEAL_IBTB16.label,
+                "workloads": list(names),
+                "length": args.length,
+                "warmup": warmup,
+                "jobs": args.jobs,
+                "max_retries": args.max_retries,
+                "timeout": args.timeout,
+                "phases": {
+                    "serial_cold": serial,
+                    "parallel_cold": par,
+                    "warm_cache": warm,
+                },
+                "speedup_parallel_vs_serial": round(
+                    serial["seconds"] / max(par["seconds"], 1e-9), 2
+                ),
+                "speedup_warm_vs_cold": round(
+                    serial["seconds"] / max(warm["seconds"], 1e-9), 2
+                ),
+            }
+            with open(args.bench_out, "w") as fh:
+                json.dump(bench, fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.bench_out}")
+            print(
+                f"serial {serial['seconds']:.2f}s | parallel(x{args.jobs}) "
+                f"{par['seconds']:.2f}s | warm {warm['seconds']:.2f}s "
+                f"({bench['speedup_warm_vs_cold']:.1f}x)"
+            )
+        else:
+            compared, report, skipped = sweep(args.jobs)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    if report is not None and report.failures:
+        for outcome in report.failures:
+            err = outcome.error
+            print(
+                f"FAILED {outcome.point.config.label} on "
+                f"{outcome.point.workload}: {err.kind} after "
+                f"{err.attempts} attempts: {err.message}",
+                file=sys.stderr,
+            )
+        if skipped:
+            print(
+                f"dropped {len(skipped)} workload(s) from the comparison: "
+                + ", ".join(skipped),
+                file=sys.stderr,
+            )
+    if args.chrome and report is not None:
+        from repro.obs.export import write_sweep_chrome_trace
+
+        write_sweep_chrome_trace(report, args.chrome)
+        print(f"wrote {args.chrome} (load in chrome://tracing or Perfetto)")
+    if args.out:
+        payload = _sweep_results_payload(compared, IDEAL_IBTB16.label)
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
-        print(f"wrote {args.bench_out}")
-        print(
-            f"serial {serial['seconds']:.2f}s | parallel(x{args.jobs}) "
-            f"{par['seconds']:.2f}s | warm {warm['seconds']:.2f}s "
-            f"({bench['speedup_warm_vs_cold']:.1f}x)"
-        )
-    else:
-        compared = sweep(args.jobs)
+        print(f"wrote {args.out}")
     boxes = [(cc.config.label, cc.box) for cc in compared]
     print(whisker_table(boxes, "Sweep: IPC relative to ideal I-BTB 16"))
+    if report is not None and any(
+        report.counters.get(k, 0) for k in _RESILIENCE_COLUMNS
+    ):
+        print(
+            "resilience: "
+            + ", ".join(
+                f"{report.counters.get(k, 0)} {k}" for k in _RESILIENCE_COLUMNS
+            )
+        )
     if cache is not None:
         c = cache.snapshot()
         print(
@@ -290,7 +413,7 @@ def _cmd_sweep(args) -> int:
             f"{c['result_misses']} misses, {c['trace_hits']} trace hits "
             f"({cache.root})"
         )
-    return 0
+    return 1 if (report is not None and report.failures) else 0
 
 
 def _cmd_export(args) -> int:
@@ -397,6 +520,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench-out", default=None, metavar="PATH",
         help="run the serial/parallel/warm timing harness and write JSON",
     )
+    p.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="re-dispatch a failing point up to N times with exponential "
+        "backoff before recording it as failed (default 2)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="soft per-point wall-clock budget; a hung worker is killed "
+        "and its point retried (default: no deadline)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="skip points checkpointed in the sweep's journal by an "
+        "earlier (e.g. SIGKILLed) run; needs the disk cache",
+    )
+    p.add_argument(
+        "--strict", action=argparse.BooleanOptionalAction, default=True,
+        help="with --no-strict, a sweep with persistent failures prints "
+        "them, drops the affected workloads and exits 1 instead of "
+        "aborting",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write per-point results as deterministic JSON (the chaos "
+        "smoke compares this across faulty and clean runs)",
+    )
+    p.add_argument(
+        "--chrome", default=None, metavar="PATH",
+        help="write the sweep scheduler timeline (chunks, retries, "
+        "crashes) as Chrome trace_event JSON",
+    )
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("export", help="export workload traces to CSV")
@@ -416,12 +570,20 @@ def main(argv: List[str] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ConfigSpecError as exc:
+    except (ConfigSpecError, TraceFormatError) as exc:
+        # Malformed config/trace input: one line on stderr, no traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except SweepError as exc:
+        # Strict sweep with persistent failures: completed work is
+        # cached/journaled; summarize and exit non-zero.
+        first_line = str(exc).splitlines()[0]
+        print(f"error: {first_line} (rerun with --resume to continue, "
+              "or --no-strict for partial results)", file=sys.stderr)
+        return 1
     except BrokenPipeError:
         # Output piped into e.g. `head`; exit quietly like other CLIs.
         return 0

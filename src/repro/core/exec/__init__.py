@@ -1,13 +1,19 @@
 """Sweep execution engine: parallel point runner + persistent caches.
 
-Three layers (see ``docs/performance.md``):
+Five layers (see ``docs/performance.md`` and ``docs/robustness.md``):
 
 * :mod:`repro.core.exec.cachekey` — content-hash keys (schema-versioned);
 * :mod:`repro.core.exec.diskcache` — persistent result/trace store under
-  ``~/.cache/repro-btb`` (``REPRO_CACHE_DIR`` overrides);
+  ``~/.cache/repro-btb`` (``REPRO_CACHE_DIR`` overrides), safe for
+  concurrent sweeps (atomic writes + per-key lock sentinels);
+* :mod:`repro.core.exec.resilience` — error taxonomy, retry policy,
+  sweep reports and the checkpoint/resume journal;
+* :mod:`repro.core.exec.faults` — deterministic fault injection
+  (``REPRO_FAULT_SPEC``) for tests and the CI chaos-smoke job;
 * :mod:`repro.core.exec.engine` — cached single-point execution and the
-  deterministic process-pool fan-out used by
-  :func:`repro.core.runner.run_suite` / ``compare_to_baseline``.
+  deterministic, fault-tolerant process fan-out used by
+  :func:`repro.core.runner.run_suite` / ``compare_to_baseline`` /
+  ``sweep_compare``.
 """
 
 from repro.core.exec.cachekey import (
@@ -15,6 +21,7 @@ from repro.core.exec.cachekey import (
     canonical_json,
     digest,
     result_key,
+    sweep_key,
     trace_key,
 )
 from repro.core.exec.diskcache import (
@@ -35,14 +42,50 @@ from repro.core.exec.engine import (
     point_key,
     run_points,
 )
+from repro.core.exec.faults import (
+    ENV_FAULT_DIR,
+    ENV_FAULT_HANG,
+    ENV_FAULT_SPEC,
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+    InjectedCacheCorruption,
+    InjectedFault,
+)
+from repro.core.exec.resilience import (
+    DEFAULT_POLICY,
+    ERROR_KINDS,
+    PointError,
+    PointOutcome,
+    RetryPolicy,
+    SweepError,
+    SweepJournal,
+    SweepReport,
+)
 
 __all__ = [
     "CACHE_SCHEMA",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_POLICY",
     "DiskCache",
     "ENV_CACHE_DIR",
     "ENV_DISK_CACHE",
+    "ENV_FAULT_DIR",
+    "ENV_FAULT_HANG",
+    "ENV_FAULT_SPEC",
+    "ERROR_KINDS",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
+    "InjectedCacheCorruption",
+    "InjectedFault",
+    "PointError",
+    "PointOutcome",
+    "RetryPolicy",
+    "SweepError",
+    "SweepJournal",
     "SweepPoint",
+    "SweepReport",
     "canonical_json",
     "clear_trace_memo",
     "configure_disk_cache",
@@ -55,5 +98,6 @@ __all__ = [
     "point_key",
     "result_key",
     "run_points",
+    "sweep_key",
     "trace_key",
 ]

@@ -65,6 +65,23 @@ def trace_key(workload: str, spec, length: int, seed: int) -> str:
     )
 
 
+def sweep_key(point_keys) -> str:
+    """Key identifying a whole sweep: the set of its point keys.
+
+    Order-insensitive, so the same grid of (config, workload) points
+    maps to the same checkpoint journal regardless of enumeration order
+    — this is what lets ``repro-sim sweep --resume`` find the journal of
+    the interrupted run.
+    """
+    return digest(
+        {
+            "kind": "sweep",
+            "schema": CACHE_SCHEMA,
+            "points": sorted(point_keys),
+        }
+    )
+
+
 def result_key(
     config, workload: str, spec, length: int, warmup: int, seed: int
 ) -> str:

@@ -11,9 +11,15 @@ overridable via ``REPRO_CACHE_DIR``)::
                                              under the same key)
 
 Writes are atomic (temp file + ``os.replace``), so a crashed or killed
-run never leaves a half-written entry behind. Reads are corruption
-tolerant: any unreadable entry is deleted and treated as a miss — the
-engine recomputes instead of crashing.
+run never leaves a half-written entry behind. Concurrent sweeps sharing
+one cache are additionally serialized per key with a ``.lock`` sentinel
+(created ``O_CREAT|O_EXCL``): a second process finding a fresh lock for
+the same key simply skips its write — entries are content-addressed, so
+the concurrent writer is producing identical bytes. A stale lock (left
+by a killed writer, older than :data:`STALE_LOCK_SECONDS`) is broken
+and reclaimed. Reads are corruption tolerant: any unreadable entry is
+deleted and treated as a miss — the engine recomputes instead of
+crashing.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ import json
 import os
 import shutil
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -34,6 +41,10 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 
 #: Default cache root (expanded at construction time).
 DEFAULT_CACHE_DIR = "~/.cache/repro-btb"
+
+#: Age (seconds) past which a ``.lock`` sentinel is presumed abandoned
+#: by a killed writer and may be broken by the next one.
+STALE_LOCK_SECONDS = 60.0
 
 
 def default_cache_dir() -> Path:
@@ -55,6 +66,7 @@ class DiskCache:
             "result_misses": 0,
             "trace_hits": 0,
             "trace_misses": 0,
+            "lock_skips": 0,
         }
 
     # -- paths / plumbing ---------------------------------------------------
@@ -69,22 +81,58 @@ class DiskCache:
         return self.obs_dir / f"{key}.json"
 
     @staticmethod
-    def _atomic_write(path: Path, writer) -> None:
-        """Write via *writer(tmp_path)* then atomically rename into place."""
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=path.suffix
-        )
-        os.close(fd)
-        try:
-            writer(tmp)
-            os.replace(tmp, path)
-        except BaseException:
+    def lock_path(path: Path) -> Path:
+        """The per-key write-lock sentinel guarding *path*."""
+        return path.with_name(path.name + ".lock")
+
+    def _acquire_lock(self, path: Path) -> bool:
+        """Take the write lock for *path*; False when another writer holds
+        a fresh one (its content-addressed write will be identical)."""
+        lock = self.lock_path(path)
+        for _ in range(2):
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                fd = os.open(str(lock), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = max(0.0, time.time() - lock.stat().st_mtime)
+                except OSError:
+                    continue  # lock vanished between open and stat: retry
+                if age < STALE_LOCK_SECONDS:
+                    return False
+                self._drop(lock)  # abandoned by a killed writer: break it
+                continue
+            os.write(fd, str(os.getpid()).encode("ascii"))
+            os.close(fd)
+            return True
+        return False
+
+    def _atomic_write(self, path: Path, writer) -> bool:
+        """Write via *writer(tmp_path)* then atomically rename into place.
+
+        Guarded by the per-key lock sentinel: returns ``False`` (without
+        writing) when a concurrent sweep is already writing this key.
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if not self._acquire_lock(path):
+            self.counters["lock_skips"] += 1
+            return False
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".tmp-", suffix=path.suffix
+            )
+            os.close(fd)
+            try:
+                writer(tmp)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        finally:
+            self._drop(self.lock_path(path))
+        return True
 
     @staticmethod
     def _drop(path: Path) -> None:

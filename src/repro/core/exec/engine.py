@@ -1,4 +1,4 @@
-"""Sweep execution engine: cached point execution and a process pool.
+"""Sweep execution engine: cached point execution and a resilient pool.
 
 The unit of work is a :class:`SweepPoint` — one independent
 (config, workload, length, warmup, seed) simulation, exactly the
@@ -10,7 +10,16 @@ parallelism grain of the paper's ChampSim campaigns. Three layers:
   workers. Points are chunked so that points sharing a trace land in the
   same chunk (each worker synthesizes/loads the trace once) and results
   are reassembled by original index, so parallel output is bit-identical
-  to serial, in the same order;
+  to serial, in the same order. Sweeps degrade gracefully instead of
+  aborting (see :mod:`repro.core.exec.resilience` and
+  ``docs/robustness.md``): workers stream per-point outcomes back over a
+  pipe and catch per-point exceptions, the parent detects crashed or
+  hung workers, pinpoints the poison point (the first unreported one in
+  the chunk), and re-dispatches it alone with exponential backoff up to
+  ``RetryPolicy.max_retries``; ``strict=False`` returns partial results
+  plus classified failures instead of raising, and a
+  :class:`~repro.core.exec.resilience.SweepJournal` checkpoint lets an
+  interrupted sweep resume with only its unfinished points;
 * :func:`configure_disk_cache` / :func:`get_disk_cache` manage the
   process-wide persistent cache (enabled explicitly, or via the
   ``REPRO_DISK_CACHE`` environment variable).
@@ -20,13 +29,26 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from dataclasses import dataclass
+import time
+import traceback as traceback_module
+from dataclasses import dataclass, field
 from math import ceil
-from typing import Dict, List, Optional, Sequence, Tuple
+from multiprocessing import connection as mp_connection
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import MachineConfig, build_simulator
 from repro.core.exec.cachekey import result_key, trace_key
 from repro.core.exec.diskcache import DiskCache
+from repro.core.exec.faults import InjectedCacheCorruption, maybe_fault
+from repro.core.exec.resilience import (
+    DEFAULT_POLICY,
+    PointError,
+    PointOutcome,
+    RetryPolicy,
+    SweepError,
+    SweepJournal,
+    SweepReport,
+)
 from repro.core.simulator import SimResult
 from repro.obs.observer import ObsSpec, Observer
 from repro.trace.workloads import WORKLOAD_SPECS, get_trace
@@ -177,77 +199,585 @@ def execute_point(point: SweepPoint) -> SimResult:
     return result
 
 
-# -- process-pool fan-out ---------------------------------------------------
+# -- resilient process fan-out ----------------------------------------------
 
 
-def _worker_run_chunk(payload):
+def _attempt_once(point: SweepPoint) -> SimResult:
+    """One execution attempt, with fault injection hooked in front.
+
+    ``maybe_fault`` is a no-op single env lookup unless
+    ``REPRO_FAULT_SPEC`` is set, so the hot path is unchanged.
+    """
+    maybe_fault(point)
+    return execute_point(point)
+
+
+def _classify_exception(exc: BaseException) -> str:
+    """Map a worker-side exception onto the PointError taxonomy."""
+    return (
+        "cache-corrupt" if isinstance(exc, InjectedCacheCorruption) else "exception"
+    )
+
+
+def _worker_run_chunk(conn, payload) -> None:
     """Run one chunk of (index, point) pairs in a worker process.
 
     The worker reconfigures its own disk cache from the shipped root so
-    behaviour is identical under fork and spawn start methods. Returns
-    the indexed results plus the worker's cache counters, which the
-    parent folds back into its own.
+    behaviour is identical under fork and spawn start methods, then
+    streams one message per point back to the parent:
+
+    * ``("ok", index, result, seconds, counters)`` — point succeeded;
+    * ``("err", index, kind, message, traceback, counters)`` — the point
+      raised; the worker keeps going through the rest of its chunk, so
+      one poison point never takes down its chunk-mates;
+    * ``("defer", index, counters)`` — the chunk's soft wall-clock
+      budget ran out before this point started; the parent re-dispatches
+      it in a fresh chunk (no blame, no attempt consumed);
+    * ``("done", counters)`` — chunk finished (sent from ``finally``, so
+      the disk-cache counters survive even an unexpected mid-chunk
+      failure and the parent can fold them back).
+
+    Every message carries a cumulative counter snapshot: if the process
+    is killed mid-chunk the parent still folds in the last one seen.
     """
-    cache_root, chunk = payload
+    cache_root, pairs, timeout = payload
     disk = configure_disk_cache(enabled=cache_root is not None, root=cache_root)
-    pairs = [(index, execute_point(point)) for index, point in chunk]
-    counters = disk.snapshot() if disk is not None else {}
-    return pairs, counters
+    snap = (lambda: disk.snapshot()) if disk is not None else (lambda: {})
+    budget = timeout * len(pairs) if timeout is not None else None
+    start = time.monotonic()
+    try:
+        for position, (index, point) in enumerate(pairs):
+            # Soft budget check between points: the first point always
+            # runs (guaranteeing progress), later ones are handed back
+            # if earlier ones consumed the chunk's whole budget.
+            if (
+                budget is not None
+                and position
+                and time.monotonic() - start > budget
+            ):
+                conn.send(("defer", index, snap()))
+                continue
+            t0 = time.monotonic()
+            try:
+                result = _attempt_once(point)
+            except Exception as exc:
+                conn.send(
+                    (
+                        "err",
+                        index,
+                        _classify_exception(exc),
+                        f"{type(exc).__name__}: {exc}",
+                        traceback_module.format_exc(),
+                        snap(),
+                    )
+                )
+            else:
+                conn.send(("ok", index, result, time.monotonic() - t0, snap()))
+    finally:
+        try:
+            conn.send(("done", snap()))
+            conn.close()
+        except Exception:
+            pass
 
 
-def _chunk_points(
-    points: Sequence[SweepPoint], jobs: int
+def _chunk_pairs(
+    pairs: Sequence[Tuple[int, SweepPoint]], jobs: int
 ) -> List[List[Tuple[int, SweepPoint]]]:
-    """Chunk points for the pool, grouping shared-trace points together.
+    """Chunk (index, point) pairs, grouping shared-trace points together.
 
     Points are bucketed by (workload, length, seed) so a worker reuses
     one synthesized trace across its whole chunk; chunks are bounded so
     the pool stays load-balanced even when one workload dominates.
     """
     order = sorted(
-        range(len(points)),
-        key=lambda i: (points[i].workload, points[i].length, points[i].seed, i),
+        range(len(pairs)),
+        key=lambda i: (
+            pairs[i][1].workload,
+            pairs[i][1].length,
+            pairs[i][1].seed,
+            pairs[i][0],
+        ),
     )
-    bound = max(1, ceil(len(points) / (jobs * 4)))
+    bound = max(1, ceil(len(pairs) / (jobs * 4)))
     chunks: List[List[Tuple[int, SweepPoint]]] = []
     current: List[Tuple[int, SweepPoint]] = []
     current_group = None
     for i in order:
-        point = points[i]
+        index, point = pairs[i]
         group = (point.workload, point.length, point.seed)
         if current and (group != current_group or len(current) >= bound):
             chunks.append(current)
             current = []
         current_group = group
-        current.append((i, point))
+        current.append((index, point))
     if current:
         chunks.append(current)
     return chunks
 
 
-def run_points(points: Sequence[SweepPoint], jobs: int = 1) -> List[SimResult]:
+def _chunk_points(
+    points: Sequence[SweepPoint], jobs: int
+) -> List[List[Tuple[int, SweepPoint]]]:
+    """Chunk points for the pool (see :func:`_chunk_pairs`)."""
+    return _chunk_pairs(list(enumerate(points)), jobs)
+
+
+@dataclass
+class _PendingChunk:
+    chunk_id: int
+    pairs: List[Tuple[int, SweepPoint]]
+    not_before: float = 0.0
+
+
+@dataclass
+class _LiveWorker:
+    proc: multiprocessing.process.BaseProcess
+    chunk: _PendingChunk
+    slot: int
+    last_msg: float
+    reported: Set[int] = field(default_factory=set)
+    deferred: List[Tuple[int, SweepPoint]] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    done: bool = False
+    eof: bool = False
+    killed: bool = False
+
+
+class _SweepState:
+    """Shared bookkeeping of one resilient sweep (serial or parallel)."""
+
+    def __init__(
+        self,
+        points: Sequence[SweepPoint],
+        policy: RetryPolicy,
+        journal: Optional[SweepJournal],
+        resume: bool,
+    ) -> None:
+        self.points = list(points)
+        self.policy = policy
+        self.journal = journal
+        self.report = SweepReport()
+        self.report.bump("points", len(self.points))
+        self.attempts: Dict[int, int] = {}
+        self.outcomes: Dict[int, PointOutcome] = {}
+        self.t0 = time.monotonic()
+        self.pairs = self._resume_filter(resume)
+
+    def now(self) -> float:
+        return time.monotonic() - self.t0
+
+    def _resume_filter(self, resume: bool) -> List[Tuple[int, SweepPoint]]:
+        """Skip journaled points whose cached result still loads."""
+        pairs = list(enumerate(self.points))
+        if not resume or self.journal is None:
+            return pairs
+        done = self.journal.completed()
+        if not done:
+            return pairs
+        disk = get_disk_cache()
+        remaining: List[Tuple[int, SweepPoint]] = []
+        for index, point in pairs:
+            key = point_key(point)
+            if key in done and disk is not None:
+                result = disk.load_result(key)
+                if result is not None:
+                    self.outcomes[index] = PointOutcome(
+                        index=index, point=point, result=result, resumed=True
+                    )
+                    self.report.bump("resumed")
+                    self.report.record(self.now(), "resume_skip", index=index)
+                    continue
+                # Journal says done but the artifact is unreadable:
+                # classified cache-corrupt, transparently re-run.
+                self.report.bump("cache_corrupt")
+                self.report.record(self.now(), "cache_corrupt", index=index)
+            remaining.append((index, point))
+        return remaining
+
+    def point_succeeded(
+        self, index: int, point: SweepPoint, result: SimResult, duration: float
+    ) -> None:
+        self.attempts[index] = self.attempts.get(index, 0) + 1
+        self.outcomes[index] = PointOutcome(
+            index=index,
+            point=point,
+            result=result,
+            attempts=self.attempts[index],
+            duration=duration,
+        )
+        self.report.bump("executed")
+        self.report.bump("ok")
+        if self.journal is not None:
+            self.journal.record(point_key(point))
+
+    def point_failed(
+        self, index: int, point: SweepPoint, kind: str, message: str, tb: str = ""
+    ) -> bool:
+        """Record one failed attempt; returns True when retries remain."""
+        self.attempts[index] = self.attempts.get(index, 0) + 1
+        counter = {
+            "exception": "exceptions",
+            "timeout": "timeouts",
+            "worker-crash": "worker_crashes",
+            "cache-corrupt": "cache_corrupt",
+        }[kind]
+        self.report.bump(counter)
+        if self.attempts[index] <= self.policy.max_retries:
+            self.report.bump("retries")
+            return True
+        self.outcomes[index] = PointOutcome(
+            index=index,
+            point=point,
+            error=PointError(
+                kind=kind,
+                point_key=point_key(point),
+                attempts=self.attempts[index],
+                message=message,
+                traceback=tb,
+            ),
+            attempts=self.attempts[index],
+        )
+        self.report.bump("failed")
+        return False
+
+    def finish(self) -> SweepReport:
+        """Assemble the positionally ordered outcome list."""
+        for index, point in enumerate(self.points):
+            if index not in self.outcomes:  # interrupted before completion
+                self.outcomes[index] = PointOutcome(
+                    index=index,
+                    point=point,
+                    error=PointError(
+                        kind="exception",
+                        point_key=point_key(point),
+                        attempts=self.attempts.get(index, 0),
+                        message="sweep interrupted before this point completed",
+                    ),
+                    attempts=self.attempts.get(index, 0),
+                )
+        self.report.outcomes = [
+            self.outcomes[index] for index in range(len(self.points))
+        ]
+        return self.report
+
+
+def _run_serial_resilient(state: _SweepState) -> SweepReport:
+    """In-process resilient execution (``jobs=1`` with a policy/journal)."""
+    policy = state.policy
+    try:
+        for index, point in state.pairs:
+            while True:
+                t0 = time.monotonic()
+                try:
+                    result = _attempt_once(point)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    kind = _classify_exception(exc)
+                    retrying = state.point_failed(
+                        index,
+                        point,
+                        kind,
+                        f"{type(exc).__name__}: {exc}",
+                        traceback_module.format_exc(),
+                    )
+                    state.report.record(
+                        state.now(),
+                        "point_error",
+                        index=index,
+                        error=kind,
+                        attempt=state.attempts[index],
+                        final=not retrying,
+                    )
+                    if not retrying:
+                        break
+                    delay = policy.delay(state.attempts[index])
+                    state.report.record(
+                        state.now(), "retry", index=index, delay=round(delay, 3)
+                    )
+                    time.sleep(delay)
+                else:
+                    state.point_succeeded(
+                        index, point, result, time.monotonic() - t0
+                    )
+                    state.report.record(
+                        state.now(),
+                        "point_ok",
+                        index=index,
+                        attempt=state.attempts[index],
+                    )
+                    break
+    except KeyboardInterrupt:
+        state.report.interrupted = True
+    return state.finish()
+
+
+def _run_parallel_resilient(state: _SweepState, jobs: int) -> SweepReport:
+    """Process fan-out with crash/hang detection and per-point retries.
+
+    One worker process per chunk (fork is cheap relative to a chunk of
+    simulations, and a dead or hung worker can then be reaped or killed
+    without poisoning a shared pool). Workers stream per-point outcomes,
+    so after a crash the first unreported point of the chunk is the one
+    that was executing — it is blamed and quarantined into a singleton
+    retry chunk while its chunk-mates are re-dispatched blame-free.
+    """
+    policy = state.policy
+    ctx = multiprocessing.get_context()
+    disk = get_disk_cache()
+    cache_root = str(disk.root) if disk is not None else None
+    allowance = policy.allowance()
+
+    pending: List[_PendingChunk] = []
+    next_chunk_id = 0
+
+    def schedule(pairs, delay: float = 0.0) -> None:
+        nonlocal next_chunk_id
+        if not pairs:
+            return
+        pending.append(
+            _PendingChunk(next_chunk_id, list(pairs), state.now() + delay)
+        )
+        next_chunk_id += 1
+
+    for chunk_pairs in _chunk_pairs(state.pairs, jobs):
+        schedule(chunk_pairs)
+
+    live: Dict[object, _LiveWorker] = {}
+    free_slots = set(range(jobs))
+
+    def spawn(chunk: _PendingChunk) -> None:
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_run_chunk,
+            args=(send_conn, (cache_root, chunk.pairs, policy.timeout)),
+            daemon=True,
+        )
+        proc.start()
+        send_conn.close()
+        slot = min(free_slots)
+        free_slots.discard(slot)
+        live[recv_conn] = _LiveWorker(
+            proc=proc, chunk=chunk, slot=slot, last_msg=state.now()
+        )
+        state.report.record(
+            state.now(),
+            "chunk_start",
+            slot=slot,
+            chunk=chunk.chunk_id,
+            points=len(chunk.pairs),
+        )
+
+    def handle_message(worker: _LiveWorker, msg) -> None:
+        tag = msg[0]
+        if tag == "ok":
+            _, index, result, duration, counters = msg
+            worker.counters = counters
+            worker.reported.add(index)
+            point = dict(worker.chunk.pairs)[index]
+            state.point_succeeded(index, point, result, duration)
+            state.report.record(
+                state.now(),
+                "point_ok",
+                index=index,
+                slot=worker.slot,
+                attempt=state.attempts[index],
+            )
+        elif tag == "err":
+            _, index, kind, message, tb, counters = msg
+            worker.counters = counters
+            worker.reported.add(index)
+            point = dict(worker.chunk.pairs)[index]
+            retrying = state.point_failed(index, point, kind, message, tb)
+            state.report.record(
+                state.now(),
+                "point_error",
+                index=index,
+                slot=worker.slot,
+                error=kind,
+                attempt=state.attempts[index],
+                final=not retrying,
+            )
+            if retrying:
+                delay = policy.delay(state.attempts[index])
+                state.report.record(
+                    state.now(), "retry", index=index, delay=round(delay, 3)
+                )
+                schedule([(index, point)], delay)
+        elif tag == "defer":
+            _, index, counters = msg
+            worker.counters = counters
+            worker.reported.add(index)
+            worker.deferred.append((index, dict(worker.chunk.pairs)[index]))
+            state.report.bump("deferred")
+            state.report.record(
+                state.now(), "defer", index=index, slot=worker.slot
+            )
+        elif tag == "done":
+            worker.done = True
+            worker.counters = msg[1]
+
+    def reap(conn, worker: _LiveWorker) -> None:
+        """Fold counters, blame/re-dispatch unfinished work, free the slot."""
+        # Drain anything still buffered in the pipe before judging.
+        while True:
+            try:
+                if not conn.poll():
+                    break
+                handle_message(worker, conn.recv())
+            except (EOFError, OSError):
+                break
+        worker.proc.join(timeout=5)
+        conn.close()
+        del live[conn]
+        free_slots.add(worker.slot)
+        if disk is not None and worker.counters:
+            disk.merge_counters(worker.counters)
+        state.report.record(
+            state.now(), "chunk_end", slot=worker.slot, chunk=worker.chunk.chunk_id
+        )
+        schedule(worker.deferred)
+        if worker.done:
+            return
+        # Worker died without finishing its chunk: the first unreported
+        # point is the one that was executing — blame it, re-dispatch
+        # the rest of the chunk blame-free.
+        unreported = [
+            (index, point)
+            for index, point in worker.chunk.pairs
+            if index not in worker.reported
+        ]
+        if not unreported:
+            return
+        kind = "timeout" if worker.killed else "worker-crash"
+        suspect_index, suspect_point = unreported[0]
+        retrying = state.point_failed(
+            suspect_index,
+            suspect_point,
+            kind,
+            f"worker pid {worker.proc.pid} "
+            + (
+                "killed after exceeding its wall-clock budget"
+                if worker.killed
+                else f"died with exit code {worker.proc.exitcode} mid-point"
+            ),
+        )
+        state.report.record(
+            state.now(),
+            "timeout_kill" if worker.killed else "worker_crash",
+            slot=worker.slot,
+            chunk=worker.chunk.chunk_id,
+            index=suspect_index,
+            attempt=state.attempts[suspect_index],
+            final=not retrying,
+        )
+        if retrying:
+            delay = policy.delay(state.attempts[suspect_index])
+            state.report.record(
+                state.now(), "retry", index=suspect_index, delay=round(delay, 3)
+            )
+            schedule([(suspect_index, suspect_point)], delay)
+        schedule(unreported[1:])
+
+    try:
+        while pending or live:
+            now = state.now()
+            # Dispatch every eligible chunk into a free slot.
+            for chunk in sorted(pending, key=lambda c: c.chunk_id):
+                if not free_slots:
+                    break
+                if chunk.not_before <= now:
+                    pending.remove(chunk)
+                    spawn(chunk)
+            if not live:
+                # Everything is waiting out a backoff delay.
+                wake = min(chunk.not_before for chunk in pending)
+                time.sleep(min(max(wake - state.now(), 0.0), 0.5) + 0.001)
+                continue
+            ready = mp_connection.wait(list(live), timeout=0.05)
+            for conn in ready:
+                worker = live[conn]
+                while True:
+                    try:
+                        if not conn.poll():
+                            break
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        worker.eof = True
+                        break
+                    worker.last_msg = state.now()
+                    handle_message(worker, msg)
+            now = state.now()
+            for conn, worker in list(live.items()):
+                if worker.eof or not worker.proc.is_alive():
+                    reap(conn, worker)
+                elif (
+                    allowance is not None
+                    and not worker.killed
+                    and now - worker.last_msg > allowance
+                ):
+                    worker.killed = True
+                    worker.proc.kill()
+    except KeyboardInterrupt:
+        state.report.interrupted = True
+        for worker in live.values():
+            try:
+                worker.proc.kill()
+            except Exception:
+                pass
+        for worker in live.values():
+            worker.proc.join(timeout=5)
+        for conn in list(live):
+            conn.close()
+    return state.finish()
+
+
+def run_points(
+    points: Sequence[SweepPoint],
+    jobs: int = 1,
+    *,
+    strict: bool = True,
+    policy: Optional[RetryPolicy] = None,
+    journal: Optional[SweepJournal] = None,
+    resume: bool = False,
+):
     """Execute every point; results are positionally ordered like *points*.
 
-    ``jobs=1`` runs serially in-process. ``jobs>1`` fans chunks across a
-    process pool; because each point is an independent deterministic
+    ``jobs=1`` runs serially in-process. ``jobs>1`` fans chunks across
+    worker processes; because each point is an independent deterministic
     simulation and results are reassembled by index, the output is
     bit-identical to the serial run.
+
+    Resilience (``docs/robustness.md``): failures are retried with
+    exponential backoff up to ``policy.max_retries`` (crashed/hung
+    workers included — the poison point is pinpointed and quarantined so
+    its chunk-mates survive). With ``strict=True`` (default) the return
+    value is a plain ``List[SimResult]`` and a :class:`SweepError` is
+    raised if any point still fails after retries — completed work is
+    preserved in the report, the disk cache and the journal. With
+    ``strict=False`` the full :class:`SweepReport` is returned: partial
+    results plus classified failures, never an exception. *journal*
+    (with ``resume=True``) skips points whose completion was
+    checkpointed by a previous run and whose cached result still loads.
     """
     points = list(points)
     jobs = max(1, int(jobs))
     if jobs == 1 or len(points) <= 1:
-        return [execute_point(point) for point in points]
-    chunks = _chunk_points(points, jobs)
-    disk = get_disk_cache()
-    cache_root = str(disk.root) if disk is not None else None
-    payloads = [(cache_root, chunk) for chunk in chunks]
-    out: List[Optional[SimResult]] = [None] * len(points)
-    with multiprocessing.get_context().Pool(
-        processes=min(jobs, len(chunks))
-    ) as pool:
-        for pairs, counters in pool.imap_unordered(_worker_run_chunk, payloads):
-            if disk is not None:
-                disk.merge_counters(counters)
-            for index, result in pairs:
-                out[index] = result
-    return out
+        if strict and policy is None and journal is None and not resume:
+            # Legacy fast path: zero resilience overhead.
+            return [execute_point(point) for point in points]
+        state = _SweepState(points, policy or DEFAULT_POLICY, journal, resume)
+        report = _run_serial_resilient(state) if state.pairs else state.finish()
+    else:
+        state = _SweepState(points, policy or DEFAULT_POLICY, journal, resume)
+        report = (
+            _run_parallel_resilient(state, jobs) if state.pairs else state.finish()
+        )
+    if strict:
+        if report.interrupted:
+            raise KeyboardInterrupt
+        if report.failures:
+            raise SweepError(report)
+        return report.results
+    return report

@@ -24,7 +24,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.common.stats import BoxStats, geomean
 from repro.core.config import MachineConfig
 from repro.core.exec import (
+    RetryPolicy,
+    SweepError,
+    SweepJournal,
     SweepPoint,
+    SweepReport,
     clear_trace_memo,
     execute_point,
     get_disk_cache,
@@ -65,15 +69,19 @@ def run_suite(
     warmup: int = DEFAULT_WARMUP,
     seed: int = 7,
     jobs: int = 1,
+    policy: Optional[RetryPolicy] = None,
 ) -> List[SimResult]:
     """Simulate *config* across the workload suite.
 
     ``jobs>1`` runs the missing points on a process pool; the returned
     list is ordered by workload regardless of *jobs* and bit-identical
-    to the serial run.
+    to the serial run. *policy* configures retries/timeouts for the
+    fanned-out points (see ``docs/robustness.md``).
     """
     names = _suite_names(workloads)
-    _run_missing([(config, name, length, warmup, seed) for name in names], jobs)
+    _run_missing(
+        [(config, name, length, warmup, seed) for name in names], jobs, policy
+    )
     return [run_one(config, name, length, warmup, seed) for name in names]
 
 
@@ -129,6 +137,7 @@ def compare_to_baseline(
     warmup: int = DEFAULT_WARMUP,
     seed: int = 7,
     jobs: int = 1,
+    policy: Optional[RetryPolicy] = None,
 ) -> List[ComparedConfig]:
     """The paper's standard presentation: per-workload IPC of each config
     divided by the baseline's IPC on the same workload.
@@ -145,6 +154,7 @@ def compare_to_baseline(
             for name in names
         ],
         jobs,
+        policy,
     )
     base = run_suite(baseline, names, length, warmup, seed)
     base_ipc = [r.ipc for r in base]
@@ -156,6 +166,69 @@ def compare_to_baseline(
     return out
 
 
+def sweep_compare(
+    configs: Iterable[MachineConfig],
+    baseline: MachineConfig,
+    workloads: Optional[Sequence[str]] = None,
+    length: int = DEFAULT_LENGTH,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 7,
+    jobs: int = 1,
+    policy: Optional[RetryPolicy] = None,
+    journal: Optional[SweepJournal] = None,
+    resume: bool = False,
+    strict: bool = True,
+) -> Tuple[List[ComparedConfig], SweepReport, List[str]]:
+    """Fault-tolerant sweep + comparison: the ``repro-sim sweep`` engine.
+
+    Runs every missing (config, workload) point — baseline included —
+    through the resilient :func:`repro.core.exec.run_points` (even with
+    ``jobs=1``, so retries, fault injection and checkpoint/resume apply
+    to serial sweeps too), then builds the baseline-relative comparison.
+
+    With ``strict=True`` a :class:`SweepError` propagates if any point
+    still fails after retries (completed work stays memoized, cached and
+    journaled). With ``strict=False`` the sweep degrades gracefully:
+    workloads with a failed point (baseline included) are dropped from
+    the comparison and returned in the third element, and the
+    :class:`SweepReport` carries the classified failures.
+    """
+    configs = list(configs)
+    names = _suite_names(workloads)
+    keys = [
+        (config, name, length, warmup, seed)
+        for config in [baseline, *configs]
+        for name in names
+    ]
+    missing = [key for key in dict.fromkeys(keys) if key not in _cache]
+    report = SweepReport()
+    if missing:
+        points = [SweepPoint(*key) for key in missing]
+        report = run_points(
+            points,
+            jobs=jobs,
+            strict=False,
+            policy=policy,
+            journal=journal,
+            resume=resume,
+        )
+        for key, outcome in zip(missing, report.outcomes):
+            if outcome.ok:
+                _cache[key] = outcome.result
+        if strict and report.interrupted:
+            raise KeyboardInterrupt
+        if strict and report.failures:
+            raise SweepError(report)
+    failed_names = sorted({o.point.workload for o in report.failures})
+    good = [name for name in names if name not in failed_names]
+    compared = (
+        compare_to_baseline(configs, baseline, good, length, warmup, seed)
+        if good
+        else []
+    )
+    return compared, report, failed_names
+
+
 # -- internals ---------------------------------------------------------------
 
 
@@ -165,12 +238,16 @@ def _suite_names(workloads: Optional[Sequence[str]]) -> List[str]:
     return list(workloads) if workloads is not None else list(SERVER_SUITE)
 
 
-def _run_missing(keys: Sequence[Tuple], jobs: int) -> None:
+def _run_missing(
+    keys: Sequence[Tuple], jobs: int, policy: Optional[RetryPolicy] = None
+) -> None:
     """Execute the not-yet-memoized points (in parallel when jobs > 1)
     and fill the in-process memo."""
     missing = [key for key in dict.fromkeys(keys) if key not in _cache]
-    if not missing or jobs <= 1:
+    if not missing or (jobs <= 1 and policy is None):
         return  # serial paths go through run_one's own memoization
     points = [SweepPoint(*key) for key in missing]
-    for key, result in zip(missing, run_points(points, jobs=jobs)):
+    for key, result in zip(
+        missing, run_points(points, jobs=jobs, policy=policy)
+    ):
         _cache[key] = result

@@ -190,3 +190,146 @@ def write_observation_json(obs: Observation, path: str) -> None:
     with open(path, "w") as fh:
         json.dump(observation_to_json(obs), fh)
         fh.write("\n")
+
+
+# -- sweep-level scheduler traces --------------------------------------------
+
+#: Sweep event kinds rendered as instant markers (vs. chunk slices).
+SWEEP_INSTANT_KINDS = (
+    "point_ok",
+    "point_error",
+    "retry",
+    "defer",
+    "worker_crash",
+    "timeout_kill",
+    "resume_skip",
+    "cache_corrupt",
+)
+
+
+def sweep_chrome_trace(report) -> Dict[str, Any]:
+    """Render a sweep's scheduler event log as a Chrome ``trace_event``
+    document (one wall-clock second maps to one second of trace time).
+
+    *report* is a :class:`~repro.core.exec.resilience.SweepReport`. One
+    track per worker slot shows chunk occupancy as duration slices, with
+    retry/failure/crash markers on a dedicated ``scheduler`` track and
+    running completed/failed/retries counter tracks — so a Perfetto
+    timeline shows exactly where a campaign lost and recovered time.
+    """
+    sched_events = list(report.events)
+    slots = sorted({e["slot"] for e in sched_events if "slot" in e})
+    tids = {f"worker-{slot}": i + 1 for i, slot in enumerate(slots)}
+    slot_tid = {slot: tids[f"worker-{slot}"] for slot in slots}
+    scheduler_tid = len(tids) + 1
+    tids["scheduler"] = scheduler_tid
+
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "repro-sim sweep"},
+        }
+    ]
+    for track, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+
+    open_chunks: Dict[tuple, float] = {}
+    completed = failed = retries = 0
+    last_ts = 0.0
+    for event in sched_events:
+        ts = float(event["ts"])
+        last_ts = max(last_ts, ts)
+        us = int(ts * 1e6)
+        kind = event["kind"]
+        slot = event.get("slot")
+        if kind == "chunk_start":
+            open_chunks[(slot, event["chunk"])] = ts
+        elif kind == "chunk_end":
+            start = open_chunks.pop((slot, event["chunk"]), None)
+            if start is not None:
+                events.append(
+                    {
+                        "ph": "X",
+                        "ts": int(start * 1e6),
+                        "dur": max(1, us - int(start * 1e6)),
+                        "pid": 0,
+                        "tid": slot_tid.get(slot, scheduler_tid),
+                        "name": f"chunk-{event['chunk']}",
+                        "args": {"chunk": event["chunk"]},
+                    }
+                )
+        elif kind in SWEEP_INSTANT_KINDS:
+            events.append(
+                {
+                    "ph": "i",
+                    "ts": us,
+                    "pid": 0,
+                    "tid": slot_tid.get(slot, scheduler_tid),
+                    "name": kind,
+                    "s": "t",
+                    "args": {
+                        k: v for k, v in event.items() if k not in ("ts", "kind")
+                    },
+                }
+            )
+        if kind == "point_ok":
+            completed += 1
+        elif kind in ("point_error", "worker_crash", "timeout_kill") and event.get(
+            "final"
+        ):
+            failed += 1
+        elif kind == "retry":
+            retries += 1
+        for name, value in (
+            ("completed", completed),
+            ("failed", failed),
+            ("retries", retries),
+        ):
+            events.append(
+                {
+                    "ph": "C",
+                    "ts": us,
+                    "pid": 0,
+                    "name": name,
+                    "args": {name: value},
+                }
+            )
+    # Close chunks left open by a crash/kill with the last known time.
+    for (slot, chunk), start in open_chunks.items():
+        events.append(
+            {
+                "ph": "X",
+                "ts": int(start * 1e6),
+                "dur": max(1, int((last_ts - start) * 1e6)),
+                "pid": 0,
+                "tid": slot_tid.get(slot, scheduler_tid),
+                "name": f"chunk-{chunk} (unfinished)",
+                "args": {"chunk": chunk},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "counters": dict(report.counters),
+            "interrupted": report.interrupted,
+        },
+    }
+
+
+def write_sweep_chrome_trace(report, path: str) -> None:
+    """Write the sweep scheduler trace of *report* to *path*."""
+    with open(path, "w") as fh:
+        json.dump(sweep_chrome_trace(report), fh)
+        fh.write("\n")

@@ -100,7 +100,22 @@ def _parse_btype(text: str, line_no: int) -> int:
 
 
 def load_trace_csv(path: str, name: Optional[str] = None, validate: bool = True) -> Trace:
-    """Load a trace from *path*; see module docstring for the format."""
+    """Load a trace from *path*; see module docstring for the format.
+
+    Every raised :class:`TraceFormatError` — parse errors, validation
+    failures, and unreadable files alike — names *path*, so a failing
+    point in a big sweep is attributable without a traceback.
+    """
+    try:
+        return _load_trace_csv(path, name, validate)
+    except TraceFormatError as exc:
+        raise TraceFormatError(f"{path}: {exc}") from None
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        raise TraceFormatError(f"{path}: {reason}") from None
+
+
+def _load_trace_csv(path: str, name: Optional[str], validate: bool) -> Trace:
     trace = Trace(name=name or str(path))
     with open(path, newline="") as handle:
         source = _LineFilter(handle)

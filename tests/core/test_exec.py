@@ -254,3 +254,62 @@ def test_run_one_uses_disk_cache_after_memory_clear(tmp_path):
     b = run_one(bbtb(1), "web_frontend", L, W)
     assert a is not b
     assert a.stats == b.stats and a.cycles == b.cycles
+
+
+# -- chunking edge cases -----------------------------------------------------
+
+
+def _flat(chunks):
+    return [pair for chunk in chunks for pair in chunk]
+
+
+def test_chunk_points_empty_list():
+    from repro.core.exec.engine import _chunk_points
+
+    assert _chunk_points([], jobs=4) == []
+
+
+def test_chunk_points_more_jobs_than_points():
+    from repro.core.exec.engine import _chunk_points
+
+    pts = _points()[:3]
+    chunks = _chunk_points(pts, jobs=16)
+    # Every point lands in exactly one chunk, no chunk is empty.
+    assert all(chunks)
+    assert sorted(idx for idx, _ in _flat(chunks)) == [0, 1, 2]
+    assert [pts[idx] for idx, _ in _flat(chunks)] == [
+        p for _, p in _flat(chunks)
+    ]
+
+
+def test_chunk_points_single_point():
+    from repro.core.exec.engine import _chunk_points
+
+    pts = _points()[:1]
+    assert _chunk_points(pts, jobs=8) == [[(0, pts[0])]]
+
+
+def test_chunk_points_single_shared_trace_group_respects_bound():
+    from repro.core.exec.engine import _chunk_points
+
+    # Eight configs over ONE workload: a single shared-trace group. With
+    # jobs=1 the bound is ceil(8/4)=2, so the group must still be split
+    # for load balancing rather than emitted as one giant chunk.
+    pts = [
+        SweepPoint(ibtb(2**i), "web_frontend", L, W, 7) for i in range(8)
+    ]
+    chunks = _chunk_points(pts, jobs=1)
+    assert [len(c) for c in chunks] == [2, 2, 2, 2]
+    assert sorted(idx for idx, _ in _flat(chunks)) == list(range(8))
+
+
+def test_chunk_points_never_mixes_trace_groups():
+    from repro.core.exec.engine import _chunk_points
+
+    pts = _points()  # 3 configs x 3 workloads, same length/seed
+    for jobs in (1, 2, 3, 8):
+        for chunk in _chunk_points(pts, jobs):
+            groups = {
+                (p.workload, p.length, p.seed) for _, p in chunk
+            }
+            assert len(groups) == 1

@@ -1,0 +1,325 @@
+"""Fault-tolerant sweep execution: taxonomy, retries, crashes, resume.
+
+Fault injection (repro.core.exec.faults, ``REPRO_FAULT_SPEC``) makes
+selected points raise / hang / SIGKILL their worker / corrupt their
+cache entry on their first N attempts; these tests prove the engine
+pinpoints and retries them and that converged results are bit-identical
+to fault-free runs.
+"""
+
+import pytest
+
+from repro.core.config import ibtb, rbtb
+from repro.core.exec import (
+    PointError,
+    PointOutcome,
+    RetryPolicy,
+    SweepError,
+    SweepJournal,
+    SweepPoint,
+    configure_disk_cache,
+    point_key,
+    run_points,
+)
+from repro.core.exec.faults import ENV_FAULT_DIR, ENV_FAULT_HANG, ENV_FAULT_SPEC
+from repro.core.runner import clear_cache
+
+L, W = 2_500, 500
+FAST = RetryPolicy(max_retries=2, backoff=0.01)
+
+
+@pytest.fixture(autouse=True)
+def _isolated(monkeypatch, tmp_path):
+    """No memo, no disk cache, no fault spec leaking between tests."""
+    monkeypatch.delenv(ENV_FAULT_SPEC, raising=False)
+    monkeypatch.setenv(ENV_FAULT_DIR, str(tmp_path / "fault-state"))
+    clear_cache()
+    configure_disk_cache(False)
+    yield
+    clear_cache()
+    configure_disk_cache(False)
+
+
+def _points(n_workloads=2):
+    names = ["web_frontend", "db_oltp", "kv_store"][:n_workloads]
+    return [
+        SweepPoint(config, name, L, W, 7)
+        for config in [ibtb(16), rbtb(3)]
+        for name in names
+    ]
+
+
+def _set_faults(monkeypatch, spec, hang_s=None):
+    monkeypatch.setenv(ENV_FAULT_SPEC, spec)
+    if hang_s is not None:
+        monkeypatch.setenv(ENV_FAULT_HANG, str(hang_s))
+
+
+# -- taxonomy ----------------------------------------------------------------
+
+
+def test_point_error_kinds_are_closed_set():
+    for kind in ("exception", "timeout", "worker-crash", "cache-corrupt"):
+        err = PointError(kind=kind, point_key="k", attempts=1, message="m")
+        assert err.kind == kind
+    with pytest.raises(ValueError, match="unknown PointError kind"):
+        PointError(kind="bogus", point_key="k", attempts=1)
+
+
+def test_point_outcome_ok_requires_result():
+    point = SweepPoint(ibtb(16), "web_frontend", L, W, 7)
+    assert not PointOutcome(index=0, point=point).ok
+    err = PointError(kind="exception", point_key="k", attempts=3)
+    assert not PointOutcome(index=0, point=point, error=err).ok
+
+
+# -- strict/non-strict parity (satellite) ------------------------------------
+
+
+def test_nonstrict_zero_faults_bit_identical_to_strict_serial():
+    pts = _points()
+    strict = run_points(pts, jobs=1)
+    clear_cache()
+    report = run_points(pts, jobs=1, strict=False)
+    assert all(o.ok for o in report.outcomes)
+    assert [r.stats for r in strict] == [r.stats for r in report.results]
+    assert [r.cycles for r in strict] == [r.cycles for r in report.results]
+    assert report.counters["ok"] == len(pts)
+    assert report.counters["retries"] == 0
+
+
+def test_nonstrict_zero_faults_bit_identical_to_strict_parallel():
+    pts = _points()
+    strict = run_points(pts, jobs=1)
+    clear_cache()
+    report = run_points(pts, jobs=2, strict=False, policy=FAST)
+    assert [r.stats for r in strict] == [r.stats for r in report.results]
+    assert [r.structure for r in strict] == [
+        r.structure for r in report.results
+    ]
+
+
+# -- per-point isolation and retries -----------------------------------------
+
+
+def test_serial_retry_converges_on_transient_exception(monkeypatch):
+    _set_faults(monkeypatch, "raise:db_oltp:2")
+    pts = _points()
+    clean = run_points([p for p in pts], jobs=1)  # faults only hit resilient path
+    clear_cache()
+    report = run_points(pts, jobs=1, strict=False, policy=RetryPolicy(
+        max_retries=3, backoff=0.01))
+    assert all(o.ok for o in report.outcomes)
+    assert report.counters["exceptions"] == 4  # 2 configs x 2 attempts
+    assert report.counters["retries"] == 4
+    assert [r.stats for r in report.results] == [r.stats for r in clean]
+
+
+def test_exception_does_not_kill_chunk_mates(monkeypatch):
+    """max_retries=0: the poisoned points fail, everything else succeeds."""
+    _set_faults(monkeypatch, "raise:db_oltp:9")
+    report = run_points(
+        _points(), jobs=2, strict=False,
+        policy=RetryPolicy(max_retries=0, backoff=0.01),
+    )
+    failed = [o for o in report.outcomes if not o.ok]
+    assert len(failed) == 2
+    assert all(o.error.kind == "exception" for o in failed)
+    assert all(o.point.workload == "db_oltp" for o in failed)
+    assert all(o.error.attempts == 1 for o in failed)
+    assert all("InjectedFault" in o.error.message for o in failed)
+    assert all("InjectedFault" in o.error.traceback for o in failed)
+    ok = [o for o in report.outcomes if o.ok]
+    assert len(ok) == 2 and all(o.point.workload == "web_frontend" for o in ok)
+
+
+def test_strict_mode_raises_sweep_error_with_report(monkeypatch):
+    _set_faults(monkeypatch, "raise:db_oltp:9")
+    with pytest.raises(SweepError, match="exception after 2 attempts") as info:
+        run_points(
+            _points(), jobs=2,
+            policy=RetryPolicy(max_retries=1, backoff=0.01),
+        )
+    report = info.value.report
+    assert len(report.failures) == 2
+    # Completed work is not discarded.
+    assert sum(o.ok for o in report.outcomes) == 2
+
+
+def test_worker_kill_pinpoints_poison_point(monkeypatch):
+    """A SIGKILLed worker takes only the executing point's attempt with
+    it: chunk-mates are re-dispatched blame-free and the sweep converges
+    to bit-identical results."""
+    pts = _points()
+    clean = run_points(pts, jobs=1)
+    clear_cache()
+    _set_faults(monkeypatch, "kill:db_oltp:1")
+    report = run_points(pts, jobs=2, strict=False, policy=FAST)
+    assert all(o.ok for o in report.outcomes)
+    assert report.counters["worker_crashes"] == 2
+    assert [r.stats for r in report.results] == [r.stats for r in clean]
+
+
+def test_worker_kill_permanent_is_quarantined(monkeypatch):
+    _set_faults(monkeypatch, "kill:db_oltp:99")
+    report = run_points(
+        _points(), jobs=2, strict=False,
+        policy=RetryPolicy(max_retries=1, backoff=0.01),
+    )
+    failed = [o for o in report.outcomes if not o.ok]
+    assert {o.point.workload for o in failed} == {"db_oltp"}
+    assert all(o.error.kind == "worker-crash" for o in failed)
+    assert all(o.error.attempts == 2 for o in failed)
+    # Chunk-mates survived the crashes.
+    assert all(
+        o.ok for o in report.outcomes if o.point.workload == "web_frontend"
+    )
+
+
+def test_hang_is_killed_by_parent_deadline_and_retried(monkeypatch):
+    _set_faults(monkeypatch, "hang:db_oltp:1", hang_s=60)
+    pts = _points()
+    clean = run_points(pts, jobs=1)
+    clear_cache()
+    report = run_points(
+        pts, jobs=2, strict=False,
+        policy=RetryPolicy(max_retries=2, timeout=1.0, backoff=0.01),
+    )
+    assert all(o.ok for o in report.outcomes)
+    assert report.counters["timeouts"] == 2
+    assert [r.stats for r in report.results] == [r.stats for r in clean]
+    kinds = {e["kind"] for e in report.events}
+    assert "timeout_kill" in kinds and "retry" in kinds
+
+
+def test_cache_corrupt_fault_classified_and_healed(monkeypatch, tmp_path):
+    configure_disk_cache(True, tmp_path / "cache")
+    _set_faults(monkeypatch, "corrupt:db_oltp:1")
+    pts = _points()
+    report = run_points(pts, jobs=2, strict=False, policy=FAST)
+    assert all(o.ok for o in report.outcomes)
+    assert report.counters["cache_corrupt"] == 2
+    assert report.counters["retries"] == 2
+
+
+# -- acceptance: mixed 20%+ fault sweep, bit-identical ------------------------
+
+
+def test_mixed_fault_sweep_bit_identical_to_clean_run(monkeypatch, tmp_path):
+    """The ISSUE acceptance scenario, scaled to unit-test size: a sweep
+    with a mix of raise / hang-past-timeout / exit(-9) faults injected
+    completes under max_retries=3 with results bit-identical to a
+    fault-free run."""
+    pts = [
+        SweepPoint(config, name, L, W, 7)
+        for config in [ibtb(16), rbtb(3), ibtb(8)]
+        for name in ["web_frontend", "db_oltp", "kv_store"]
+    ]
+    clean = run_points(pts, jobs=1)
+    clear_cache()
+    _set_faults(
+        monkeypatch,
+        "hang:R-BTB:1;kill:db_oltp:1;raise:web_frontend:2",
+        hang_s=60,
+    )
+    report = run_points(
+        pts, jobs=2, strict=False,
+        policy=RetryPolicy(max_retries=3, timeout=1.5, backoff=0.01),
+    )
+    assert all(o.ok for o in report.outcomes), [
+        (o.index, o.error) for o in report.outcomes if not o.ok
+    ]
+    assert report.counters["worker_crashes"] >= 1
+    assert report.counters["timeouts"] >= 1
+    assert report.counters["exceptions"] >= 1
+    for got, want in zip(report.results, clean):
+        assert got.stats == want.stats
+        assert got.cycles == want.cycles
+        assert got.structure == want.structure
+
+
+# -- checkpoint/resume journal ------------------------------------------------
+
+
+def test_journal_records_and_tolerates_torn_tail(tmp_path):
+    journal = SweepJournal(tmp_path / "sweep.jsonl")
+    journal.record("aaa")
+    journal.record("bbb")
+    journal.close()
+    with open(journal.path, "a") as fh:
+        fh.write('{"key": "ccc"')  # torn final line (SIGKILL mid-write)
+    assert journal.completed() == {"aaa", "bbb"}
+
+
+def test_resume_skips_only_journaled_points(tmp_path):
+    configure_disk_cache(True, tmp_path / "cache")
+    pts = _points(n_workloads=3)  # 6 points
+    first_half, rest = pts[:3], pts[3:]
+    journal = SweepJournal(tmp_path / "sweep.jsonl")
+    # "Crashed" run completed the first half.
+    report1 = run_points(
+        first_half, jobs=1, strict=False, policy=FAST, journal=journal
+    )
+    assert all(o.ok for o in report1.outcomes)
+    clear_cache()
+    # Resumed run over the full grid executes only the second half.
+    report2 = run_points(
+        pts, jobs=1, strict=False, policy=FAST, journal=journal, resume=True
+    )
+    journal.close()
+    assert all(o.ok for o in report2.outcomes)
+    assert report2.counters["resumed"] == 3
+    assert report2.counters["executed"] == 3
+    resumed = [o for o in report2.outcomes if o.resumed]
+    assert [o.point for o in resumed] == first_half
+    # Journal now checkpoints the full grid.
+    assert journal.completed() == {point_key(p) for p in pts}
+
+
+def test_resume_with_corrupt_cache_entry_reruns_point(tmp_path):
+    cache = configure_disk_cache(True, tmp_path / "cache")
+    pts = _points()
+    journal = SweepJournal(tmp_path / "sweep.jsonl")
+    run_points(pts, jobs=1, strict=False, policy=FAST, journal=journal)
+    clear_cache()
+    # Corrupt one journaled artifact: resume must classify and re-run it.
+    cache.result_path(point_key(pts[0])).write_text("{half a result")
+    report = run_points(
+        pts, jobs=1, strict=False, policy=FAST, journal=journal, resume=True
+    )
+    journal.close()
+    assert all(o.ok for o in report.outcomes)
+    assert report.counters["resumed"] == len(pts) - 1
+    assert report.counters["cache_corrupt"] == 1
+    assert report.counters["executed"] == 1
+    assert any(e["kind"] == "cache_corrupt" for e in report.events)
+
+
+def test_resumed_results_bit_identical(tmp_path):
+    configure_disk_cache(True, tmp_path / "cache")
+    pts = _points()
+    clean = run_points(pts, jobs=1)
+    clear_cache()
+    journal = SweepJournal(tmp_path / "sweep.jsonl")
+    run_points(pts[:2], jobs=1, strict=False, policy=FAST, journal=journal)
+    clear_cache()
+    report = run_points(
+        pts, jobs=2, strict=False, policy=FAST, journal=journal, resume=True
+    )
+    journal.close()
+    assert [r.stats for r in report.results] == [r.stats for r in clean]
+
+
+# -- sweep events -------------------------------------------------------------
+
+
+def test_report_events_cover_chunk_lifecycle():
+    report = run_points(_points(), jobs=2, strict=False, policy=FAST)
+    kinds = [e["kind"] for e in report.events]
+    assert "chunk_start" in kinds and "chunk_end" in kinds
+    assert kinds.count("point_ok") == 4
+    starts = [e for e in report.events if e["kind"] == "chunk_start"]
+    ends = [e for e in report.events if e["kind"] == "chunk_end"]
+    assert {e["chunk"] for e in starts} == {e["chunk"] for e in ends}
+    # Timestamps are monotonic non-negative offsets.
+    assert all(e["ts"] >= 0 for e in report.events)

@@ -217,3 +217,116 @@ def test_cmd_sweep_bench_requires_disk_cache(capsys):
         "sweep", "ibtb:16", "--no-disk-cache", "--bench-out", "/tmp/x.json",
     ]) == 2
     assert "disk cache" in capsys.readouterr().err
+
+
+# -- fault-tolerant sweep flags ----------------------------------------------
+
+
+@pytest.fixture()
+def _sweep_env(tmp_path, monkeypatch):
+    """Isolated caches + fault env for the resilient-sweep CLI tests."""
+    from repro.core.exec import configure_disk_cache
+    from repro.core.exec.faults import ENV_FAULT_DIR, ENV_FAULT_SPEC
+    from repro.core.runner import clear_cache
+
+    monkeypatch.delenv(ENV_FAULT_SPEC, raising=False)
+    monkeypatch.setenv(ENV_FAULT_DIR, str(tmp_path / "fault-state"))
+    clear_cache()
+    configure_disk_cache(False)
+    yield tmp_path
+    clear_cache()
+    configure_disk_cache(False)
+
+
+def test_cmd_run_malformed_trace_exits_2_one_line(tmp_path, capsys):
+    bad = tmp_path / "bad.csv"
+    bad.write_text("pc,btype,taken,target\nzzz,NONE,0,0\n")
+    assert main(["run", "ibtb:16", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+    assert str(bad) in err
+    assert "Traceback" not in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_cmd_sweep_resume_requires_disk_cache(capsys):
+    assert main(["sweep", "ibtb:16", "--no-disk-cache", "--resume"]) == 2
+    assert "disk cache" in capsys.readouterr().err
+
+
+def test_cmd_sweep_out_is_deterministic(_sweep_env, capsys):
+    tmp_path = _sweep_env
+    args = [
+        "sweep", "ibtb:16",
+        "--workloads", "web_frontend",
+        "--length", "3000",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+    assert main(args + ["--out", str(tmp_path / "a.json")]) == 0
+    assert main(args + ["--out", str(tmp_path / "b.json")]) == 0
+    capsys.readouterr()
+    a = (tmp_path / "a.json").read_bytes()
+    assert a == (tmp_path / "b.json").read_bytes()
+    import json
+
+    payload = json.loads(a)
+    assert payload["schema"] == 1
+    assert payload["baseline"] == "ideal I-BTB 16"
+    assert payload["configs"]["I-BTB 16"]["web_frontend"]["ipc"] > 0
+    assert payload["relative_ipc"]["I-BTB 16"]["web_frontend"] > 0
+
+
+def test_cmd_sweep_strict_failure_exits_1_with_hint(_sweep_env, monkeypatch, capsys):
+    tmp_path = _sweep_env
+    monkeypatch.setenv("REPRO_FAULT_SPEC", "raise:db_oltp:99")
+    code = main([
+        "sweep", "ibtb:16",
+        "--workloads", "web_frontend", "db_oltp",
+        "--length", "3000", "--max-retries", "1",
+        "--cache-dir", str(tmp_path / "cache"),
+    ])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "rerun with --resume" in err
+    assert "Traceback" not in err
+
+
+def test_cmd_sweep_fault_no_strict_then_resume(_sweep_env, monkeypatch, capsys):
+    """A sweep with a persistent fault keeps going under --no-strict,
+    reports the failures, and a later --resume run only executes the
+    points the first run could not finish."""
+    import json
+
+    from repro.core.exec.faults import ENV_FAULT_SPEC
+    from repro.core.runner import clear_cache
+
+    tmp_path = _sweep_env
+    args = [
+        "sweep", "ibtb:16",
+        "--workloads", "web_frontend", "db_oltp",
+        "--length", "3000",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+    monkeypatch.setenv(ENV_FAULT_SPEC, "raise:db_oltp:99")
+    code = main(args + ["--no-strict", "--max-retries", "1"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "FAILED" in captured.err and "db_oltp" in captured.err
+    assert "dropped 1 workload(s)" in captured.err
+    assert "retries" in captured.out  # resilience summary line
+
+    # The fault is gone (fixed); resume executes only the db_oltp points.
+    monkeypatch.delenv(ENV_FAULT_SPEC)
+    clear_cache()  # drop the in-process memo, as a fresh process would
+    trace = tmp_path / "sweep_trace.json"
+    code = main(args + ["--resume", "--chrome", str(trace)])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "FAILED" not in captured.err
+    assert "resumed" in captured.out
+    doc = json.loads(trace.read_text())
+    names = {e.get("name") for e in doc["traceEvents"]}
+    assert "resume_skip" in names
+    # The two web_frontend points (config + baseline) were resumed.
+    assert doc["otherData"]["counters"]["resumed"] == 2
+    assert doc["otherData"]["counters"]["executed"] == 2

@@ -157,3 +157,39 @@ def test_synthetic_workload_roundtrips_and_simulates(tmp_path):
     result = build_simulator(ibtb(16), back).run(warmup=1000)
     reference = build_simulator(ibtb(16), original).run(warmup=1000)
     assert result.cycles == reference.cycles
+
+
+# -- every error names the file path -----------------------------------------
+
+
+def test_parse_error_message_includes_path(tmp_path):
+    path = write(tmp_path, "pc,btype,taken,target\nzzz,NONE,0,0\n")
+    with pytest.raises(TraceFormatError) as info:
+        load_trace_csv(path)
+    assert str(path) in str(info.value)
+    assert "line 2" in str(info.value)
+
+
+def test_validation_error_message_includes_path(tmp_path):
+    path = write(
+        tmp_path,
+        "pc,btype,taken,target\n"
+        "0x100,COND_DIRECT,1,0x200\n"
+        "0x999,NONE,0,0\n",
+    )
+    with pytest.raises(TraceFormatError) as info:
+        load_trace_csv(path)
+    assert str(path) in str(info.value)
+
+
+def test_missing_file_raises_trace_format_error_with_path(tmp_path):
+    path = str(tmp_path / "nope.csv")
+    with pytest.raises(TraceFormatError) as info:
+        load_trace_csv(path)
+    assert path in str(info.value)
+
+
+def test_unreadable_directory_raises_trace_format_error(tmp_path):
+    with pytest.raises(TraceFormatError) as info:
+        load_trace_csv(str(tmp_path))
+    assert str(tmp_path) in str(info.value)
