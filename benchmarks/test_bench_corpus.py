@@ -1,0 +1,125 @@
+"""Corpus pipeline benchmark: ingestion and streaming-read throughput.
+
+Quantifies what the corpus subsystem buys over re-parsing CSV on every
+run: one-time streaming ingestion into sharded columnar ``.npz``, then
+memory-mapped chunked reads, versus whole-file CSV loading. Writes
+``benchmarks/results/BENCH_corpus.json`` (linked from
+docs/performance.md) plus a text table.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.corpus import CorpusStore, CorpusTrace
+from repro.trace.external import load_trace_csv, save_trace_csv
+from repro.trace.workloads import get_trace
+
+from benchmarks.conftest import RESULTS_DIR, emit, once
+
+#: Shards per trace the benchmark aims for (exercises the prefetch path).
+TARGET_SHARDS = 8
+
+
+def test_corpus_pipeline_throughput(benchmark, bench_env, tmp_path_factory):
+    suite, length, _warmup = bench_env
+    workload = suite[0]
+    tmp = tmp_path_factory.mktemp("bench_corpus")
+
+    trace = get_trace(workload, length)
+    csv_path = str(tmp / f"{workload}.csv")
+    save_trace_csv(trace, csv_path)
+    shard_insts = max(1024, length // TARGET_SHARDS)
+
+    def timed(fn):
+        t0 = time.perf_counter()
+        value = fn()
+        return value, time.perf_counter() - t0
+
+    def run():
+        store = CorpusStore(tmp / "corpus")
+
+        # Baseline: whole-file CSV parse into Python lists, every run.
+        loaded, csv_seconds = timed(lambda: load_trace_csv(csv_path))
+        assert len(loaded) == length
+
+        # One-time cost: streaming ingestion into columnar shards.
+        res, ingest_seconds = timed(
+            lambda: store.ingest(csv_path, shard_insts=shard_insts)
+        )
+        assert res.peak_buffered <= shard_insts
+
+        reader = CorpusTrace(store, store.get(workload))
+
+        # Recurring cost: chunked mmap reads (a stats pass over columns).
+        def chunked_read():
+            branches = 0
+            for chunk in reader.iter_chunks(chunk_insts=4096):
+                branches += int(np.count_nonzero(chunk["btype"]))
+            return branches
+
+        branches, read_seconds = timed(chunked_read)
+
+        # Recurring cost: full materialization for the simulator.
+        materialized, to_trace_seconds = timed(reader.to_trace)
+        assert len(materialized) == length
+
+        def mips(seconds):
+            return length / max(seconds, 1e-9) / 1e6
+
+        return {
+            "schema": 1,
+            "workload": workload,
+            "instructions": length,
+            "shard_insts": shard_insts,
+            "shards": res.shards,
+            "peak_buffered": res.peak_buffered,
+            "branches": branches,
+            "phases": {
+                "csv_whole_file_load": {
+                    "seconds": round(csv_seconds, 4),
+                    "minsts_per_sec": round(mips(csv_seconds), 2),
+                },
+                "ingest": {
+                    "seconds": round(ingest_seconds, 4),
+                    "minsts_per_sec": round(mips(ingest_seconds), 2),
+                },
+                "chunked_read": {
+                    "seconds": round(read_seconds, 4),
+                    "minsts_per_sec": round(mips(read_seconds), 2),
+                },
+                "materialize": {
+                    "seconds": round(to_trace_seconds, 4),
+                    "minsts_per_sec": round(mips(to_trace_seconds), 2),
+                },
+            },
+            "speedup_chunked_read_vs_csv": round(
+                csv_seconds / max(read_seconds, 1e-9), 2
+            ),
+            "speedup_materialize_vs_csv": round(
+                csv_seconds / max(to_trace_seconds, 1e-9), 2
+            ),
+        }
+
+    doc = once(benchmark, run)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_corpus.json"
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    rows = [
+        (phase, f"{d['seconds']:.4f}", f"{d['minsts_per_sec']:.2f}")
+        for phase, d in doc["phases"].items()
+    ]
+    emit(
+        "bench_corpus",
+        f"== Corpus pipeline ({workload}, {doc['instructions']} insts, "
+        f"{doc['shards']} shards) ==\n"
+        + format_table(("phase", "seconds", "Minsts/s"), rows)
+        + f"\nchunked read speedup vs CSV: "
+        f"{doc['speedup_chunked_read_vs_csv']:.1f}x | materialize: "
+        f"{doc['speedup_materialize_vs_csv']:.1f}x "
+        f"(see results/BENCH_corpus.json)",
+    )

@@ -9,7 +9,14 @@ Subcommands::
                                                Chrome/Perfetto + CSV export
     repro-sim compare CONFIG [CONFIG...]       whisker table vs ideal I-BTB 16
     repro-sim sweep [CONFIG...] --jobs N       parallel, disk-cached sweep
+    repro-sim corpus ingest|ls|info|verify|gc  manage the trace corpus store
+    repro-sim workloads                        synthetic + corpus workload names
     repro-sim list                             workloads and config syntax
+
+Workload arguments accept synthetic suite names (``web_frontend``, ...),
+trace files (``.csv`` / ``.csv.gz`` / ``.csv.xz``, where a file makes
+sense), and ingested corpus entries as ``corpus:<name>[@<slice>]``
+(e.g. ``corpus:srv01@skip=1000000,measure=5000000`` — docs/corpus.md).
 
 Configurations are compact spec strings::
 
@@ -61,8 +68,19 @@ from repro.core.runner import (
     run_one,
     sweep_compare,
 )
+from repro.corpus import (
+    DEFAULT_SHARD_INSTS,
+    CorpusError,
+    CorpusStore,
+    configure_corpus,
+    is_corpus_workload,
+    load_corpus_trace,
+)
 from repro.trace.external import TraceFormatError, load_trace_csv
 from repro.trace.workloads import SERVER_SUITE, get_trace
+
+#: Suffixes `run`/`trace` treat as external CSV trace files.
+TRACE_FILE_SUFFIXES = (".csv", ".csv.gz", ".csv.xz")
 
 
 class ConfigSpecError(ValueError):
@@ -146,9 +164,16 @@ def _cmd_characterize(args) -> int:
 
 def _cmd_run(args) -> int:
     config = parse_config(args.config)
-    if args.workload.endswith(".csv"):
-        # External trace file (see repro.trace.external for the format).
-        trace = load_trace_csv(args.workload)
+    if args.workload.endswith(TRACE_FILE_SUFFIXES) or is_corpus_workload(
+        args.workload
+    ):
+        # External trace file (repro.trace.external) or ingested corpus
+        # entry (repro.corpus). Both take the same default warmup, so a
+        # trace simulates bit-identically whichever way it is fed in.
+        if is_corpus_workload(args.workload):
+            trace = load_corpus_trace(args.workload, args.length)
+        else:
+            trace = load_trace_csv(args.workload)
         sim = build_simulator(config, trace)
         result = sim.run(warmup=min(len(trace) // 4, args.length // 4))
     else:
@@ -181,8 +206,10 @@ def _cmd_trace(args) -> int:
         capacity=args.capacity,
         meta={"config": config.label, "workload": args.workload},
     )
-    if args.workload.endswith(".csv"):
+    if args.workload.endswith(TRACE_FILE_SUFFIXES):
         trace = load_trace_csv(args.workload)
+    elif is_corpus_workload(args.workload):
+        trace = load_corpus_trace(args.workload, args.length)
     else:
         trace = get_trace(args.workload, args.length)
     sim = build_simulator(config, trace, probe=observer)
@@ -431,6 +458,117 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _cmd_workloads(args) -> int:
+    """List every workload name a command will accept: the synthetic
+    suite plus ingested corpus entries (``corpus:<name>``)."""
+    store = _corpus_store(args)
+    rows = []
+    for name in SERVER_SUITE:
+        rows.append((name, "synthetic", "(per --length)"))
+    for manifest in store.manifests():
+        rows.append(
+            (
+                f"corpus:{manifest.name}",
+                "corpus",
+                f"{manifest.instructions:,}",
+            )
+        )
+    print(format_table(("workload", "kind", "instructions"), rows))
+    if not store.names():
+        print(
+            "\n(no corpus entries; ingest traces with "
+            "`repro-sim corpus ingest FILE...`)"
+        )
+    return 0
+
+
+def _corpus_store(args) -> CorpusStore:
+    """Store named by ``--corpus-dir`` (exported so any simulation this
+    process spawns resolves ``corpus:`` names against the same root)."""
+    root = getattr(args, "corpus_dir", None)
+    return configure_corpus(root) if root else CorpusStore()
+
+
+def _cmd_corpus_ingest(args) -> int:
+    store = _corpus_store(args)
+    if args.name and len(args.sources) > 1:
+        print("error: --name requires a single source file", file=sys.stderr)
+        return 2
+    for source in args.sources:
+        res = store.ingest(
+            source,
+            name=args.name,
+            fmt=args.format,
+            shard_insts=args.shard_insts,
+        )
+        m = res.manifest
+        reused = " (shards reused)" if res.reused_shards else ""
+        print(
+            f"ingested corpus:{m.name}: {res.instructions:,} instructions, "
+            f"{res.shards} shard(s), content {m.content_hash[:16]}... "
+            f"in {res.seconds:.2f}s{reused}"
+        )
+    return 0
+
+
+def _cmd_corpus_ls(args) -> int:
+    store = _corpus_store(args)
+    manifests = store.manifests()
+    if not manifests:
+        print(f"corpus at {store.root} is empty")
+        return 0
+    rows = [
+        (
+            m.name,
+            f"{m.instructions:,}",
+            str(len(m.shards)),
+            m.content_hash[:16],
+            str(m.provenance.get("format", "?")),
+        )
+        for m in manifests
+    ]
+    print(format_table(("name", "instructions", "shards", "content", "format"), rows))
+    return 0
+
+
+def _cmd_corpus_info(args) -> int:
+    import json
+
+    store = _corpus_store(args)
+    manifest = store.get(args.name)
+    print(json.dumps(manifest.to_json(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_corpus_verify(args) -> int:
+    store = _corpus_store(args)
+    names = args.names or None
+    problems = store.verify(names)
+    checked = sorted(names) if names else store.names()
+    if problems:
+        for problem in problems:
+            print(f"PROBLEM: {problem}", file=sys.stderr)
+        print(
+            f"{len(problems)} problem(s) in {len(checked)} entr(y/ies)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{len(checked)} entr(y/ies) verified, no problems")
+    return 0
+
+
+def _cmd_corpus_gc(args) -> int:
+    store = _corpus_store(args)
+    removed = store.gc(dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    if removed:
+        for name in removed:
+            print(f"{verb} {store.shards_root / name}")
+    else:
+        print("nothing to collect")
+    return 0
+
+
 def _cmd_list(_args) -> int:
     print("workloads:")
     for name in SERVER_SUITE:
@@ -559,6 +697,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--length", type=int, default=160_000)
     p.set_defaults(func=_cmd_export)
 
+    p = sub.add_parser(
+        "workloads", help="list synthetic and corpus workload names"
+    )
+    p.add_argument("--corpus-dir", default=None, help="corpus store root")
+    p.set_defaults(func=_cmd_workloads)
+
+    p = sub.add_parser("corpus", help="manage the trace corpus store")
+    corpus_sub = p.add_subparsers(dest="corpus_command", required=True)
+
+    c = corpus_sub.add_parser(
+        "ingest", help="ingest trace files into the corpus store"
+    )
+    c.add_argument("sources", nargs="+", metavar="FILE",
+                   help="trace files (.csv/.champsim/.cvp, optionally .gz/.xz)")
+    c.add_argument("--name", default=None,
+                   help="entry name (single source only; default: file stem)")
+    c.add_argument(
+        "--format", default=None, choices=["csv", "champsim", "cvp1"],
+        help="source format (default: detect from the file suffix)",
+    )
+    c.add_argument(
+        "--shard-insts", type=int, default=DEFAULT_SHARD_INSTS, metavar="N",
+        help=f"instructions per columnar shard (default {DEFAULT_SHARD_INSTS})",
+    )
+    c.add_argument("--corpus-dir", default=None, help="corpus store root")
+    c.set_defaults(func=_cmd_corpus_ingest)
+
+    c = corpus_sub.add_parser("ls", help="list ingested corpus entries")
+    c.add_argument("--corpus-dir", default=None, help="corpus store root")
+    c.set_defaults(func=_cmd_corpus_ls)
+
+    c = corpus_sub.add_parser("info", help="print one entry's manifest")
+    c.add_argument("name", help="corpus entry name")
+    c.add_argument("--corpus-dir", default=None, help="corpus store root")
+    c.set_defaults(func=_cmd_corpus_info)
+
+    c = corpus_sub.add_parser(
+        "verify", help="integrity-check corpus entries (exit 1 on problems)"
+    )
+    c.add_argument("names", nargs="*", help="entry names (default: all)")
+    c.add_argument("--corpus-dir", default=None, help="corpus store root")
+    c.set_defaults(func=_cmd_corpus_verify)
+
+    c = corpus_sub.add_parser(
+        "gc", help="remove shard directories no manifest references"
+    )
+    c.add_argument("--dry-run", action="store_true",
+                   help="report what would be removed without removing it")
+    c.add_argument("--corpus-dir", default=None, help="corpus store root")
+    c.set_defaults(func=_cmd_corpus_gc)
+
     p = sub.add_parser("list", help="list workloads and config syntax")
     p.set_defaults(func=_cmd_list)
     return parser
@@ -570,8 +759,9 @@ def main(argv: List[str] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (ConfigSpecError, TraceFormatError) as exc:
-        # Malformed config/trace input: one line on stderr, no traceback.
+    except (ConfigSpecError, TraceFormatError, CorpusError) as exc:
+        # Malformed config/trace/corpus input: one line on stderr, no
+        # traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except KeyError as exc:

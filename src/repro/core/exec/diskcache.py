@@ -52,6 +52,80 @@ def default_cache_dir() -> Path:
     return Path(os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR).expanduser()
 
 
+# -- shared write discipline -------------------------------------------------
+#
+# The ``.lock``-sentinel + temp-file + ``os.replace`` protocol below is
+# used by every on-disk store in the repo (this cache, and the trace
+# corpus of :mod:`repro.corpus`): writes are atomic, concurrent writers
+# of the same content-addressed entry are serialized per key, and a lock
+# abandoned by a killed writer is broken after :data:`STALE_LOCK_SECONDS`.
+
+
+def lock_path(path: Path) -> Path:
+    """The per-key write-lock sentinel guarding *path*."""
+    return path.with_name(path.name + ".lock")
+
+
+def drop_file(path: Path) -> None:
+    """Best-effort unlink (missing files and races are fine)."""
+    try:
+        path.unlink()
+    except OSError:
+        pass
+
+
+def acquire_lock(path: Path, stale_after: float = STALE_LOCK_SECONDS) -> bool:
+    """Take the write lock for *path*; ``False`` when another writer holds
+    a fresh one (for content-addressed entries its write is identical)."""
+    lock = lock_path(path)
+    for _ in range(2):
+        try:
+            fd = os.open(str(lock), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                age = max(0.0, time.time() - lock.stat().st_mtime)
+            except OSError:
+                continue  # lock vanished between open and stat: retry
+            if age < stale_after:
+                return False
+            drop_file(lock)  # abandoned by a killed writer: break it
+            continue
+        os.write(fd, str(os.getpid()).encode("ascii"))
+        os.close(fd)
+        return True
+    return False
+
+
+def release_lock(path: Path) -> None:
+    """Release the write lock for *path* (idempotent)."""
+    drop_file(lock_path(path))
+
+
+def atomic_write(path: Path, writer) -> bool:
+    """Write via *writer(tmp_path)* then atomically rename into place.
+
+    Guarded by the per-key lock sentinel: returns ``False`` (without
+    writing) when a concurrent writer already holds the key.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not acquire_lock(path):
+        return False
+    try:
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=path.suffix
+        )
+        os.close(fd)
+        try:
+            writer(tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            drop_file(Path(tmp))
+            raise
+    finally:
+        release_lock(path)
+    return True
+
+
 class DiskCache:
     """Content-addressed result/trace store with hit/miss counters."""
 
@@ -83,28 +157,12 @@ class DiskCache:
     @staticmethod
     def lock_path(path: Path) -> Path:
         """The per-key write-lock sentinel guarding *path*."""
-        return path.with_name(path.name + ".lock")
+        return lock_path(path)
 
     def _acquire_lock(self, path: Path) -> bool:
         """Take the write lock for *path*; False when another writer holds
         a fresh one (its content-addressed write will be identical)."""
-        lock = self.lock_path(path)
-        for _ in range(2):
-            try:
-                fd = os.open(str(lock), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-            except FileExistsError:
-                try:
-                    age = max(0.0, time.time() - lock.stat().st_mtime)
-                except OSError:
-                    continue  # lock vanished between open and stat: retry
-                if age < STALE_LOCK_SECONDS:
-                    return False
-                self._drop(lock)  # abandoned by a killed writer: break it
-                continue
-            os.write(fd, str(os.getpid()).encode("ascii"))
-            os.close(fd)
-            return True
-        return False
+        return acquire_lock(path)
 
     def _atomic_write(self, path: Path, writer) -> bool:
         """Write via *writer(tmp_path)* then atomically rename into place.
@@ -112,34 +170,14 @@ class DiskCache:
         Guarded by the per-key lock sentinel: returns ``False`` (without
         writing) when a concurrent sweep is already writing this key.
         """
-        path.parent.mkdir(parents=True, exist_ok=True)
-        if not self._acquire_lock(path):
+        wrote = atomic_write(path, writer)
+        if not wrote:
             self.counters["lock_skips"] += 1
-            return False
-        try:
-            fd, tmp = tempfile.mkstemp(
-                dir=str(path.parent), prefix=".tmp-", suffix=path.suffix
-            )
-            os.close(fd)
-            try:
-                writer(tmp)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-        finally:
-            self._drop(self.lock_path(path))
-        return True
+        return wrote
 
     @staticmethod
     def _drop(path: Path) -> None:
-        try:
-            path.unlink()
-        except OSError:
-            pass
+        drop_file(path)
 
     def merge_counters(self, other: Dict[str, int]) -> None:
         """Fold hit/miss counters from a worker process into ours."""

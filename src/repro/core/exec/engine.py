@@ -53,6 +53,18 @@ from repro.core.simulator import SimResult
 from repro.obs.observer import ObsSpec, Observer
 from repro.trace.workloads import WORKLOAD_SPECS, get_trace
 
+#: Workload names with this prefix resolve to ingested corpus traces
+#: (see :mod:`repro.corpus.resolve`; imported lazily — the corpus
+#: package reuses this package's disk-cache write discipline, so a
+#: top-level import here would be circular).
+CORPUS_PREFIX = "corpus:"
+
+
+def _corpus_resolve():
+    from repro.corpus import resolve
+
+    return resolve
+
 #: Set to ``1``/``true`` (enable, default root) or a directory path to
 #: enable the persistent cache without touching code.
 ENV_DISK_CACHE = "REPRO_DISK_CACHE"
@@ -130,12 +142,20 @@ class SweepPoint:
 def point_key(point: SweepPoint) -> str:
     """Persistent-cache key of *point* (content hash, schema-versioned).
 
-    ``point.obs`` is intentionally not hashed — see :class:`SweepPoint`.
+    For ``corpus:`` workloads the spec is the ingested trace's content
+    hash plus the canonical slice spec
+    (:func:`repro.corpus.resolve.corpus_point_spec`), so re-ingesting
+    identical content keeps cached results valid while changed content
+    invalidates them. ``point.obs`` is intentionally not hashed — see
+    :class:`SweepPoint`.
     """
+    spec = WORKLOAD_SPECS.get(point.workload)
+    if spec is None and point.workload.startswith(CORPUS_PREFIX):
+        spec = _corpus_resolve().corpus_point_spec(point.workload)
     return result_key(
         point.config,
         point.workload,
-        WORKLOAD_SPECS.get(point.workload),
+        spec,
         point.length,
         point.warmup,
         point.seed,
@@ -143,10 +163,20 @@ def point_key(point: SweepPoint) -> str:
 
 
 def fetch_trace(workload: str, length: int, seed: int):
-    """Trace for *workload*, via memo -> disk cache -> synthesis."""
+    """Trace for *workload*, via memo -> disk cache -> synthesis.
+
+    ``corpus:`` workloads materialize from the corpus store instead
+    (truncated to *length*; *seed* is irrelevant to a recorded trace) —
+    they already live on disk in sharded form, so they bypass the disk
+    cache's trace tier.
+    """
     memo_key = (workload, length, seed)
     trace = _trace_memo.get(memo_key)
     if trace is not None:
+        return trace
+    if workload.startswith(CORPUS_PREFIX):
+        trace = _corpus_resolve().load_corpus_trace(workload, length)
+        _trace_memo[memo_key] = trace
         return trace
     disk = get_disk_cache()
     spec = WORKLOAD_SPECS.get(workload)

@@ -14,6 +14,12 @@ baseline normalizes everything), so results go through two cache layers:
 independent (config, workload) points across a process pool; parallel
 results are bit-identical to serial and come back in the same order
 (see :func:`repro.core.exec.run_points`).
+
+Workload names resolve through the engine: synthetic suite names come
+from :mod:`repro.trace.workloads`, while ``corpus:<name>[@<slice>]``
+names resolve against the trace corpus store (:mod:`repro.corpus`) and
+are cache-keyed by the entry's content hash, so re-ingesting identical
+trace content keeps every cached result valid.
 """
 
 from __future__ import annotations

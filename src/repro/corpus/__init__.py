@@ -1,0 +1,85 @@
+"""Trace corpus subsystem: ingestion pipeline, content-addressed store,
+and streaming readers.
+
+The paper's methodology runs on a corpus of hundreds of real server
+traces; this package is the data-pipeline layer that makes such corpora
+manageable (see ``docs/corpus.md``):
+
+* :mod:`repro.corpus.formats` — bounded-memory streaming format
+  adapters (canonical CSV, ChampSim-like, CVP-1-like; transparent
+  ``.gz``/``.xz``);
+* :mod:`repro.corpus.store` — :class:`CorpusStore`, a content-addressed
+  catalog of sharded columnar ``.npz`` traces under ``REPRO_CORPUS_DIR``
+  (default ``~/.cache/repro-btb/corpus``) with integrity ``verify`` and
+  ``gc``;
+* :mod:`repro.corpus.reader` — :class:`CorpusTrace`, a lazy memory-
+  mapping reader with background shard prefetch and
+  :class:`SliceSpec` windows/sampling;
+* :mod:`repro.corpus.resolve` — ``corpus:<name>[@slice]`` workload-name
+  resolution and content-hash cache keying for the sweep engine.
+
+Managed from the shell via ``repro-sim corpus ingest|ls|info|verify|gc``.
+"""
+
+from repro.corpus.formats import (
+    FORMATS,
+    detect_format,
+    iter_champsim_records,
+    iter_cvp1_records,
+    iter_records,
+)
+from repro.corpus.reader import CorpusTrace, SliceSpec
+from repro.corpus.resolve import (
+    CORPUS_PREFIX,
+    configure_corpus,
+    corpus_instruction_count,
+    corpus_manifest,
+    corpus_point_spec,
+    get_store,
+    is_corpus_workload,
+    load_corpus_trace,
+    open_corpus_trace,
+    split_corpus_workload,
+)
+from repro.corpus.store import (
+    CORPUS_SCHEMA,
+    DEFAULT_CORPUS_DIR,
+    DEFAULT_SHARD_INSTS,
+    ENV_CORPUS_DIR,
+    CorpusError,
+    CorpusStore,
+    IngestResult,
+    Manifest,
+    ShardInfo,
+    default_corpus_dir,
+)
+
+__all__ = [
+    "CORPUS_PREFIX",
+    "CORPUS_SCHEMA",
+    "CorpusError",
+    "CorpusStore",
+    "CorpusTrace",
+    "DEFAULT_CORPUS_DIR",
+    "DEFAULT_SHARD_INSTS",
+    "ENV_CORPUS_DIR",
+    "FORMATS",
+    "IngestResult",
+    "Manifest",
+    "ShardInfo",
+    "SliceSpec",
+    "configure_corpus",
+    "corpus_instruction_count",
+    "corpus_manifest",
+    "corpus_point_spec",
+    "default_corpus_dir",
+    "detect_format",
+    "get_store",
+    "is_corpus_workload",
+    "iter_champsim_records",
+    "iter_cvp1_records",
+    "iter_records",
+    "load_corpus_trace",
+    "open_corpus_trace",
+    "split_corpus_workload",
+]

@@ -1,0 +1,234 @@
+"""Streaming format adapters for trace-corpus ingestion.
+
+Every adapter is a generator yielding one canonical
+:data:`~repro.trace.external.Record` tuple per dynamic instruction —
+records are *never* accumulated in Python lists here, so ingesting a
+billion-instruction trace holds only one record (plus the corpus
+store's bounded shard buffer) in memory. All adapters read through
+:func:`repro.trace.external.open_trace_text`, so ``.gz`` and ``.xz``
+compressed inputs are decompressed transparently.
+
+Three input formats are supported, selected by file suffix (after
+stripping any compression suffix) or an explicit ``fmt=`` override:
+
+``csv`` (``.csv``)
+    The repo's canonical CSV trace format — see
+    :mod:`repro.trace.external`.
+
+``champsim`` (``.champsim``, ``.cst``)
+    A documented ChampSim-like text rendering of ChampSim's per-retired-
+    instruction trace records. Whitespace-separated columns::
+
+        <pc> <kind> [<taken> <target>]
+
+    ``kind`` is a single letter: ``N`` non-branch, ``B`` conditional
+    direct, ``J`` unconditional direct jump, ``C`` direct call, ``R``
+    return, ``I`` indirect jump, ``X`` indirect call (mirroring
+    ChampSim's ``NOT_BRANCH`` / ``BRANCH_CONDITIONAL`` / ``BRANCH_DIRECT_JUMP``
+    / ``BRANCH_DIRECT_CALL`` / ``BRANCH_RETURN`` / ``BRANCH_INDIRECT`` /
+    ``BRANCH_INDIRECT_CALL`` taxonomy). Non-branch lines may omit the
+    trailing ``<taken> <target>``. PCs and targets are decimal or
+    0x-prefixed hex. Blank lines and ``#`` comments are skipped.
+
+``cvp1`` (``.cvp``, ``.cvp1``)
+    A documented CVP-1-like text rendering of the CVP-1 trace records
+    the paper evaluates on. Whitespace-separated columns::
+
+        <pc> <class> [<taken> <target>] [<maddr>]
+
+    ``class`` is a CVP-1 instruction class name (case-insensitive,
+    the ``InstClass`` suffix optional): ``aluInstClass``,
+    ``loadInstClass``, ``storeInstClass``, ``condBranchInstClass``,
+    ``uncondDirectBranchInstClass``, ``uncondIndirectBranchInstClass``,
+    ``fpInstClass``, ``slowAluInstClass``, ``undefInstClass``.
+    Branch classes carry ``<taken> <target>``; load/store classes may
+    carry a memory address. CVP-1 does not distinguish calls/returns
+    from plain jumps, so its two branch-target classes map onto
+    ``UNCOND_DIRECT`` and ``INDIRECT``.
+"""
+
+from __future__ import annotations
+
+import lzma
+from typing import Iterator, Optional
+
+from repro.common.types import BranchType
+from repro.trace.external import (
+    NO_REG,
+    Record,
+    TraceFormatError,
+    iter_csv_records,
+    open_trace_text,
+)
+
+#: Compression suffixes stripped before format detection.
+COMPRESSION_SUFFIXES = (".gz", ".xz")
+
+#: Format name -> file suffixes that select it.
+FORMAT_SUFFIXES = {
+    "csv": (".csv",),
+    "champsim": (".champsim", ".cst"),
+    "cvp1": (".cvp", ".cvp1"),
+}
+
+FORMATS = tuple(FORMAT_SUFFIXES)
+
+#: ChampSim-like single-letter instruction kinds -> BranchType.
+CHAMPSIM_KINDS = {
+    "N": BranchType.NONE,
+    "B": BranchType.COND_DIRECT,
+    "J": BranchType.UNCOND_DIRECT,
+    "C": BranchType.CALL_DIRECT,
+    "R": BranchType.RETURN,
+    "I": BranchType.INDIRECT,
+    "X": BranchType.CALL_INDIRECT,
+}
+
+#: CVP-1-like instruction class names (lowercased, ``instclass`` suffix
+#: stripped) -> (BranchType, is_load, is_store).
+CVP1_CLASSES = {
+    "alu": (BranchType.NONE, 0, 0),
+    "fp": (BranchType.NONE, 0, 0),
+    "slowalu": (BranchType.NONE, 0, 0),
+    "undef": (BranchType.NONE, 0, 0),
+    "load": (BranchType.NONE, 1, 0),
+    "store": (BranchType.NONE, 0, 1),
+    "condbranch": (BranchType.COND_DIRECT, 0, 0),
+    "unconddirectbranch": (BranchType.UNCOND_DIRECT, 0, 0),
+    "uncondindirectbranch": (BranchType.INDIRECT, 0, 0),
+}
+
+
+def strip_compression(path: str) -> str:
+    """*path* without a trailing ``.gz``/``.xz`` suffix."""
+    for suffix in COMPRESSION_SUFFIXES:
+        if path.endswith(suffix):
+            return path[: -len(suffix)]
+    return path
+
+
+def detect_format(path) -> str:
+    """Infer the trace format of *path* from its (decompressed) suffix."""
+    bare = strip_compression(str(path).lower())
+    for fmt, suffixes in FORMAT_SUFFIXES.items():
+        if bare.endswith(suffixes):
+            return fmt
+    raise TraceFormatError(
+        f"cannot infer trace format from suffix of {path!r}; "
+        f"pass an explicit format ({', '.join(FORMATS)})"
+    )
+
+
+def _parse_int(text: str, line_no: int, what: str) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise TraceFormatError(
+            f"line {line_no}: bad integer {text!r} for {what}"
+        ) from None
+
+
+def _iter_lines(handle):
+    """(line_no, fields) for every non-blank, non-comment line."""
+    for line_no, line in enumerate(handle, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield line_no, stripped.split()
+
+
+def iter_champsim_records(handle) -> Iterator[Record]:
+    """Stream records from ChampSim-like text (see module docstring)."""
+    for line_no, fields in _iter_lines(handle):
+        pc = _parse_int(fields[0], line_no, "pc")
+        if len(fields) < 2:
+            raise TraceFormatError(
+                f"line {line_no}: expected '<pc> <kind> [<taken> <target>]'"
+            )
+        kind = fields[1].upper()
+        btype = CHAMPSIM_KINDS.get(kind)
+        if btype is None:
+            raise TraceFormatError(
+                f"line {line_no}: unknown instruction kind {fields[1]!r} "
+                f"(expected one of {', '.join(CHAMPSIM_KINDS)})"
+            )
+        taken = target = 0
+        if btype != BranchType.NONE:
+            if len(fields) < 4:
+                raise TraceFormatError(
+                    f"line {line_no}: branch record needs '<taken> <target>'"
+                )
+            taken = 1 if _parse_int(fields[2], line_no, "taken") else 0
+            target = _parse_int(fields[3], line_no, "target")
+        yield (pc, int(btype), taken, target, NO_REG, NO_REG, NO_REG, 0, 0, 0)
+
+
+def iter_cvp1_records(handle) -> Iterator[Record]:
+    """Stream records from CVP-1-like text (see module docstring)."""
+    for line_no, fields in _iter_lines(handle):
+        pc = _parse_int(fields[0], line_no, "pc")
+        if len(fields) < 2:
+            raise TraceFormatError(
+                f"line {line_no}: expected '<pc> <class> ...'"
+            )
+        cls = fields[1].lower()
+        if cls.endswith("instclass"):
+            cls = cls[: -len("instclass")]
+        mapped = CVP1_CLASSES.get(cls)
+        if mapped is None:
+            raise TraceFormatError(
+                f"line {line_no}: unknown CVP-1 instruction class "
+                f"{fields[1]!r} (expected one of "
+                f"{', '.join(sorted(CVP1_CLASSES))} [+InstClass])"
+            )
+        btype, is_load, is_store = mapped
+        taken = target = maddr = 0
+        rest = fields[2:]
+        if btype != BranchType.NONE:
+            if len(rest) < 2:
+                raise TraceFormatError(
+                    f"line {line_no}: branch record needs '<taken> <target>'"
+                )
+            taken = 1 if _parse_int(rest[0], line_no, "taken") else 0
+            target = _parse_int(rest[1], line_no, "target")
+        elif (is_load or is_store) and rest:
+            maddr = _parse_int(rest[0], line_no, "maddr")
+        yield (
+            pc, int(btype), taken, target,
+            NO_REG, NO_REG, NO_REG, is_load, is_store, maddr,
+        )
+
+
+_READERS = {
+    "csv": iter_csv_records,
+    "champsim": iter_champsim_records,
+    "cvp1": iter_cvp1_records,
+}
+
+
+def iter_records(path, fmt: Optional[str] = None) -> Iterator[Record]:
+    """Stream canonical records from *path* in any supported format.
+
+    *fmt* overrides suffix-based detection. Every raised
+    :class:`TraceFormatError` names *path*.
+    """
+    fmt = fmt or detect_format(path)
+    reader = _READERS.get(fmt)
+    if reader is None:
+        raise TraceFormatError(
+            f"{path}: unknown trace format {fmt!r} "
+            f"(expected one of {', '.join(FORMATS)})"
+        )
+    try:
+        with open_trace_text(path) as handle:
+            yield from reader(handle)
+    except TraceFormatError as exc:
+        text = str(exc)
+        if not text.startswith(str(path)):
+            raise TraceFormatError(f"{path}: {exc}") from None
+        raise
+    except (OSError, EOFError) as exc:
+        reason = getattr(exc, "strerror", None) or str(exc) or type(exc).__name__
+        raise TraceFormatError(f"{path}: {reason}") from None
+    except lzma.LZMAError as exc:
+        raise TraceFormatError(f"{path}: {exc}") from None

@@ -1,0 +1,330 @@
+"""Lazy, memory-mapped readers over corpus shards.
+
+:class:`CorpusTrace` opens an ingested trace without materializing it:
+shards load on demand, uncompressed ``.npz`` members are **memory-
+mapped** straight out of the zip container (``np.savez`` stores members
+``ZIP_STORED``; we locate the member's data offset from the zip local
+file header and the npy header, then ``np.memmap`` the region — falling
+back to a plain ``np.load`` copy for anything unexpected), and
+:meth:`CorpusTrace.iter_chunks` walks the trace with a **background
+prefetch thread** that loads shard *i+1* while the caller consumes
+shard *i*.
+
+:class:`SliceSpec` makes long traces affordable: ``skip`` fast-forwards
+past an uninteresting prefix, ``measure`` bounds the window, and
+``sample=T/E`` keeps the first *T* instructions of every *E* — a
+deterministic interval sampling in the spirit of SimPoint-style
+checkpointing. The spec grammar (used in ``corpus:<name>@<spec>``
+workload names) is comma-separated ``key=value`` pairs::
+
+    corpus:srv01@skip=1000000
+    corpus:srv01@skip=1000000,measure=5000000
+    corpus:srv01@sample=10000/100000
+"""
+
+from __future__ import annotations
+
+import struct
+import zipfile
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.corpus.store import CorpusError, CorpusStore, Manifest
+from repro.trace.trace import Trace
+
+#: Set False (tests) to force the plain ``np.load`` copy path.
+ENABLE_MMAP = True
+
+_ZIP_LOCAL_HEADER = struct.Struct("<4s5H3L2H")
+
+
+def _mmap_npz_member(path, name: str) -> Optional[np.ndarray]:
+    """Memory-map array *name* out of the uncompressed npz at *path*.
+
+    Returns ``None`` when the member is compressed or anything about the
+    container looks unusual — callers fall back to ``np.load``.
+    """
+    if not ENABLE_MMAP:
+        return None
+    try:
+        with zipfile.ZipFile(path) as zf:
+            info = zf.getinfo(name if name.endswith(".npy") else name + ".npy")
+            if info.compress_type != zipfile.ZIP_STORED:
+                return None
+            with open(path, "rb") as fh:
+                fh.seek(info.header_offset)
+                header = _ZIP_LOCAL_HEADER.unpack(fh.read(_ZIP_LOCAL_HEADER.size))
+                name_len, extra_len = header[9], header[10]
+                data_offset = (
+                    info.header_offset
+                    + _ZIP_LOCAL_HEADER.size
+                    + name_len
+                    + extra_len
+                )
+                fh.seek(data_offset)
+                version = np.lib.format.read_magic(fh)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+                elif version == (2, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+                else:
+                    return None
+                if fortran or dtype.hasobject:
+                    return None
+                return np.memmap(
+                    path, dtype=dtype, mode="r", offset=fh.tell(), shape=shape
+                )
+    except Exception:
+        return None
+
+
+@dataclass(frozen=True)
+class SliceSpec:
+    """Deterministic windowing over a corpus trace (see module docstring).
+
+    Applied in order: drop ``skip`` instructions, keep at most
+    ``measure``, then within the window keep the first ``sample_take``
+    of every ``sample_every`` instructions.
+    """
+
+    skip: int = 0
+    measure: Optional[int] = None
+    sample_take: Optional[int] = None
+    sample_every: Optional[int] = None
+
+    @classmethod
+    def parse(cls, text: str) -> "SliceSpec":
+        """Parse ``skip=N,measure=N,sample=T/E`` (any subset, any order)."""
+        kwargs: Dict[str, int] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep:
+                raise CorpusError(f"bad slice component {part!r} in {text!r}")
+            try:
+                if key in ("skip", "measure"):
+                    kwargs[key] = int(value)
+                elif key == "sample":
+                    take, sep2, every = value.partition("/")
+                    if not sep2:
+                        raise ValueError("sample needs the form T/E")
+                    kwargs["sample_take"] = int(take)
+                    kwargs["sample_every"] = int(every)
+                else:
+                    raise ValueError(f"unknown key {key!r}")
+            except ValueError as exc:
+                raise CorpusError(
+                    f"bad slice component {part!r} in {text!r}: {exc}"
+                ) from None
+        spec = cls(**kwargs)
+        spec.validate()
+        return spec
+
+    def validate(self) -> None:
+        if self.skip < 0:
+            raise CorpusError(f"slice skip must be >= 0, got {self.skip}")
+        if self.measure is not None and self.measure < 1:
+            raise CorpusError(f"slice measure must be >= 1, got {self.measure}")
+        if (self.sample_take is None) != (self.sample_every is None):
+            raise CorpusError("sample take and every must be set together")
+        if self.sample_take is not None:
+            if self.sample_take < 1 or self.sample_every < 1:
+                raise CorpusError("sample T/E must both be >= 1")
+            if self.sample_take > self.sample_every:
+                raise CorpusError(
+                    f"sample take {self.sample_take} exceeds interval "
+                    f"{self.sample_every}"
+                )
+
+    def canonical(self) -> str:
+        """Normalized rendering; equal specs render identically (used in
+        cache keys and trace names)."""
+        parts = []
+        if self.skip:
+            parts.append(f"skip={self.skip}")
+        if self.measure is not None:
+            parts.append(f"measure={self.measure}")
+        if self.sample_take is not None:
+            parts.append(f"sample={self.sample_take}/{self.sample_every}")
+        return ",".join(parts)
+
+    def mask(self, start: int, count: int) -> Optional[np.ndarray]:
+        """Boolean selection for global indices [start, start+count), or
+        ``None`` when the whole range is selected."""
+        if (
+            not self.skip
+            and self.measure is None
+            and self.sample_take is None
+        ):
+            return None
+        idx = np.arange(start, start + count, dtype=np.int64)
+        keep = idx >= self.skip
+        if self.measure is not None:
+            keep &= idx < self.skip + self.measure
+        if self.sample_take is not None:
+            keep &= (idx - self.skip) % self.sample_every < self.sample_take
+        return keep
+
+    def selected_count(self, n: int) -> int:
+        """Number of instructions a length-*n* trace yields under this spec."""
+        window = max(0, n - self.skip)
+        if self.measure is not None:
+            window = min(window, self.measure)
+        if self.sample_take is None:
+            return window
+        full, rem = divmod(window, self.sample_every)
+        return full * self.sample_take + min(rem, self.sample_take)
+
+
+class CorpusTrace:
+    """Lazy view of one ingested corpus trace.
+
+    Cheap to construct — nothing is read until shards are iterated or
+    the trace is materialized with :meth:`to_trace`.
+    """
+
+    def __init__(self, store: CorpusStore, manifest: Manifest) -> None:
+        self.store = store
+        self.manifest = manifest
+        self._shard_dir = store.shard_dir_path(manifest)
+        starts = []
+        total = 0
+        for shard in manifest.shards:
+            starts.append(total)
+            total += shard.insts
+        self._starts = starts
+
+    def __len__(self) -> int:
+        return self.manifest.instructions
+
+    @property
+    def name(self) -> str:
+        return self.manifest.name
+
+    # -- shard access --------------------------------------------------------
+
+    def load_shard(self, index: int) -> Dict[str, np.ndarray]:
+        """Columns of shard *index*, memory-mapped when possible."""
+        shard = self.manifest.shards[index]
+        path = self._shard_dir / shard.file
+        columns: Dict[str, np.ndarray] = {}
+        loaded = None
+        for col in Trace._COLUMNS:
+            arr = _mmap_npz_member(path, col)
+            if arr is None:
+                if loaded is None:
+                    try:
+                        loaded = np.load(str(path), allow_pickle=False)
+                    except Exception as exc:
+                        raise CorpusError(
+                            f"unreadable corpus shard {path}: {exc} "
+                            f"(run `repro-sim corpus verify`)"
+                        ) from None
+                try:
+                    arr = loaded[col]
+                except Exception as exc:
+                    raise CorpusError(
+                        f"corpus shard {path} is missing column {col!r}: {exc}"
+                    ) from None
+            columns[col] = arr
+        n = len(columns["pc"])
+        if n != shard.insts:
+            raise CorpusError(
+                f"corpus shard {path} holds {n} instructions, manifest "
+                f"says {shard.insts} (run `repro-sim corpus verify`)"
+            )
+        return columns
+
+    def iter_shards(
+        self, prefetch: bool = True
+    ) -> Iterator[Tuple[int, Dict[str, np.ndarray]]]:
+        """Yield ``(global_start_index, columns)`` per shard, loading the
+        next shard on a background thread while the current one is
+        consumed."""
+        n_shards = len(self.manifest.shards)
+        if not n_shards:
+            return
+        if not prefetch or n_shards == 1:
+            for i in range(n_shards):
+                yield self._starts[i], self.load_shard(i)
+            return
+        with ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="corpus-prefetch"
+        ) as pool:
+            pending = pool.submit(self.load_shard, 0)
+            for i in range(n_shards):
+                current = pending.result()
+                if i + 1 < n_shards:
+                    pending = pool.submit(self.load_shard, i + 1)
+                yield self._starts[i], current
+
+    def iter_chunks(
+        self,
+        chunk_insts: int = 8192,
+        spec: Optional[SliceSpec] = None,
+        prefetch: bool = True,
+    ) -> Iterator[Dict[str, np.ndarray]]:
+        """Stream the (optionally sliced) trace in column-dict chunks of
+        at most *chunk_insts* instructions."""
+        if chunk_insts < 1:
+            raise CorpusError(f"chunk_insts must be positive, got {chunk_insts}")
+        for start, columns in self.iter_shards(prefetch=prefetch):
+            count = len(columns["pc"])
+            keep = spec.mask(start, count) if spec is not None else None
+            if keep is not None:
+                if not keep.any():
+                    continue
+                columns = {c: a[keep] for c, a in columns.items()}
+                count = len(columns["pc"])
+            for lo in range(0, count, chunk_insts):
+                hi = min(lo + chunk_insts, count)
+                yield {c: a[lo:hi] for c, a in columns.items()}
+
+    # -- materialization -----------------------------------------------------
+
+    def to_trace(
+        self,
+        spec: Optional[SliceSpec] = None,
+        max_insts: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> Trace:
+        """Materialize a :class:`~repro.trace.trace.Trace` (plain-list
+        columns, as the simulator hot loop wants) covering the sliced
+        window, truncated to *max_insts* when given."""
+        if name is None:
+            suffix = spec.canonical() if spec is not None else ""
+            name = f"corpus:{self.manifest.name}" + (
+                f"@{suffix}" if suffix else ""
+            )
+        trace = Trace(name=name)
+        remaining = max_insts
+        parts: Dict[str, List[np.ndarray]] = {c: [] for c in Trace._COLUMNS}
+        for start, columns in self.iter_shards():
+            keep = spec.mask(start, len(columns["pc"])) if spec is not None else None
+            if keep is not None:
+                if not keep.any():
+                    continue
+                columns = {c: a[keep] for c, a in columns.items()}
+            count = len(columns["pc"])
+            if remaining is not None:
+                if remaining <= 0:
+                    break
+                if count > remaining:
+                    columns = {c: a[:remaining] for c, a in columns.items()}
+                    count = remaining
+                remaining -= count
+            for col in Trace._COLUMNS:
+                parts[col].append(np.asarray(columns[col], dtype=np.int64))
+        for col in Trace._COLUMNS:
+            if parts[col]:
+                merged = np.concatenate(parts[col])
+            else:
+                merged = np.empty(0, dtype=np.int64)
+            setattr(trace, col, merged.tolist())
+        return trace

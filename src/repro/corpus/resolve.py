@@ -1,0 +1,122 @@
+"""Resolution of ``corpus:`` workload names.
+
+Anywhere the engine, runner, or CLI accepts a workload name, the form::
+
+    corpus:<entry>[@<slice-spec>]
+
+resolves to an ingested corpus trace instead of a synthetic workload —
+e.g. ``corpus:srv01`` or ``corpus:srv01@skip=1000000,measure=5000000``
+(see :class:`repro.corpus.reader.SliceSpec` for the slice grammar).
+
+Cache keying: a sweep point on a corpus workload is keyed by the
+entry's **content hash** plus the canonical slice spec
+(:func:`corpus_point_spec` feeds
+:func:`repro.core.exec.cachekey.result_key`), never by file paths or
+ingestion metadata. Re-ingesting byte-identical content therefore keeps
+every cached result and checkpoint valid, while ingesting changed
+content under the same name invalidates exactly the affected points.
+
+The active store root comes from :func:`configure_corpus` or the
+``REPRO_CORPUS_DIR`` environment variable; configuring the root exports
+the variable so sweep worker processes (fork *and* spawn) resolve the
+same store.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+from repro.corpus.reader import CorpusTrace, SliceSpec
+from repro.corpus.store import ENV_CORPUS_DIR, CorpusError, CorpusStore, Manifest
+from repro.trace.trace import Trace
+
+#: Prefix marking corpus workload names.
+CORPUS_PREFIX = "corpus:"
+
+
+def is_corpus_workload(workload: str) -> bool:
+    """True when *workload* names a corpus entry (``corpus:...``)."""
+    return isinstance(workload, str) and workload.startswith(CORPUS_PREFIX)
+
+
+def configure_corpus(root=None) -> CorpusStore:
+    """Point corpus resolution at *root* (None restores the default).
+
+    Exports ``REPRO_CORPUS_DIR`` so worker processes inherit the root.
+    """
+    if root is None:
+        os.environ.pop(ENV_CORPUS_DIR, None)
+    else:
+        os.environ[ENV_CORPUS_DIR] = str(root)
+    return CorpusStore(root)
+
+
+def get_store() -> CorpusStore:
+    """The store named by ``REPRO_CORPUS_DIR`` (or the default root)."""
+    return CorpusStore()
+
+
+def split_corpus_workload(workload: str) -> Tuple[str, Optional[SliceSpec]]:
+    """``corpus:<entry>[@<spec>]`` -> (entry, parsed spec or None)."""
+    if not is_corpus_workload(workload):
+        raise CorpusError(f"not a corpus workload name: {workload!r}")
+    body = workload[len(CORPUS_PREFIX):]
+    entry, sep, spec_text = body.partition("@")
+    if not entry:
+        raise CorpusError(f"empty corpus entry name in {workload!r}")
+    if not sep:
+        return entry, None
+    if not spec_text:
+        raise CorpusError(f"empty slice spec after '@' in {workload!r}")
+    return entry, SliceSpec.parse(spec_text)
+
+
+def open_corpus_trace(workload: str) -> Tuple[CorpusTrace, Optional[SliceSpec]]:
+    """Lazy reader + slice spec for *workload* (nothing is read yet)."""
+    entry, spec = split_corpus_workload(workload)
+    store = get_store()
+    return CorpusTrace(store, store.get(entry)), spec
+
+
+def corpus_manifest(workload: str) -> Manifest:
+    """Manifest of the entry *workload* names."""
+    entry, _spec = split_corpus_workload(workload)
+    return get_store().get(entry)
+
+
+def load_corpus_trace(workload: str, length: Optional[int] = None) -> Trace:
+    """Materialize *workload* for simulation.
+
+    *length* caps the instruction count (after slicing), mirroring the
+    ``length`` run parameter of synthetic workloads: a corpus trace
+    shorter than *length* runs whole, a longer one is truncated to its
+    first *length* instructions — deterministically, so (content hash,
+    slice, length) fully determines the simulated instruction stream.
+    """
+    reader, spec = open_corpus_trace(workload)
+    return reader.to_trace(spec=spec, max_insts=length, name=workload)
+
+
+def corpus_point_spec(workload: str) -> dict:
+    """Cache-key payload standing in for a synthetic ProgramSpec.
+
+    Contains exactly the content identity: the entry's content hash and
+    the canonical slice spec. Entry names, store paths, shard sizes and
+    ingestion provenance are deliberately excluded.
+    """
+    entry, spec = split_corpus_workload(workload)
+    manifest = get_store().get(entry)
+    return {
+        "kind": "corpus",
+        "content": manifest.content_hash,
+        "slice": spec.canonical() if spec is not None else "",
+    }
+
+
+def corpus_instruction_count(workload: str) -> int:
+    """Instructions *workload* yields after slicing (manifest-only; no
+    shard I/O)."""
+    entry, spec = split_corpus_workload(workload)
+    n = get_store().get(entry).instructions
+    return spec.selected_count(n) if spec is not None else n

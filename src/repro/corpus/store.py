@@ -1,0 +1,503 @@
+"""Content-addressed trace corpus store.
+
+Layout (everything under one root, default
+``~/.cache/repro-btb/corpus``, overridable via ``REPRO_CORPUS_DIR``)::
+
+    <root>/v<SCHEMA>/manifests/<name>.json      one manifest per trace
+    <root>/v<SCHEMA>/shards/<shard_dir>/        columnar .npz shards
+        000000.npz, 000001.npz, ...
+
+The manifest records everything needed to open, verify, and cache-key
+the trace: the **content hash** (SHA-256 over the canonical packed
+record stream — independent of shard size, source format, and
+compression, so re-ingesting identical content from a different file
+yields the same hash), instruction count, the shard list with per-file
+digests, a branch-mix summary, and format provenance. ``shard_dir`` is
+``<content_hash[:32]>-n<shard_insts>``: content-addressed, but distinct
+per sharding so a re-ingest at a different shard size never clobbers a
+store another reader is using — :meth:`CorpusStore.gc` later removes
+shard directories no manifest references.
+
+Ingestion is **streaming**: records flow one at a time from the format
+adapters (:mod:`repro.corpus.formats`) into a bounded shard buffer that
+is flushed to disk every ``shard_insts`` instructions — peak Python-side
+memory is one shard regardless of trace length (the
+:class:`IngestResult` reports the observed ``peak_buffered`` so tests
+can verify it). Manifest writes reuse the ``.lock``-sentinel + atomic
+rename discipline of :mod:`repro.core.exec.diskcache`; shards are staged
+into a temp directory and atomically renamed into place, so a killed
+ingest never leaves a half-visible trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import struct
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.common.types import LINE_BYTES, BranchType
+from repro.core.exec.diskcache import atomic_write
+from repro.corpus.formats import detect_format, iter_records
+from repro.trace.trace import Trace
+
+#: Environment variable overriding the corpus root directory.
+ENV_CORPUS_DIR = "REPRO_CORPUS_DIR"
+
+#: Default corpus root (expanded at construction time).
+DEFAULT_CORPUS_DIR = "~/.cache/repro-btb/corpus"
+
+#: Version of the on-disk corpus layout. Bump on incompatible changes;
+#: old stores then live under a stale ``v<N>/`` directory.
+CORPUS_SCHEMA = 1
+
+#: Default instructions per shard. 64 Ki instructions x 10 int64 columns
+#: = 5 MiB per shard uncompressed — big enough to amortize file-open
+#: cost, small enough that the ingest buffer and one prefetched shard
+#: stay cheap.
+DEFAULT_SHARD_INSTS = 65_536
+
+#: Struct layout of one canonical record for content hashing (10 little-
+#: endian int64s, Trace._COLUMNS order). Hashing the packed records —
+#: not the shard files — makes the content hash independent of shard
+#: size and npz metadata.
+_RECORD_STRUCT = struct.Struct("<10q")
+
+
+class CorpusError(RuntimeError):
+    """Raised for corpus-store failures: unknown entries, bad manifests,
+    integrity violations. Always names the entry or path involved."""
+
+
+def default_corpus_dir() -> Path:
+    """Corpus root: ``$REPRO_CORPUS_DIR`` if set, else the default."""
+    return Path(os.environ.get(ENV_CORPUS_DIR) or DEFAULT_CORPUS_DIR).expanduser()
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One columnar shard: file name (relative to the shard dir),
+    instruction count, and SHA-256 of the file bytes (for ``verify``)."""
+
+    file: str
+    insts: int
+    sha256: str
+
+
+@dataclass
+class Manifest:
+    """Everything the store knows about one ingested trace."""
+
+    name: str
+    content_hash: str
+    instructions: int
+    shard_insts: int
+    shard_dir: str
+    shards: List[ShardInfo]
+    branch_mix: Dict[str, float]
+    provenance: Dict[str, object]
+    schema: int = CORPUS_SCHEMA
+
+    def to_json(self) -> dict:
+        return {
+            "schema": self.schema,
+            "name": self.name,
+            "content_hash": self.content_hash,
+            "instructions": self.instructions,
+            "shard_insts": self.shard_insts,
+            "shard_dir": self.shard_dir,
+            "shards": [
+                {"file": s.file, "insts": s.insts, "sha256": s.sha256}
+                for s in self.shards
+            ],
+            "branch_mix": self.branch_mix,
+            "provenance": self.provenance,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Manifest":
+        return cls(
+            name=str(payload["name"]),
+            content_hash=str(payload["content_hash"]),
+            instructions=int(payload["instructions"]),
+            shard_insts=int(payload["shard_insts"]),
+            shard_dir=str(payload["shard_dir"]),
+            shards=[
+                ShardInfo(
+                    file=str(s["file"]),
+                    insts=int(s["insts"]),
+                    sha256=str(s["sha256"]),
+                )
+                for s in payload["shards"]
+            ],
+            branch_mix={
+                str(k): float(v) for k, v in payload["branch_mix"].items()
+            },
+            provenance=dict(payload["provenance"]),
+            schema=int(payload["schema"]),
+        )
+
+
+@dataclass
+class IngestResult:
+    """Outcome of one ingestion, including the streaming-memory evidence."""
+
+    manifest: Manifest
+    instructions: int
+    shards: int
+    #: Largest number of records ever buffered in Python at once —
+    #: bounded by ``shard_insts`` whatever the trace length.
+    peak_buffered: int
+    seconds: float
+    #: True when an identical shard directory already existed (identical
+    #: content re-ingested at the same shard size).
+    reused_shards: bool = False
+
+
+class _BranchMix:
+    """Streaming branch-mix summary, one update per record."""
+
+    def __init__(self) -> None:
+        self.counts = {f"branches_{bt.name.lower()}": 0 for bt in BranchType
+                       if bt != BranchType.NONE}
+        self.branches = 0
+        self.taken = 0
+        self.loads = 0
+        self.stores = 0
+        self.lines: set = set()
+
+    def update(self, record) -> None:
+        self.lines.add(record[0] // LINE_BYTES)
+        bt = record[1]
+        if bt:
+            self.branches += 1
+            self.counts[f"branches_{BranchType(bt).name.lower()}"] += 1
+            if record[2]:
+                self.taken += 1
+        if record[7]:
+            self.loads += 1
+        if record[8]:
+            self.stores += 1
+
+    def summary(self, instructions: int) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "instructions": instructions,
+            "branches": self.branches,
+            "taken_branches": self.taken,
+            "loads": self.loads,
+            "stores": self.stores,
+            "code_footprint_bytes": len(self.lines) * LINE_BYTES,
+        }
+        out.update(self.counts)
+        if self.taken:
+            out["mean_dynamic_bb_size"] = instructions / self.taken
+        return out
+
+
+class _ShardWriter:
+    """Bounded buffer that flushes columnar ``.npz`` shards to a staging
+    directory, hashing the canonical record stream as it goes."""
+
+    def __init__(self, staging: Path, shard_insts: int) -> None:
+        self.staging = staging
+        self.shard_insts = shard_insts
+        self.columns: List[List[int]] = [[] for _ in Trace._COLUMNS]
+        self.shards: List[ShardInfo] = []
+        self.content = hashlib.sha256()
+        self.instructions = 0
+        self.peak_buffered = 0
+
+    def add(self, record) -> None:
+        self.content.update(_RECORD_STRUCT.pack(*record))
+        for column, value in zip(self.columns, record):
+            column.append(value)
+        self.instructions += 1
+        buffered = len(self.columns[0])
+        if buffered > self.peak_buffered:
+            self.peak_buffered = buffered
+        if buffered >= self.shard_insts:
+            self.flush()
+
+    def flush(self) -> None:
+        count = len(self.columns[0])
+        if not count:
+            return
+        arrays = {
+            name: np.asarray(col, dtype=np.int64)
+            for name, col in zip(Trace._COLUMNS, self.columns)
+        }
+        path = self.staging / f"{len(self.shards):06d}.npz"
+        # Uncompressed npz: members are ZIP_STORED, which the reader can
+        # memory-map directly (see repro.corpus.reader).
+        np.savez(str(path), **arrays)
+        self.shards.append(
+            ShardInfo(
+                file=path.name,
+                insts=count,
+                sha256=hashlib.sha256(path.read_bytes()).hexdigest(),
+            )
+        )
+        for column in self.columns:
+            column.clear()
+
+
+class CorpusStore:
+    """Content-addressed, sharded trace store (see module docstring)."""
+
+    def __init__(self, root=None) -> None:
+        self.root = Path(root).expanduser() if root else default_corpus_dir()
+        self.version_dir = self.root / f"v{CORPUS_SCHEMA}"
+        self.manifests_dir = self.version_dir / "manifests"
+        self.shards_root = self.version_dir / "shards"
+
+    # -- paths ---------------------------------------------------------------
+
+    def manifest_path(self, name: str) -> Path:
+        return self.manifests_dir / f"{name}.json"
+
+    def shard_dir_path(self, manifest: Manifest) -> Path:
+        return self.shards_root / manifest.shard_dir
+
+    # -- catalog -------------------------------------------------------------
+
+    def names(self) -> List[str]:
+        """Sorted names of every ingested trace."""
+        if not self.manifests_dir.is_dir():
+            return []
+        return sorted(p.stem for p in self.manifests_dir.glob("*.json"))
+
+    def get(self, name: str) -> Manifest:
+        """Manifest of entry *name*; raises :class:`CorpusError` when the
+        entry is missing or its manifest is unreadable."""
+        path = self.manifest_path(name)
+        try:
+            payload = json.loads(path.read_text())
+            manifest = Manifest.from_json(payload)
+        except FileNotFoundError:
+            known = ", ".join(self.names()) or "(corpus is empty)"
+            raise CorpusError(
+                f"no corpus entry named {name!r} under {self.root}; "
+                f"ingested: {known}"
+            ) from None
+        except Exception as exc:
+            raise CorpusError(f"unreadable corpus manifest {path}: {exc}") from None
+        if manifest.schema != CORPUS_SCHEMA:
+            raise CorpusError(
+                f"corpus manifest {path} has schema {manifest.schema}, "
+                f"expected {CORPUS_SCHEMA}"
+            )
+        return manifest
+
+    def manifests(self) -> List[Manifest]:
+        return [self.get(name) for name in self.names()]
+
+    # -- ingestion -----------------------------------------------------------
+
+    def ingest(
+        self,
+        source,
+        name: Optional[str] = None,
+        fmt: Optional[str] = None,
+        shard_insts: int = DEFAULT_SHARD_INSTS,
+    ) -> IngestResult:
+        """Stream *source* into the store; returns an :class:`IngestResult`.
+
+        *name* defaults to the source file name without suffixes. An
+        existing entry of the same name is replaced (its old shard
+        directory becomes garbage for :meth:`gc` unless still shared).
+        """
+        t0 = time.perf_counter()
+        source = str(source)
+        fmt = fmt or detect_format(source)
+        if name is None:
+            name = Path(source).name
+            for _ in range(3):  # .csv.gz etc.
+                stem = Path(name).stem
+                if stem == name:
+                    break
+                name = stem
+        if not name or "/" in name or name.startswith("."):
+            raise CorpusError(f"invalid corpus entry name {name!r}")
+        if shard_insts < 1:
+            raise CorpusError(f"shard_insts must be positive, got {shard_insts}")
+
+        self.shards_root.mkdir(parents=True, exist_ok=True)
+        staging = Path(
+            tempfile.mkdtemp(dir=str(self.shards_root), prefix=".ingest-")
+        )
+        mix = _BranchMix()
+        writer = _ShardWriter(staging, shard_insts)
+        try:
+            for record in iter_records(source, fmt):
+                writer.add(record)
+                mix.update(record)
+            writer.flush()
+            if not writer.instructions:
+                raise CorpusError(f"{source}: trace contains no instructions")
+            content_hash = writer.content.hexdigest()
+            shard_dir = f"{content_hash[:32]}-n{shard_insts}"
+            final_dir = self.shards_root / shard_dir
+            reused = final_dir.is_dir()
+            if reused:
+                # Identical content at identical sharding already stored
+                # (content-addressed: the bytes are equivalent).
+                shutil.rmtree(staging)
+            else:
+                os.replace(staging, final_dir)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+
+        manifest = Manifest(
+            name=name,
+            content_hash=content_hash,
+            instructions=writer.instructions,
+            shard_insts=shard_insts,
+            shard_dir=shard_dir,
+            shards=writer.shards,
+            branch_mix=mix.summary(writer.instructions),
+            provenance={
+                "source": source,
+                "format": fmt,
+                "ingested_at": time.strftime(
+                    "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+                ),
+            },
+        )
+        if reused:
+            # Keep the shard digests of the files actually on disk (file
+            # bytes can differ across numpy versions even for identical
+            # content; the content hash is what must match).
+            try:
+                old = self.get(name)
+                if old.shard_dir == shard_dir:
+                    manifest.shards = old.shards
+            except CorpusError:
+                manifest.shards = [
+                    ShardInfo(
+                        file=s.file,
+                        insts=s.insts,
+                        sha256=hashlib.sha256(
+                            (final_dir / s.file).read_bytes()
+                        ).hexdigest(),
+                    )
+                    for s in manifest.shards
+                ]
+        text = json.dumps(manifest.to_json(), indent=2, sort_keys=True)
+        atomic_write(
+            self.manifest_path(name), lambda tmp: Path(tmp).write_text(text)
+        )
+        return IngestResult(
+            manifest=manifest,
+            instructions=writer.instructions,
+            shards=len(manifest.shards),
+            peak_buffered=writer.peak_buffered,
+            seconds=time.perf_counter() - t0,
+            reused_shards=reused,
+        )
+
+    # -- maintenance ---------------------------------------------------------
+
+    def verify(self, names: Optional[Iterable[str]] = None) -> List[str]:
+        """Integrity-check entries; returns a list of problem strings
+        (empty when everything is intact).
+
+        Checks, per entry: the manifest parses, every shard file exists
+        with a matching SHA-256 and instruction count, the shard counts
+        sum to the manifest's instruction count, and the recomputed
+        content hash of the record stream matches ``content_hash``.
+        """
+        problems: List[str] = []
+        for name in sorted(names) if names is not None else self.names():
+            try:
+                manifest = self.get(name)
+            except CorpusError as exc:
+                problems.append(str(exc))
+                continue
+            shard_dir = self.shard_dir_path(manifest)
+            total = 0
+            content = hashlib.sha256()
+            for shard in manifest.shards:
+                path = shard_dir / shard.file
+                try:
+                    data = path.read_bytes()
+                except OSError:
+                    problems.append(f"{name}: missing shard {path}")
+                    continue
+                if hashlib.sha256(data).hexdigest() != shard.sha256:
+                    problems.append(f"{name}: corrupted shard {path}")
+                    continue
+                try:
+                    arrays = np.load(str(path), allow_pickle=False)
+                    cols = [
+                        np.ascontiguousarray(arrays[c], dtype=np.int64)
+                        for c in Trace._COLUMNS
+                    ]
+                except Exception as exc:
+                    problems.append(f"{name}: unreadable shard {path}: {exc}")
+                    continue
+                count = len(cols[0])
+                if count != shard.insts or any(len(c) != count for c in cols):
+                    problems.append(
+                        f"{name}: shard {path} has wrong instruction count"
+                    )
+                    continue
+                content.update(
+                    np.stack(cols, axis=1).astype("<i8").tobytes()
+                )
+                total += count
+            if total != manifest.instructions:
+                problems.append(
+                    f"{name}: shard counts sum to {total}, manifest says "
+                    f"{manifest.instructions}"
+                )
+            elif content.hexdigest() != manifest.content_hash:
+                problems.append(
+                    f"{name}: content hash mismatch (manifest "
+                    f"{manifest.content_hash[:16]}..., recomputed "
+                    f"{content.hexdigest()[:16]}...)"
+                )
+        return problems
+
+    def gc(self, dry_run: bool = False) -> List[str]:
+        """Remove shard directories no manifest references (and stale
+        ingest staging directories). Returns the removed directory names;
+        live shard directories are never touched."""
+        if not self.shards_root.is_dir():
+            return []
+        live = set()
+        for name in self.names():
+            try:
+                live.add(self.get(name).shard_dir)
+            except CorpusError:
+                continue  # unreadable manifest: keep its shards for triage
+        removed = []
+        for entry in sorted(self.shards_root.iterdir()):
+            if not entry.is_dir():
+                continue
+            stale_staging = entry.name.startswith(".ingest-") and (
+                time.time() - entry.stat().st_mtime > 3600
+            )
+            orphaned = not entry.name.startswith(".") and entry.name not in live
+            if orphaned or stale_staging:
+                if not dry_run:
+                    shutil.rmtree(entry, ignore_errors=True)
+                removed.append(entry.name)
+        return removed
+
+    def remove(self, name: str) -> None:
+        """Drop entry *name* (its shards become garbage for :meth:`gc`)."""
+        manifest = self.get(name)  # raises when unknown
+        self.manifest_path(manifest.name).unlink()
+
+    def clear(self) -> None:
+        """Remove the whole corpus store, all schema versions included."""
+        shutil.rmtree(self.root, ignore_errors=True)

@@ -1,0 +1,30 @@
+"""Shared fixtures for the trace-corpus tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import CorpusStore, configure_corpus
+from repro.trace.external import save_trace_csv
+from repro.trace.workloads import get_trace
+
+
+@pytest.fixture
+def store(tmp_path, monkeypatch) -> CorpusStore:
+    """An isolated corpus store that ``corpus:`` names resolve against."""
+    root = tmp_path / "corpus"
+    monkeypatch.setenv("REPRO_CORPUS_DIR", str(root))
+    return configure_corpus(root)
+
+
+@pytest.fixture
+def trace_csv(tmp_path):
+    """A 9000-instruction synthetic trace exported to CSV.
+
+    Small enough to ingest in milliseconds, long enough to span several
+    shards at the test shard size.
+    """
+    trace = get_trace("web_frontend", 9000)
+    path = tmp_path / "web_frontend.csv"
+    save_trace_csv(trace, str(path))
+    return trace, str(path)

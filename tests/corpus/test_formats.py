@@ -1,0 +1,224 @@
+"""Unit tests for the streaming corpus format adapters."""
+
+import gzip
+import lzma
+
+import pytest
+
+from repro.common.types import BranchType
+from repro.corpus.formats import (
+    CHAMPSIM_KINDS,
+    CVP1_CLASSES,
+    detect_format,
+    iter_champsim_records,
+    iter_cvp1_records,
+    iter_records,
+    strip_compression,
+)
+from repro.trace.external import TraceFormatError
+from repro.trace.trace import NO_REG
+
+
+def write(tmp_path, text, name):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+# -- format detection --------------------------------------------------------
+
+
+def test_strip_compression():
+    assert strip_compression("a/t.csv.gz") == "a/t.csv"
+    assert strip_compression("t.champsim.xz") == "t.champsim"
+    assert strip_compression("t.cvp") == "t.cvp"
+
+
+@pytest.mark.parametrize(
+    "name,fmt",
+    [
+        ("t.csv", "csv"),
+        ("t.csv.gz", "csv"),
+        ("t.CSV.XZ", "csv"),
+        ("t.champsim", "champsim"),
+        ("t.cst.gz", "champsim"),
+        ("t.cvp", "cvp1"),
+        ("t.cvp1.xz", "cvp1"),
+    ],
+)
+def test_detect_format(name, fmt):
+    assert detect_format(name) == fmt
+
+
+def test_detect_format_unknown_suffix_raises():
+    with pytest.raises(TraceFormatError, match="cannot infer trace format"):
+        detect_format("trace.bin")
+
+
+# -- ChampSim-like adapter ---------------------------------------------------
+
+CHAMPSIM_TEXT = (
+    "# comment\n"
+    "0x100 N\n"
+    "\n"
+    "0x104 B 1 0x200\n"
+    "0x200 J 1 0x300\n"
+    "0x300 C 1 0x400\n"
+    "0x400 R 1 0x304\n"
+    "0x304 I 1 0x500\n"
+    "0x500 X 1 0x600\n"
+)
+
+
+def test_champsim_adapter_maps_all_kinds(tmp_path):
+    path = write(tmp_path, CHAMPSIM_TEXT, "t.champsim")
+    records = list(iter_records(path))
+    assert [r[0] for r in records] == [
+        0x100, 0x104, 0x200, 0x300, 0x400, 0x304, 0x500,
+    ]
+    assert [r[1] for r in records] == [
+        int(BranchType.NONE),
+        int(BranchType.COND_DIRECT),
+        int(BranchType.UNCOND_DIRECT),
+        int(BranchType.CALL_DIRECT),
+        int(BranchType.RETURN),
+        int(BranchType.INDIRECT),
+        int(BranchType.CALL_INDIRECT),
+    ]
+    # Non-branch lines omit taken/target; registers default to NO_REG.
+    assert records[0][2:4] == (0, 0)
+    assert records[1][2:4] == (1, 0x200)
+    assert records[0][4] == NO_REG
+
+
+def test_champsim_kind_table_covers_taxonomy():
+    assert set(CHAMPSIM_KINDS) == {"N", "B", "J", "C", "R", "I", "X"}
+
+
+def test_champsim_unknown_kind_names_line_and_path(tmp_path):
+    path = write(tmp_path, "0x100 Q\n", "t.champsim")
+    with pytest.raises(TraceFormatError) as info:
+        list(iter_records(path))
+    assert "line 1" in str(info.value)
+    assert path in str(info.value)
+
+
+def test_champsim_branch_without_target_raises(tmp_path):
+    path = write(tmp_path, "0x100 B 1\n", "t.champsim")
+    with pytest.raises(TraceFormatError, match="needs '<taken> <target>'"):
+        list(iter_records(path))
+
+
+def test_champsim_bad_integer_reports_line(tmp_path):
+    path = write(tmp_path, "0x100 N\nzz N\n", "t.champsim")
+    with pytest.raises(TraceFormatError, match="line 2"):
+        list(iter_records(path))
+
+
+def test_champsim_missing_kind_raises(tmp_path):
+    path = write(tmp_path, "0x100\n", "t.champsim")
+    with pytest.raises(TraceFormatError, match="expected"):
+        list(iter_records(path))
+
+
+# -- CVP-1-like adapter ------------------------------------------------------
+
+CVP1_TEXT = (
+    "0x100 aluInstClass\n"
+    "0x104 loadInstClass 0x9000\n"
+    "0x108 storeInstClass 0x9100\n"
+    "0x10c condBranchInstClass 1 0x200\n"
+    "0x200 uncondDirectBranch 1 0x300\n"
+    "0x300 UNCONDINDIRECTBRANCHINSTCLASS 1 0x400\n"
+    "0x400 fp\n"
+)
+
+
+def test_cvp1_adapter_maps_classes(tmp_path):
+    path = write(tmp_path, CVP1_TEXT, "t.cvp")
+    records = list(iter_records(path))
+    assert [r[1] for r in records] == [
+        int(BranchType.NONE),
+        int(BranchType.NONE),
+        int(BranchType.NONE),
+        int(BranchType.COND_DIRECT),
+        int(BranchType.UNCOND_DIRECT),
+        int(BranchType.INDIRECT),
+        int(BranchType.NONE),
+    ]
+    # load/store carry is_load/is_store + maddr.
+    assert records[1][7:10] == (1, 0, 0x9000)
+    assert records[2][7:10] == (0, 1, 0x9100)
+    # branches carry taken/target.
+    assert records[3][2:4] == (1, 0x200)
+
+
+def test_cvp1_class_table_has_all_nine_classes():
+    assert len(CVP1_CLASSES) == 9
+
+
+def test_cvp1_unknown_class_raises(tmp_path):
+    path = write(tmp_path, "0x100 vectorInstClass\n", "t.cvp")
+    with pytest.raises(TraceFormatError, match="unknown CVP-1"):
+        list(iter_records(path))
+
+
+def test_cvp1_branch_without_target_raises(tmp_path):
+    path = write(tmp_path, "0x100 condBranchInstClass\n", "t.cvp")
+    with pytest.raises(TraceFormatError, match="needs"):
+        list(iter_records(path))
+
+
+def test_cvp1_load_without_maddr_defaults_zero(tmp_path):
+    path = write(tmp_path, "0x100 loadInstClass\n", "t.cvp")
+    (record,) = list(iter_records(path))
+    assert record[7] == 1 and record[9] == 0
+
+
+# -- compression + dispatch --------------------------------------------------
+
+
+def test_compressed_champsim_gz_and_xz(tmp_path):
+    for suffix, opener in ((".gz", gzip.open), (".xz", lzma.open)):
+        path = tmp_path / f"t.champsim{suffix}"
+        with opener(str(path), "wt") as fh:
+            fh.write(CHAMPSIM_TEXT)
+        records = list(iter_records(str(path)))
+        assert len(records) == 7
+
+
+def test_iter_records_csv_matches_external_loader(tmp_path, trace_csv):
+    from repro.trace.trace import Trace
+
+    trace, path = trace_csv
+    records = list(iter_records(path))
+    assert len(records) == len(trace)
+    for i, col in enumerate(Trace._COLUMNS):
+        assert [r[i] for r in records] == list(getattr(trace, col)), col
+
+
+def test_iter_records_explicit_format_override(tmp_path):
+    path = write(tmp_path, "0x100 N\n", "t.dat")
+    records = list(iter_records(path, fmt="champsim"))
+    assert records[0][0] == 0x100
+
+
+def test_iter_records_unknown_format_raises(tmp_path):
+    path = write(tmp_path, "0x100 N\n", "t.champsim")
+    with pytest.raises(TraceFormatError, match="unknown trace format"):
+        list(iter_records(path, fmt="frob"))
+
+
+def test_iter_records_missing_file_names_path(tmp_path):
+    path = str(tmp_path / "nope.champsim")
+    with pytest.raises(TraceFormatError) as info:
+        list(iter_records(path))
+    assert path in str(info.value)
+
+
+def test_iter_records_corrupt_gz_names_path(tmp_path):
+    path = tmp_path / "t.csv.gz"
+    path.write_bytes(b"not gzip at all")
+    with pytest.raises(TraceFormatError) as info:
+        list(iter_records(str(path)))
+    assert str(path) in str(info.value)

@@ -1,0 +1,169 @@
+"""Tests for the lazy corpus readers: mmap, chunked iteration, prefetch,
+slice specs."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusError, CorpusTrace, SliceSpec
+from repro.corpus import reader as reader_mod
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def ingested(store, trace_csv):
+    """(original Trace, CorpusTrace over its 5-shard ingestion)."""
+    trace, path = trace_csv
+    manifest = store.ingest(path, shard_insts=2000).manifest
+    return trace, CorpusTrace(store, manifest)
+
+
+# -- shard loading -----------------------------------------------------------
+
+
+def test_reader_is_lazy_and_sized(ingested):
+    trace, reader = ingested
+    assert len(reader) == len(trace)
+    assert reader.name == "web_frontend"
+
+
+def test_load_shard_memory_maps_columns(ingested):
+    _, reader = ingested
+    columns = reader.load_shard(0)
+    assert isinstance(columns["pc"], np.memmap)
+    assert columns["pc"].dtype == np.int64
+    assert len(columns["pc"]) == 2000
+
+
+def test_load_shard_fallback_path_matches_mmap(ingested, monkeypatch):
+    _, reader = ingested
+    mapped = reader.load_shard(1)
+    monkeypatch.setattr(reader_mod, "ENABLE_MMAP", False)
+    copied = reader.load_shard(1)
+    assert not isinstance(copied["pc"], np.memmap)
+    for col in Trace._COLUMNS:
+        assert np.array_equal(mapped[col], copied[col]), col
+
+
+def test_load_shard_count_mismatch_raises(ingested):
+    from repro.corpus import ShardInfo
+
+    _, reader = ingested
+    shard = reader.manifest.shards[0]
+    reader.manifest.shards[0] = ShardInfo(
+        file=shard.file, insts=1234, sha256=shard.sha256
+    )
+    with pytest.raises(CorpusError, match="corpus verify"):
+        reader.load_shard(0)
+
+
+def test_to_trace_materializes_identically(ingested):
+    trace, reader = ingested
+    back = reader.to_trace()
+    assert back.name == "corpus:web_frontend"
+    for col in Trace._COLUMNS:
+        assert getattr(back, col) == list(getattr(trace, col)), col
+
+
+def test_to_trace_max_insts_truncates(ingested):
+    trace, reader = ingested
+    back = reader.to_trace(max_insts=4321)
+    assert len(back) == 4321
+    assert back.pc == trace.pc[:4321]
+
+
+# -- chunked iteration + prefetch -------------------------------------------
+
+
+def test_iter_chunks_concatenates_to_whole_trace(ingested):
+    trace, reader = ingested
+    chunks = list(reader.iter_chunks(chunk_insts=700))
+    assert all(len(c["pc"]) <= 700 for c in chunks)
+    pcs = np.concatenate([c["pc"] for c in chunks])
+    assert pcs.tolist() == trace.pc
+
+
+def test_iter_chunks_prefetch_off_matches_on(ingested):
+    _, reader = ingested
+    on = [c["pc"] for c in reader.iter_chunks(chunk_insts=1500)]
+    off = [c["pc"] for c in reader.iter_chunks(chunk_insts=1500, prefetch=False)]
+    assert len(on) == len(off)
+    for a, b in zip(on, off):
+        assert np.array_equal(a, b)
+
+
+def test_iter_chunks_rejects_bad_chunk_size(ingested):
+    _, reader = ingested
+    with pytest.raises(CorpusError, match="chunk_insts"):
+        next(reader.iter_chunks(chunk_insts=0))
+
+
+# -- slice specs -------------------------------------------------------------
+
+
+def test_slice_spec_parse_and_canonical():
+    spec = SliceSpec.parse("measure=4000, skip=1000,sample=500/1000")
+    assert spec == SliceSpec(
+        skip=1000, measure=4000, sample_take=500, sample_every=1000
+    )
+    assert spec.canonical() == "skip=1000,measure=4000,sample=500/1000"
+    # Canonical form reparses to the same spec.
+    assert SliceSpec.parse(spec.canonical()) == spec
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "skip=-1",
+        "measure=0",
+        "sample=500",
+        "sample=0/10",
+        "sample=20/10",
+        "frob=1",
+        "skip",
+        "skip=abc",
+    ],
+)
+def test_slice_spec_rejects_bad_input(text):
+    with pytest.raises(CorpusError):
+        SliceSpec.parse(text)
+
+
+def test_slice_spec_selected_count_matches_mask():
+    spec = SliceSpec.parse("skip=1000,measure=4000,sample=500/1000")
+    n = 9000
+    mask = spec.mask(0, n)
+    assert int(mask.sum()) == spec.selected_count(n) == 2000
+
+
+def test_slice_spec_mask_is_none_when_trivial():
+    assert SliceSpec().mask(0, 10) is None
+
+
+def test_to_trace_applies_slice(ingested):
+    trace, reader = ingested
+    spec = SliceSpec.parse("skip=1000,measure=4000")
+    back = reader.to_trace(spec=spec)
+    assert back.name == "corpus:web_frontend@skip=1000,measure=4000"
+    assert len(back) == 4000
+    assert back.pc == trace.pc[1000:5000]
+
+
+def test_iter_chunks_slice_equals_to_trace_slice(ingested):
+    _, reader = ingested
+    spec = SliceSpec.parse("skip=500,sample=100/400")
+    streamed = np.concatenate(
+        [c["pc"] for c in reader.iter_chunks(chunk_insts=333, spec=spec)]
+    )
+    assert streamed.tolist() == reader.to_trace(spec=spec).pc
+
+
+def test_sampled_slice_crosses_shard_boundaries(ingested):
+    """Sampling windows are global: a window straddling two shards keeps
+    exactly its first `take` instructions, shard split or not."""
+    trace, reader = ingested
+    spec = SliceSpec.parse("sample=300/1900")  # drifts across 2000-shards
+    back = reader.to_trace(spec=spec)
+    expected = [
+        pc for i, pc in enumerate(trace.pc) if i % 1900 < 300
+    ]
+    assert back.pc == expected

@@ -1,0 +1,232 @@
+"""Tests for the content-addressed corpus store: ingestion, integrity,
+garbage collection."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.corpus import CorpusError, CorpusStore, DEFAULT_SHARD_INSTS
+
+
+def gzip_file(path):
+    gz = str(path) + ".gz"
+    with open(path, "rb") as fi, gzip.open(gz, "wb") as fo:
+        fo.write(fi.read())
+    return gz
+
+
+# -- ingestion ---------------------------------------------------------------
+
+
+def test_ingest_multi_shard_bounded_memory(store, trace_csv):
+    """A trace spanning several shards never buffers more than one
+    shard's worth of records in Python (the streaming-ingest contract)."""
+    trace, path = trace_csv
+    res = store.ingest(path, shard_insts=2000)
+    assert res.instructions == len(trace) == 9000
+    assert res.shards == 5  # 4 x 2000 + 1 x 1000
+    assert res.peak_buffered <= 2000
+    assert [s.insts for s in res.manifest.shards] == [2000] * 4 + [1000]
+
+
+def test_ingest_default_name_strips_all_suffixes(store, trace_csv):
+    _, path = trace_csv
+    res = store.ingest(gzip_file(path), shard_insts=4000)
+    assert res.manifest.name == "web_frontend"
+    assert store.names() == ["web_frontend"]
+
+
+def test_ingest_records_branch_mix_and_provenance(store, trace_csv):
+    trace, path = trace_csv
+    res = store.ingest(path, shard_insts=4000)
+    mix = res.manifest.branch_mix
+    stats = trace.stats()
+    assert mix["instructions"] == stats.get("instructions")
+    assert mix["branches"] == stats.get("branches")
+    assert mix["taken_branches"] == stats.get("taken_branches")
+    assert mix["code_footprint_bytes"] == stats.get("code_footprint_bytes")
+    assert res.manifest.provenance["format"] == "csv"
+    assert res.manifest.provenance["source"] == path
+
+
+def test_content_hash_independent_of_sharding_and_compression(
+    store, trace_csv
+):
+    _, path = trace_csv
+    a = store.ingest(path, name="a", shard_insts=2000)
+    b = store.ingest(path, name="b", shard_insts=3000)
+    c = store.ingest(gzip_file(path), name="c", shard_insts=2000)
+    assert a.manifest.content_hash == b.manifest.content_hash
+    assert a.manifest.content_hash == c.manifest.content_hash
+    # ... but shard dirs differ per sharding and are shared per content.
+    assert a.manifest.shard_dir != b.manifest.shard_dir
+    assert a.manifest.shard_dir == c.manifest.shard_dir
+
+
+def test_reingest_identical_content_reuses_shards(store, trace_csv):
+    _, path = trace_csv
+    first = store.ingest(path, shard_insts=2000)
+    again = store.ingest(path, shard_insts=2000)
+    assert not first.reused_shards
+    assert again.reused_shards
+    assert again.manifest.content_hash == first.manifest.content_hash
+    assert again.manifest.shards == first.manifest.shards
+    assert store.verify() == []
+
+
+def test_ingest_empty_trace_raises(store, tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("pc,btype,taken,target\n")
+    with pytest.raises(CorpusError, match="no instructions"):
+        store.ingest(str(path))
+
+
+def test_ingest_rejects_bad_names(store, trace_csv):
+    _, path = trace_csv
+    with pytest.raises(CorpusError, match="invalid corpus entry name"):
+        store.ingest(path, name=".hidden")
+    with pytest.raises(CorpusError, match="shard_insts"):
+        store.ingest(path, shard_insts=0)
+
+
+def test_failed_ingest_leaves_no_staging_dir(store, tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("pc,btype,taken,target\n0x100,NONE,0,0\nzzz,NONE,0,0\n")
+    with pytest.raises(Exception):
+        store.ingest(str(path), shard_insts=1)
+    leftovers = [
+        p for p in store.shards_root.iterdir() if p.name.startswith(".ingest-")
+    ]
+    assert leftovers == []
+    assert store.names() == []
+
+
+# -- catalog -----------------------------------------------------------------
+
+
+def test_get_unknown_entry_lists_known(store, trace_csv):
+    _, path = trace_csv
+    store.ingest(path, name="known")
+    with pytest.raises(CorpusError) as info:
+        store.get("nosuch")
+    assert "known" in str(info.value)
+
+
+def test_manifest_json_roundtrip(store, trace_csv):
+    from repro.corpus import Manifest
+
+    _, path = trace_csv
+    manifest = store.ingest(path, shard_insts=4000).manifest
+    back = Manifest.from_json(
+        json.loads(json.dumps(manifest.to_json()))
+    )
+    assert back == manifest
+
+
+def test_schema_mismatch_rejected(store, trace_csv):
+    _, path = trace_csv
+    store.ingest(path, name="t", shard_insts=4000)
+    payload = json.loads(store.manifest_path("t").read_text())
+    payload["schema"] = 99
+    store.manifest_path("t").write_text(json.dumps(payload))
+    with pytest.raises(CorpusError, match="schema 99"):
+        store.get("t")
+
+
+def test_default_shard_size_is_sane():
+    assert DEFAULT_SHARD_INSTS >= 1024
+
+
+def test_stores_with_different_roots_are_independent(tmp_path, trace_csv):
+    _, path = trace_csv
+    a = CorpusStore(tmp_path / "a")
+    b = CorpusStore(tmp_path / "b")
+    a.ingest(path, name="only-in-a", shard_insts=4000)
+    assert b.names() == []
+
+
+# -- verify ------------------------------------------------------------------
+
+
+def test_verify_clean_store(store, trace_csv):
+    _, path = trace_csv
+    store.ingest(path, shard_insts=2000)
+    assert store.verify() == []
+
+
+def test_verify_detects_corrupted_shard(store, trace_csv):
+    _, path = trace_csv
+    manifest = store.ingest(path, shard_insts=2000).manifest
+    shard_path = store.shard_dir_path(manifest) / manifest.shards[2].file
+    data = bytearray(shard_path.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    shard_path.write_bytes(bytes(data))
+    problems = store.verify()
+    assert any(
+        "corrupted shard" in p and manifest.shards[2].file in p
+        for p in problems
+    )
+
+
+def test_verify_detects_missing_shard(store, trace_csv):
+    _, path = trace_csv
+    manifest = store.ingest(path, shard_insts=2000).manifest
+    (store.shard_dir_path(manifest) / manifest.shards[0].file).unlink()
+    problems = store.verify()
+    assert any("missing shard" in p for p in problems)
+
+
+def test_verify_detects_content_hash_mismatch(store, trace_csv):
+    """A forged manifest (right files, wrong declared content) is caught
+    by the recomputed record-stream hash."""
+    _, path = trace_csv
+    store.ingest(path, name="t", shard_insts=2000)
+    payload = json.loads(store.manifest_path("t").read_text())
+    payload["content_hash"] = "0" * 64
+    store.manifest_path("t").write_text(json.dumps(payload))
+    problems = store.verify(["t"])
+    assert any("content hash mismatch" in p for p in problems)
+
+
+def test_verify_scopes_to_requested_names(store, trace_csv):
+    _, path = trace_csv
+    good = store.ingest(path, name="good", shard_insts=2000).manifest
+    bad = store.ingest(path, name="bad", shard_insts=3000).manifest
+    shard_path = store.shard_dir_path(bad) / bad.shards[0].file
+    shard_path.write_bytes(b"garbage")
+    assert store.verify(["good"]) == []
+    assert store.verify(["bad"]) != []
+
+
+# -- gc ----------------------------------------------------------------------
+
+
+def test_gc_removes_orphans_keeps_live(store, trace_csv):
+    _, path = trace_csv
+    old = store.ingest(path, name="t", shard_insts=2500).manifest
+    new = store.ingest(path, name="t", shard_insts=2000).manifest
+    assert old.shard_dir != new.shard_dir
+    assert (store.shards_root / old.shard_dir).is_dir()
+
+    dry = store.gc(dry_run=True)
+    assert dry == [old.shard_dir]
+    assert (store.shards_root / old.shard_dir).is_dir()  # dry run kept it
+
+    removed = store.gc()
+    assert removed == [old.shard_dir]
+    assert not (store.shards_root / old.shard_dir).exists()
+    assert (store.shards_root / new.shard_dir).is_dir()
+    assert store.verify() == []  # live entry untouched
+
+
+def test_gc_after_remove(store, trace_csv):
+    _, path = trace_csv
+    manifest = store.ingest(path, name="t", shard_insts=2000).manifest
+    store.remove("t")
+    assert store.names() == []
+    assert store.gc() == [manifest.shard_dir]
+
+
+def test_gc_empty_store_is_noop(store):
+    assert store.gc() == []

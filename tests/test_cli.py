@@ -330,3 +330,153 @@ def test_cmd_sweep_fault_no_strict_then_resume(_sweep_env, monkeypatch, capsys):
     # The two web_frontend points (config + baseline) were resumed.
     assert doc["otherData"]["counters"]["resumed"] == 2
     assert doc["otherData"]["counters"]["executed"] == 2
+
+
+# -- corpus + workloads commands ----------------------------------------------
+
+
+@pytest.fixture
+def _corpus_env(tmp_path, monkeypatch):
+    """An isolated corpus store plus one exported synthetic trace CSV."""
+    from repro.core.exec import configure_disk_cache
+    from repro.core.runner import clear_cache
+    from repro.corpus import configure_corpus
+    from repro.trace.external import save_trace_csv
+    from repro.trace.workloads import get_trace
+
+    monkeypatch.setenv("REPRO_CORPUS_DIR", str(tmp_path / "corpus"))
+    configure_corpus(tmp_path / "corpus")
+    csv = tmp_path / "web_frontend.csv"
+    save_trace_csv(get_trace("web_frontend", 9000), str(csv))
+    clear_cache()
+    configure_disk_cache(False)
+    yield tmp_path, str(csv)
+    clear_cache()
+    configure_disk_cache(False)
+
+
+def test_cmd_corpus_ingest_ls_info_verify(_corpus_env, capsys):
+    tmp_path, csv = _corpus_env
+    assert main(["corpus", "ingest", csv, "--shard-insts", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "ingested corpus:web_frontend" in out
+    assert "9,000 instructions" in out and "5 shard(s)" in out
+
+    assert main(["corpus", "ls"]) == 0
+    out = capsys.readouterr().out
+    assert "web_frontend" in out and "9,000" in out
+
+    assert main(["corpus", "info", "web_frontend"]) == 0
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["instructions"] == 9000
+    assert len(payload["content_hash"]) == 64
+
+    assert main(["corpus", "verify"]) == 0
+    assert "no problems" in capsys.readouterr().out
+
+
+def test_cmd_corpus_verify_detects_corruption_exit_1(_corpus_env, capsys):
+    from repro.corpus import CorpusStore
+
+    tmp_path, csv = _corpus_env
+    assert main(["corpus", "ingest", csv, "--shard-insts", "2000"]) == 0
+    store = CorpusStore()
+    manifest = store.get("web_frontend")
+    shard = store.shard_dir_path(manifest) / manifest.shards[1].file
+    shard.write_bytes(b"corrupted")
+    assert main(["corpus", "verify"]) == 1
+    captured = capsys.readouterr()
+    assert "PROBLEM" in captured.err and "corrupted shard" in captured.err
+
+
+def test_cmd_corpus_gc_reports_orphans(_corpus_env, capsys):
+    tmp_path, csv = _corpus_env
+    assert main(["corpus", "ingest", csv, "--shard-insts", "2500"]) == 0
+    assert main(["corpus", "ingest", csv, "--shard-insts", "2000"]) == 0
+    capsys.readouterr()
+    assert main(["corpus", "gc", "--dry-run"]) == 0
+    assert "would remove" in capsys.readouterr().out
+    assert main(["corpus", "gc"]) == 0
+    assert "removed" in capsys.readouterr().out
+    assert main(["corpus", "gc"]) == 0
+    assert "nothing to collect" in capsys.readouterr().out
+    assert main(["corpus", "verify"]) == 0
+
+
+def test_cmd_corpus_ingest_name_with_multiple_sources_exits_2(
+    _corpus_env, capsys
+):
+    tmp_path, csv = _corpus_env
+    assert main(["corpus", "ingest", csv, csv, "--name", "x"]) == 2
+    assert "--name requires a single source" in capsys.readouterr().err
+
+
+def test_cmd_workloads_lists_synthetic_and_corpus(_corpus_env, capsys):
+    tmp_path, csv = _corpus_env
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "web_frontend" in out and "synthetic" in out
+    assert "no corpus entries" in out
+
+    assert main(["corpus", "ingest", csv]) == 0
+    capsys.readouterr()
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "corpus:web_frontend" in out and "9,000" in out
+
+
+def test_cmd_run_corpus_workload_matches_csv(_corpus_env, capsys):
+    """`run` on a corpus: name prints the same metrics as on the CSV the
+    entry was ingested from (bit-identical simulation)."""
+    tmp_path, csv = _corpus_env
+    assert main(["corpus", "ingest", csv]) == 0
+    capsys.readouterr()
+    assert main(["run", "mbbtb:2:allbr", "corpus:web_frontend",
+                 "--length", "9000"]) == 0
+    via_corpus = capsys.readouterr().out.splitlines()
+    assert main(["run", "mbbtb:2:allbr", csv, "--length", "9000"]) == 0
+    via_csv = capsys.readouterr().out.splitlines()
+    assert via_corpus[1:] == via_csv[1:]  # all metric lines identical
+
+
+def test_cmd_run_unknown_corpus_entry_exits_2(_corpus_env, capsys):
+    assert main(["run", "ibtb:16", "corpus:nosuch"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+    assert "no corpus entry" in err
+
+
+def test_cmd_trace_corpus_workload_with_slice(_corpus_env, capsys):
+    tmp_path, csv = _corpus_env
+    assert main(["corpus", "ingest", csv]) == 0
+    capsys.readouterr()
+    assert main(["trace", "corpus:web_frontend@skip=1000,measure=4000",
+                 "--length", "9000"]) == 0
+    assert "SimResult" in capsys.readouterr().out
+
+
+def test_cmd_sweep_corpus_workload_cached_across_runs(_corpus_env, capsys):
+    """Sweep points on corpus workloads are served from the disk cache on
+    a second invocation, keyed by the entry's content hash."""
+    tmp_path, csv = _corpus_env
+    assert main(["corpus", "ingest", csv]) == 0
+    capsys.readouterr()
+    args = [
+        "sweep", "ibtb:16",
+        "--workloads", "corpus:web_frontend",
+        "--length", "9000",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+    assert main(args + ["--out", str(tmp_path / "a.json")]) == 0
+    capsys.readouterr()
+
+    from repro.core.runner import clear_cache
+
+    clear_cache()  # fresh process stand-in: memo gone, disk cache kept
+    assert main(args + ["--out", str(tmp_path / "b.json")]) == 0
+    out = capsys.readouterr().out
+    hits = int(out.split("disk cache: ")[1].split(" result hits")[0])
+    assert hits >= 2  # config + baseline point both re-served
+    assert (tmp_path / "a.json").read_bytes() == (tmp_path / "b.json").read_bytes()

@@ -159,6 +159,112 @@ def test_synthetic_workload_roundtrips_and_simulates(tmp_path):
     assert result.cycles == reference.cycles
 
 
+# -- header edge cases --------------------------------------------------------
+
+
+def test_duplicated_header_column_raises_naming_path(tmp_path):
+    path = write(tmp_path, "pc,btype,taken,target,pc\n0x100,NONE,0,0,0x100\n")
+    with pytest.raises(TraceFormatError) as info:
+        load_trace_csv(path)
+    assert "duplicated column" in str(info.value)
+    assert "pc" in str(info.value)
+    assert str(path) in str(info.value)
+
+
+def test_unknown_extra_column_raises_naming_path(tmp_path):
+    """A typo'd column must not be silently ignored (its values would be
+    defaulted); the error lists the known columns."""
+    path = write(
+        tmp_path, "pc,btype,taken,target,is_laod\n0x100,NONE,0,0,1\n"
+    )
+    with pytest.raises(TraceFormatError) as info:
+        load_trace_csv(path)
+    assert "unknown column" in str(info.value)
+    assert "is_laod" in str(info.value)
+    assert "known columns" in str(info.value)
+    assert str(path) in str(info.value)
+
+
+def test_header_only_file_raises_naming_path(tmp_path):
+    path = write(tmp_path, "pc,btype,taken,target\n")
+    with pytest.raises(TraceFormatError) as info:
+        load_trace_csv(path)
+    assert "no instructions" in str(info.value)
+    assert str(path) in str(info.value)
+
+
+# -- transparent compression --------------------------------------------------
+
+
+def test_gzip_save_load_roundtrip(tmp_path):
+    import gzip
+
+    original = make_trace(
+        straight(0x100, 2) + [(0x108, BranchType.COND_DIRECT, True, 0x300)]
+        + straight(0x300, 1)
+    )
+    path = str(tmp_path / "t.csv.gz")
+    save_trace_csv(original, path)
+    # Really gzip on disk, not plain text with a flattering name.
+    with open(path, "rb") as fh:
+        assert fh.read(2) == b"\x1f\x8b"
+    with gzip.open(path, "rt") as fh:
+        assert fh.readline().startswith("pc,btype")
+    back = load_trace_csv(path)
+    for col in type(original)._COLUMNS:
+        assert getattr(back, col) == getattr(original, col), col
+
+
+def test_xz_save_load_roundtrip(tmp_path):
+    original = make_trace(straight(0x100, 3))
+    path = str(tmp_path / "t.csv.xz")
+    save_trace_csv(original, path)
+    back = load_trace_csv(path)
+    assert back.pc == original.pc
+
+
+def test_gzip_parse_error_names_path_and_line(tmp_path):
+    import gzip
+
+    path = str(tmp_path / "bad.csv.gz")
+    with gzip.open(path, "wt") as fh:
+        fh.write("pc,btype,taken,target\nzzz,NONE,0,0\n")
+    with pytest.raises(TraceFormatError) as info:
+        load_trace_csv(path)
+    assert path in str(info.value)
+    assert "line 2" in str(info.value)
+
+
+def test_corrupt_gzip_raises_trace_format_error_with_path(tmp_path):
+    path = tmp_path / "junk.csv.gz"
+    path.write_bytes(b"this is not a gzip stream")
+    with pytest.raises(TraceFormatError) as info:
+        load_trace_csv(str(path))
+    assert str(path) in str(info.value)
+
+
+def test_truncated_gzip_raises_trace_format_error_with_path(tmp_path):
+    import gzip
+
+    good = tmp_path / "good.csv.gz"
+    with gzip.open(str(good), "wt") as fh:
+        fh.write("pc,btype,taken,target\n" + "0x100,NONE,0,0\n" * 500)
+    data = good.read_bytes()
+    bad = tmp_path / "trunc.csv.gz"
+    bad.write_bytes(data[: len(data) // 2])
+    with pytest.raises(TraceFormatError) as info:
+        load_trace_csv(str(bad))
+    assert str(bad) in str(info.value)
+
+
+def test_corrupt_xz_raises_trace_format_error_with_path(tmp_path):
+    path = tmp_path / "junk.csv.xz"
+    path.write_bytes(b"definitely not xz")
+    with pytest.raises(TraceFormatError) as info:
+        load_trace_csv(str(path))
+    assert str(path) in str(info.value)
+
+
 # -- every error names the file path -----------------------------------------
 
 

@@ -1,0 +1,129 @@
+"""Property-based round-trip tests for trace persistence.
+
+Covers the satellite guarantees: every :class:`BranchType` survives a
+CSV round trip, optional columns default correctly when absent, and the
+binary ``Trace.save``/``Trace.load`` npz path round-trips everything —
+for arbitrary (control-flow-valid) traces, not just the hand-written
+fixtures.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.types import ILEN, BranchType
+from repro.trace.external import (
+    OPTIONAL_DEFAULTS,
+    load_trace_csv,
+    save_trace_csv,
+)
+from repro.trace.trace import Trace
+
+BRANCH_TYPES = [bt for bt in BranchType if bt != BranchType.NONE]
+
+
+@st.composite
+def valid_traces(draw):
+    """Arbitrary control-flow-consistent traces exercising every column.
+
+    Successor PCs are forced to follow the sampled taken/target bits, so
+    ``Trace.validate()`` always passes and ``load_trace_csv`` accepts the
+    result.
+    """
+    n = draw(st.integers(min_value=1, max_value=40))
+    trace = Trace(name="prop")
+    pc = draw(st.integers(min_value=0x1000, max_value=0xFFFF)) * ILEN
+    for _ in range(n):
+        btype = draw(st.sampled_from([BranchType.NONE] + BRANCH_TYPES))
+        taken = btype != BranchType.NONE and draw(st.booleans())
+        target = 0
+        if btype != BranchType.NONE:
+            target = draw(st.integers(min_value=1, max_value=0xFFFFF)) * ILEN
+        is_load = draw(st.booleans())
+        is_store = not is_load and draw(st.booleans())
+        trace.append(
+            pc=pc,
+            btype=btype,
+            taken=taken,
+            target=target,
+            dst=draw(st.integers(min_value=-1, max_value=31)),
+            src1=draw(st.integers(min_value=-1, max_value=31)),
+            src2=draw(st.integers(min_value=-1, max_value=31)),
+            is_load=is_load,
+            is_store=is_store,
+            maddr=draw(st.integers(min_value=0, max_value=2**40)) if (is_load or is_store) else 0,
+        )
+        pc = target if taken else pc + ILEN
+    trace.validate()
+    return trace
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(trace=valid_traces())
+def test_csv_roundtrip_preserves_every_column(tmp_path_factory, trace):
+    path = str(tmp_path_factory.mktemp("prop") / "t.csv")
+    save_trace_csv(trace, path)
+    back = load_trace_csv(path)
+    for col in Trace._COLUMNS:
+        assert getattr(back, col) == getattr(trace, col), col
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(trace=valid_traces())
+def test_npz_roundtrip_preserves_every_column(tmp_path_factory, trace):
+    path = str(tmp_path_factory.mktemp("prop") / "t.npz")
+    trace.save(path)
+    back = Trace.load(path)
+    for col in Trace._COLUMNS:
+        assert getattr(back, col) == getattr(trace, col), col
+    assert back.name == trace.name
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(trace=valid_traces())
+def test_gzipped_csv_roundtrip(tmp_path_factory, trace):
+    path = str(tmp_path_factory.mktemp("prop") / "t.csv.gz")
+    save_trace_csv(trace, path)
+    back = load_trace_csv(path)
+    for col in Trace._COLUMNS:
+        assert getattr(back, col) == getattr(trace, col), col
+
+
+@pytest.mark.parametrize("btype", list(BranchType))
+def test_every_branch_type_roundtrips_by_name_and_number(tmp_path, btype):
+    """Each BranchType survives both its symbolic and numeric rendering."""
+    target = 0x200 if btype != BranchType.NONE else 0
+    taken = 1 if btype != BranchType.NONE else 0
+    next_pc = target if taken else 0x104
+    for rendering in (btype.name, str(int(btype))):
+        path = tmp_path / f"{btype.name}-{len(rendering)}.csv"
+        path.write_text(
+            "pc,btype,taken,target\n"
+            f"0x100,{rendering},{taken},{target:#x}\n"
+            f"{next_pc:#x},NONE,0,0\n"
+        )
+        back = load_trace_csv(str(path))
+        assert back.btype[0] == btype
+
+
+def test_optional_columns_default_when_absent(tmp_path):
+    """A minimal-header file gets exactly the documented defaults."""
+    path = tmp_path / "min.csv"
+    path.write_text("pc,btype,taken,target\n0x100,NONE,0,0\n")
+    back = load_trace_csv(str(path))
+    for col, default in OPTIONAL_DEFAULTS.items():
+        assert getattr(back, col) == [default], col
+
+
+def test_optional_columns_default_when_value_empty(tmp_path):
+    """Present-but-empty optional cells also take the defaults."""
+    path = tmp_path / "empty.csv"
+    path.write_text(
+        "pc,btype,taken,target,dst,src1,src2,is_load,is_store,maddr\n"
+        "0x100,NONE,0,0,,,,,,\n"
+    )
+    back = load_trace_csv(str(path))
+    for col, default in OPTIONAL_DEFAULTS.items():
+        assert getattr(back, col) == [default], col
