@@ -1,0 +1,129 @@
+"""Kernel engine benchmark: interpreter vs compiled tick throughput.
+
+Quantifies what the pass pipeline (repro.core.passes) buys per config
+family: the same simulation run through the reference interpreter and
+through the specialized compiled kernel, on the BENCH_sweep config
+matrix. Results must be bit-identical — the benchmark asserts it — so
+the speedup column is a pure engine comparison. Writes
+``benchmarks/results/BENCH_kernel.json`` (linked from
+docs/performance.md and docs/compiled_kernels.md) plus a text table.
+"""
+
+import json
+import os
+import time
+
+from repro.analysis.report import format_table
+from repro.core.config import (
+    IDEAL_IBTB16,
+    bbtb,
+    build_simulator,
+    ibtb,
+    mbbtb,
+    rbtb,
+)
+from repro.core.passes.kernel import (
+    KERNEL_ENV,
+    get_kernel,
+    kernel_cache_clear,
+    kernel_cache_info,
+)
+from repro.trace.workloads import get_trace
+
+from benchmarks.conftest import RESULTS_DIR, emit, once
+
+#: The BENCH_sweep config matrix: one representative per family.
+KERNEL_CONFIGS = [
+    IDEAL_IBTB16,
+    ibtb(16),
+    rbtb(3),
+    bbtb(1, splitting=True),
+    mbbtb(2, "allbr"),
+]
+
+
+def _timed_run(config, trace, warmup, mode):
+    """One engine-pinned run; returns (result, seconds)."""
+    prior = os.environ.get(KERNEL_ENV)
+    os.environ[KERNEL_ENV] = mode
+    try:
+        sim = build_simulator(config, trace)
+        assert sim.kernel_engine() == ("compiled" if mode == "compiled" else "interp")
+        t0 = time.perf_counter()
+        result = sim.run(warmup=warmup)
+        seconds = time.perf_counter() - t0
+    finally:
+        if prior is None:
+            os.environ.pop(KERNEL_ENV, None)
+        else:
+            os.environ[KERNEL_ENV] = prior
+    return result, seconds
+
+
+def test_kernel_engine_throughput(benchmark, bench_env):
+    suite, length, warmup = bench_env
+    workload = suite[0]
+    trace = get_trace(workload, length)
+    measured = length - warmup
+
+    def run():
+        kernel_cache_clear()
+        families = {}
+        for config in KERNEL_CONFIGS:
+            t0 = time.perf_counter()
+            get_kernel(config)  # compile outside the timed sim run
+            compile_seconds = time.perf_counter() - t0
+            interp, interp_s = _timed_run(config, trace, warmup, "interp")
+            compiled, compiled_s = _timed_run(config, trace, warmup, "compiled")
+            assert interp.stats == compiled.stats, config.label
+            assert interp.cycles == compiled.cycles, config.label
+            families[config.label] = {
+                "interp_seconds": round(interp_s, 4),
+                "compiled_seconds": round(compiled_s, 4),
+                "interp_insts_per_sec": round(measured / max(interp_s, 1e-9)),
+                "compiled_insts_per_sec": round(measured / max(compiled_s, 1e-9)),
+                "compile_seconds": round(compile_seconds, 4),
+                "speedup": round(interp_s / max(compiled_s, 1e-9), 2),
+                "identical": True,
+            }
+        speedups = [f["speedup"] for f in families.values()]
+        geomean = 1.0
+        for s in speedups:
+            geomean *= s
+        geomean **= 1.0 / len(speedups)
+        return {
+            "schema": 1,
+            "workload": workload,
+            "instructions": length,
+            "warmup": warmup,
+            "measured_instructions": measured,
+            "families": families,
+            "geomean_speedup": round(geomean, 2),
+            "kernel_cache": kernel_cache_info(),
+        }
+
+    payload = once(benchmark, run)
+
+    rows = [
+        (
+            label,
+            f"{f['interp_insts_per_sec'] / 1e3:.0f}",
+            f"{f['compiled_insts_per_sec'] / 1e3:.0f}",
+            f"{f['compile_seconds'] * 1e3:.0f}ms",
+            f"{f['speedup']:.2f}x",
+        )
+        for label, f in payload["families"].items()
+    ]
+    rows.append(("geomean", "", "", "", f"{payload['geomean_speedup']:.2f}x"))
+    table = format_table(
+        ["config", "interp KIPS", "compiled KIPS", "compile", "speedup"], rows
+    )
+    emit("bench_kernel", table)
+
+    out = RESULTS_DIR / "BENCH_kernel.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    # Every family must win, and outputs must have been bit-identical.
+    assert all(f["identical"] for f in payload["families"].values())
+    assert payload["geomean_speedup"] > 1.0

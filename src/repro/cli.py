@@ -52,6 +52,7 @@ from repro.core.config import (
     rbtb,
 )
 from repro.core.config import build_simulator
+from repro.core.passes.kernel import KernelConfigError, kernel_mode
 from repro.core.exec import (
     RetryPolicy,
     SweepError,
@@ -219,7 +220,8 @@ def _cmd_trace(args) -> int:
     print(
         f"(SimResult: IPC {result.ipc:.3f}, "
         f"branch MPKI {result.branch_mpki:.2f}, "
-        f"misfetch PKI {result.misfetch_pki:.2f})"
+        f"misfetch PKI {result.misfetch_pki:.2f}, "
+        f"kernel {sim.kernel_engine()})"
     )
     if args.chrome:
         write_chrome_trace(obs, args.chrome)
@@ -295,6 +297,7 @@ def _cmd_sweep(args) -> int:
     import json
     import time
 
+    engine = kernel_mode()  # validate REPRO_KERNEL before any work
     configs = [parse_config(s) for s in (args.configs or SWEEP_DEFAULT_SPECS)]
     names = args.workloads or SERVER_SUITE
     warmup = args.warmup if args.warmup is not None else args.length // 4
@@ -369,6 +372,7 @@ def _cmd_sweep(args) -> int:
                 "jobs": args.jobs,
                 "max_retries": args.max_retries,
                 "timeout": args.timeout,
+                "kernel_engine": engine,
                 "phases": {
                     "serial_cold": serial,
                     "parallel_cold": par,
@@ -388,7 +392,7 @@ def _cmd_sweep(args) -> int:
             print(
                 f"serial {serial['seconds']:.2f}s | parallel(x{args.jobs}) "
                 f"{par['seconds']:.2f}s | warm {warm['seconds']:.2f}s "
-                f"({bench['speedup_warm_vs_cold']:.1f}x)"
+                f"({bench['speedup_warm_vs_cold']:.1f}x) | kernel {engine}"
             )
         else:
             compared, report, skipped = sweep(args.jobs)
@@ -440,6 +444,7 @@ def _cmd_sweep(args) -> int:
             f"{c['result_misses']} misses, {c['trace_hits']} trace hits "
             f"({cache.root})"
         )
+    print(f"kernel engine: {engine}")
     return 1 if (report is not None and report.failures) else 0
 
 
@@ -759,9 +764,9 @@ def main(argv: List[str] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (ConfigSpecError, TraceFormatError, CorpusError) as exc:
-        # Malformed config/trace/corpus input: one line on stderr, no
-        # traceback.
+    except (ConfigSpecError, TraceFormatError, CorpusError, KernelConfigError) as exc:
+        # Malformed config/trace/corpus/engine input: one line on stderr,
+        # no traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except KeyError as exc:

@@ -164,6 +164,7 @@ def build_simulator(config: MachineConfig, trace, probe=None) -> Simulator:
         memory=memory,
         frontend=FrontendConfig(early_resteer=config.early_resteer),
         probe=probe,
+        config=config,
     )
 
 

@@ -6,11 +6,14 @@ parallelism grain of the paper's ChampSim campaigns. Three layers:
 
 * :func:`execute_point` runs one point, consulting the persistent disk
   cache (results *and* synthesized traces) when one is configured;
-* :func:`run_points` fans a list of points across ``multiprocessing``
-  workers. Points are chunked so that points sharing a trace land in the
-  same chunk (each worker synthesizes/loads the trace once) and results
-  are reassembled by original index, so parallel output is bit-identical
-  to serial, in the same order. Sweeps degrade gracefully instead of
+* :func:`run_points` fans a list of points across a pool of persistent
+  ``multiprocessing`` workers (one process serves many chunks, so warm
+  state — trace memo, compiled kernels — is paid for once per worker).
+  Points are chunked so that points sharing a trace land in the same
+  chunk, chunks are dispatched with trace affinity (a worker keeps
+  getting groups it has already loaded; concurrent workers warm
+  *different* traces), and results are reassembled by original index,
+  so parallel output is bit-identical to serial, in the same order. Sweeps degrade gracefully instead of
   aborting (see :mod:`repro.core.exec.resilience` and
   ``docs/robustness.md``): workers stream per-point outcomes back over a
   pipe and catch per-point exceptions, the parent detects crashed or
@@ -249,12 +252,18 @@ def _classify_exception(exc: BaseException) -> str:
     )
 
 
-def _worker_run_chunk(conn, payload) -> None:
-    """Run one chunk of (index, point) pairs in a worker process.
+def _worker_main(conn, cache_root) -> None:
+    """Persistent worker loop: run chunks until told to shut down.
 
     The worker reconfigures its own disk cache from the shipped root so
     behaviour is identical under fork and spawn start methods, then
-    streams one message per point back to the parent:
+    blocks on the pipe for chunk jobs ``(pairs, timeout)``. A ``None``
+    job (or pipe EOF) is a clean shutdown. Keeping the process alive
+    across chunks is what makes parallel cold sweeps win: the in-process
+    trace memo and the compiled-kernel cache are warmed once per
+    *worker*, not once per *chunk*.
+
+    For each chunk the worker streams one message per point back:
 
     * ``("ok", index, result, seconds, counters)`` — point succeeded;
     * ``("err", index, kind, message, traceback, counters)`` — the point
@@ -263,49 +272,56 @@ def _worker_run_chunk(conn, payload) -> None:
     * ``("defer", index, counters)`` — the chunk's soft wall-clock
       budget ran out before this point started; the parent re-dispatches
       it in a fresh chunk (no blame, no attempt consumed);
-    * ``("done", counters)`` — chunk finished (sent from ``finally``, so
-      the disk-cache counters survive even an unexpected mid-chunk
-      failure and the parent can fold them back).
+    * ``("done", counters)`` — chunk finished; the worker is idle again
+      and can be handed its next chunk.
 
     Every message carries a cumulative counter snapshot: if the process
     is killed mid-chunk the parent still folds in the last one seen.
     """
-    cache_root, pairs, timeout = payload
     disk = configure_disk_cache(enabled=cache_root is not None, root=cache_root)
     snap = (lambda: disk.snapshot()) if disk is not None else (lambda: {})
-    budget = timeout * len(pairs) if timeout is not None else None
-    start = time.monotonic()
     try:
-        for position, (index, point) in enumerate(pairs):
-            # Soft budget check between points: the first point always
-            # runs (guaranteeing progress), later ones are handed back
-            # if earlier ones consumed the chunk's whole budget.
-            if (
-                budget is not None
-                and position
-                and time.monotonic() - start > budget
-            ):
-                conn.send(("defer", index, snap()))
-                continue
-            t0 = time.monotonic()
+        while True:
             try:
-                result = _attempt_once(point)
-            except Exception as exc:
-                conn.send(
-                    (
-                        "err",
-                        index,
-                        _classify_exception(exc),
-                        f"{type(exc).__name__}: {exc}",
-                        traceback_module.format_exc(),
-                        snap(),
+                job = conn.recv()
+            except (EOFError, OSError):
+                return
+            if job is None:
+                return
+            pairs, timeout = job
+            budget = timeout * len(pairs) if timeout is not None else None
+            start = time.monotonic()
+            for position, (index, point) in enumerate(pairs):
+                # Soft budget check between points: the first point
+                # always runs (guaranteeing progress), later ones are
+                # handed back if earlier ones consumed the chunk's
+                # whole budget.
+                if (
+                    budget is not None
+                    and position
+                    and time.monotonic() - start > budget
+                ):
+                    conn.send(("defer", index, snap()))
+                    continue
+                t0 = time.monotonic()
+                try:
+                    result = _attempt_once(point)
+                except Exception as exc:
+                    conn.send(
+                        (
+                            "err",
+                            index,
+                            _classify_exception(exc),
+                            f"{type(exc).__name__}: {exc}",
+                            traceback_module.format_exc(),
+                            snap(),
+                        )
                     )
-                )
-            else:
-                conn.send(("ok", index, result, time.monotonic() - t0, snap()))
+                else:
+                    conn.send(("ok", index, result, time.monotonic() - t0, snap()))
+            conn.send(("done", snap()))
     finally:
         try:
-            conn.send(("done", snap()))
             conn.close()
         except Exception:
             pass
@@ -360,16 +376,27 @@ class _PendingChunk:
     not_before: float = 0.0
 
 
+def _chunk_group(chunk: _PendingChunk) -> Tuple[str, int, int]:
+    """The shared-trace group of a chunk (chunks never mix groups)."""
+    point = chunk.pairs[0][1]
+    return (point.workload, point.length, point.seed)
+
+
 @dataclass
 class _LiveWorker:
+    """One persistent pool member. ``chunk is None`` means idle."""
+
     proc: multiprocessing.process.BaseProcess
-    chunk: _PendingChunk
+    conn: object
     slot: int
     last_msg: float
+    chunk: Optional[_PendingChunk] = None
+    #: Shared-trace groups this worker has already loaded (dispatch
+    #: affinity: keep handing it chunks whose trace it holds in memo).
+    groups: Set[Tuple[str, int, int]] = field(default_factory=set)
     reported: Set[int] = field(default_factory=set)
     deferred: List[Tuple[int, SweepPoint]] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
-    done: bool = False
     eof: bool = False
     killed: bool = False
 
@@ -546,12 +573,16 @@ def _run_serial_resilient(state: _SweepState) -> SweepReport:
 def _run_parallel_resilient(state: _SweepState, jobs: int) -> SweepReport:
     """Process fan-out with crash/hang detection and per-point retries.
 
-    One worker process per chunk (fork is cheap relative to a chunk of
-    simulations, and a dead or hung worker can then be reaped or killed
-    without poisoning a shared pool). Workers stream per-point outcomes,
-    so after a crash the first unreported point of the chunk is the one
-    that was executing — it is blamed and quarantined into a singleton
-    retry chunk while its chunk-mates are re-dispatched blame-free.
+    A pool of at most *jobs* persistent workers; chunks are dispatched
+    to idle workers over a duplex pipe, so one process serves many
+    chunks and its warm state (trace memo, compiled kernels, imports)
+    is paid for once per worker instead of once per chunk. A dead or
+    hung worker is reaped or killed individually and a replacement is
+    spawned on demand, so crashes still can't poison the pool. Workers
+    stream per-point outcomes, so after a crash the first unreported
+    point of the worker's current chunk is the one that was executing —
+    it is blamed and quarantined into a singleton retry chunk while its
+    chunk-mates are re-dispatched blame-free.
     """
     policy = state.policy
     ctx = multiprocessing.get_context()
@@ -577,27 +608,41 @@ def _run_parallel_resilient(state: _SweepState, jobs: int) -> SweepReport:
     live: Dict[object, _LiveWorker] = {}
     free_slots = set(range(jobs))
 
-    def spawn(chunk: _PendingChunk) -> None:
-        recv_conn, send_conn = ctx.Pipe(duplex=False)
+    def spawn() -> _LiveWorker:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
         proc = ctx.Process(
-            target=_worker_run_chunk,
-            args=(send_conn, (cache_root, chunk.pairs, policy.timeout)),
-            daemon=True,
+            target=_worker_main, args=(child_conn, cache_root), daemon=True
         )
         proc.start()
-        send_conn.close()
+        child_conn.close()
         slot = min(free_slots)
         free_slots.discard(slot)
-        live[recv_conn] = _LiveWorker(
-            proc=proc, chunk=chunk, slot=slot, last_msg=state.now()
+        worker = _LiveWorker(
+            proc=proc, conn=parent_conn, slot=slot, last_msg=state.now()
         )
+        live[parent_conn] = worker
+        return worker
+
+    def assign(worker: _LiveWorker, chunk: _PendingChunk) -> bool:
+        """Hand *chunk* to an idle worker; False if its pipe is dead."""
+        try:
+            worker.conn.send((chunk.pairs, policy.timeout))
+        except (BrokenPipeError, OSError):
+            worker.eof = True
+            return False
+        worker.chunk = chunk
+        worker.groups.add(_chunk_group(chunk))
+        worker.reported = set()
+        worker.deferred = []
+        worker.last_msg = state.now()
         state.report.record(
             state.now(),
             "chunk_start",
-            slot=slot,
+            slot=worker.slot,
             chunk=chunk.chunk_id,
             points=len(chunk.pairs),
         )
+        return True
 
     def handle_message(worker: _LiveWorker, msg) -> None:
         tag = msg[0]
@@ -645,8 +690,17 @@ def _run_parallel_resilient(state: _SweepState, jobs: int) -> SweepReport:
                 state.now(), "defer", index=index, slot=worker.slot
             )
         elif tag == "done":
-            worker.done = True
             worker.counters = msg[1]
+            if worker.chunk is not None:
+                state.report.record(
+                    state.now(),
+                    "chunk_end",
+                    slot=worker.slot,
+                    chunk=worker.chunk.chunk_id,
+                )
+                schedule(worker.deferred)
+                worker.deferred = []
+                worker.chunk = None  # idle: ready for the next chunk
 
     def reap(conn, worker: _LiveWorker) -> None:
         """Fold counters, blame/re-dispatch unfinished work, free the slot."""
@@ -664,15 +718,15 @@ def _run_parallel_resilient(state: _SweepState, jobs: int) -> SweepReport:
         free_slots.add(worker.slot)
         if disk is not None and worker.counters:
             disk.merge_counters(worker.counters)
+        if worker.chunk is None:
+            return  # died (or shut down) idle: nothing to blame
+        # Worker died without finishing its chunk: the first unreported
+        # point is the one that was executing — blame it, re-dispatch
+        # the rest of the chunk blame-free.
         state.report.record(
             state.now(), "chunk_end", slot=worker.slot, chunk=worker.chunk.chunk_id
         )
         schedule(worker.deferred)
-        if worker.done:
-            return
-        # Worker died without finishing its chunk: the first unreported
-        # point is the one that was executing — blame it, re-dispatch
-        # the rest of the chunk blame-free.
         unreported = [
             (index, point)
             for index, point in worker.chunk.pairs
@@ -711,21 +765,62 @@ def _run_parallel_resilient(state: _SweepState, jobs: int) -> SweepReport:
         schedule(unreported[1:])
 
     try:
-        while pending or live:
+        while pending or any(w.chunk is not None for w in live.values()):
             now = state.now()
-            # Dispatch every eligible chunk into a free slot.
-            for chunk in sorted(pending, key=lambda c: c.chunk_id):
-                if not free_slots:
+            # Dispatch every eligible chunk: reuse an idle warm worker,
+            # spawn a fresh one only while the pool is below *jobs*.
+            # Affinity rules keep each trace loaded by as few workers as
+            # possible: an idle worker first takes a chunk whose trace
+            # it already holds, then a group no pool member has touched
+            # (so concurrent workers warm *different* traces instead of
+            # racing to synthesize the same one), then anything left.
+            while True:
+                eligible = [c for c in pending if c.not_before <= now]
+                if not eligible:
                     break
-                if chunk.not_before <= now:
-                    pending.remove(chunk)
-                    spawn(chunk)
+                worker = next(
+                    (
+                        w
+                        for w in live.values()
+                        if w.chunk is None and not w.eof and not w.killed
+                    ),
+                    None,
+                )
+                if worker is None:
+                    if not free_slots:
+                        break
+                    worker = spawn()
+                pool_groups = set()
+                for w in live.values():
+                    pool_groups |= w.groups
+                chunk = next(
+                    (
+                        c
+                        for candidates in (
+                            [c for c in eligible if _chunk_group(c) in worker.groups],
+                            [c for c in eligible if _chunk_group(c) not in pool_groups],
+                            eligible,
+                        )
+                        for c in sorted(candidates, key=lambda c: c.chunk_id)
+                    ),
+                )
+                pending.remove(chunk)
+                if not assign(worker, chunk):
+                    # Pipe already dead: the reap below respawns capacity
+                    # and the chunk goes back in the queue untouched.
+                    pending.append(chunk)
+                    break
             if not live:
                 # Everything is waiting out a backoff delay.
                 wake = min(chunk.not_before for chunk in pending)
                 time.sleep(min(max(wake - state.now(), 0.0), 0.5) + 0.001)
                 continue
-            ready = mp_connection.wait(list(live), timeout=0.05)
+            # Message arrival (and pipe EOF on worker death) wakes the
+            # wait immediately; the timeout only paces backoff wakeups
+            # and hang detection, so relax it when neither is armed.
+            busy = any(w.chunk is not None for w in live.values())
+            poll = 0.05 if (pending or (allowance is not None and busy)) else 0.25
+            ready = mp_connection.wait(list(live), timeout=poll)
             for conn in ready:
                 worker = live[conn]
                 while True:
@@ -744,11 +839,28 @@ def _run_parallel_resilient(state: _SweepState, jobs: int) -> SweepReport:
                     reap(conn, worker)
                 elif (
                     allowance is not None
+                    and worker.chunk is not None
                     and not worker.killed
                     and now - worker.last_msg > allowance
                 ):
                     worker.killed = True
                     worker.proc.kill()
+        # All work done: shut the idle pool down and fold its counters.
+        for worker in live.values():
+            try:
+                worker.conn.send(None)
+            except Exception:
+                pass
+        deadline = time.monotonic() + 5
+        while live:
+            for conn, worker in list(live.items()):
+                if worker.eof or not worker.proc.is_alive():
+                    reap(conn, worker)
+                elif time.monotonic() > deadline:
+                    worker.proc.kill()
+                    reap(conn, worker)
+            if live:
+                time.sleep(0.005)
     except KeyboardInterrupt:
         state.report.interrupted = True
         for worker in live.values():

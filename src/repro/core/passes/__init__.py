@@ -1,0 +1,57 @@
+"""Pass pipeline that compiles specialized per-config simulation kernels.
+
+The interpreter in :mod:`repro.core.simulator` re-branches on the full
+:class:`~repro.core.config.MachineConfig` every cycle. This package
+removes that overhead the way pymtl3's pass pipeline does for RTL
+models — elaborate once, schedule statically, generate a specialized
+tick — except the "tick" here is the whole cycle loop:
+
+1. :class:`~repro.core.passes.dag.GenDAGPass` elaborates the config
+   into a :class:`~repro.core.passes.dag.KernelPlan`: the component DAG
+   (PC-gen/BTB access, FTQ push, FDIP prefetch, fetch, backend admit,
+   d-side memory, obs probe) with dead components marked, plus every
+   structural constant (masks, latencies, fold geometry) hoisted out of
+   the hardware objects the config would build.
+2. :class:`~repro.core.passes.schedule.SchedulePass` topologically
+   sorts the live components into the static per-cycle order.
+3. :class:`~repro.core.passes.codegen.CodegenPass` walks the schedule
+   and emits Python source for one specialized run function: config
+   values become literals, attribute lookups become locals, probe hooks
+   vanish entirely, and dead components contribute no code.
+4. :mod:`~repro.core.passes.kernel` ``compile()``s the source and
+   caches the kernel by config content-hash.
+
+The compiled kernel *reuses the reference hardware state objects*
+(BTB stores, predictor tables, caches) and only inlines their hot
+paths; rare mutations (allocate, L2 promote, split, pull) call the
+reference methods on the same objects, so results are bit-identical to
+the interpreter by construction — and the differential golden tests
+(tests/kernel/) verify it.
+"""
+
+from repro.core.passes.dag import GenDAGPass, KernelPlan
+from repro.core.passes.kernel import (
+    CompiledKernel,
+    KernelConfigError,
+    KERNEL_MODES,
+    get_kernel,
+    kernel_cache_info,
+    kernel_mode,
+    supports,
+)
+from repro.core.passes.schedule import SchedulePass
+from repro.core.passes.codegen import CodegenPass
+
+__all__ = [
+    "CodegenPass",
+    "CompiledKernel",
+    "GenDAGPass",
+    "KERNEL_MODES",
+    "KernelConfigError",
+    "KernelPlan",
+    "SchedulePass",
+    "get_kernel",
+    "kernel_cache_info",
+    "kernel_mode",
+    "supports",
+]

@@ -1,0 +1,1103 @@
+"""CodegenPass: emit specialized Python source for one config's run loop.
+
+The generated function reproduces :meth:`Simulator.run` exactly for one
+:class:`MachineConfig`, with every configuration branch resolved at
+generation time:
+
+* config values are literals (masks, latencies, widths, thresholds);
+* attribute lookups are flattened to locals bound once in the prelude;
+* the probe, the L2 BTB level (ideal configs), the R-BTB overflow pool,
+  the d-side memory (ideal backend) and other dead components emit no
+  code at all;
+* the hashed perceptron, folded-history updates and the per-kind BTB
+  scan are fully unrolled/inlined.
+
+Bit-identity strategy: the kernel operates on the *same hardware state
+objects* the interpreter would use (``sim.btb``, ``sim.engine``,
+``sim.memory``, ``sim.backend``). Hot paths are inlined against their
+internals (set-dicts, weight tables, ring buffers); rare paths
+(allocate, L2 promote, split/pull, cache miss) call the reference
+methods on those objects. Inlined fast paths are written so that a
+fall-through to the reference method re-executes only side-effect-free
+probes (a failed ``dict.get`` has no LRU effect), which keeps LRU tick
+sequencing and replacement decisions identical to the interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.passes.dag import KernelPlan
+from repro.core.passes.schedule import Schedule
+
+MASK64 = (1 << 64) - 1
+_HASH_K = 0x9E3779B97F4A7C15
+_HASH_MUL = 0xBF58476D1CE4E5B9
+
+#: (local suffix, stats counter name), in writeback order. The measured
+#: dict includes a key iff its end-of-run total is > 0, matching the
+#: interpreter (counters only ever increment).
+COUNTERS = (
+    ("acc", "btb_accesses"),
+    ("fpc", "fetch_pcs"),
+    ("bpa", "blocks_per_access"),
+    ("dbr", "dyn_branches"),
+    ("dtk", "dyn_taken_branches"),
+    ("tlk", "btb_taken_lookups"),
+    ("l1h", "btb_taken_l1_hits"),
+    ("l2h", "btb_taken_l2_hits"),
+    ("mp", "mispredicts"),
+    ("mpc", "mispredicts_cond"),
+    ("mpcu", "mispredicts_cond_untracked"),
+    ("mf", "misfetches"),
+    ("mpr", "mispredicts_return"),
+    ("mpiu", "mispredicts_ind_untracked"),
+    ("mpi", "mispredicts_indirect"),
+)
+
+
+class _Writer:
+    """Tiny indented-source builder."""
+
+    def __init__(self) -> None:
+        self._lines: List[str] = []
+        self._level = 0
+
+    def line(self, text: str = "") -> None:
+        self._lines.append(("    " * self._level + text) if text else "")
+
+    def lines(self, *texts: str) -> None:
+        for t in texts:
+            self.line(t)
+
+    def push(self) -> None:
+        self._level += 1
+
+    def pop(self) -> None:
+        self._level -= 1
+
+    def block(self, header: str) -> "_Block":
+        self.line(header)
+        return _Block(self)
+
+    def source(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+class _Block:
+    def __init__(self, writer: _Writer) -> None:
+        self._w = writer
+
+    def __enter__(self) -> "_Block":
+        self._w.push()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._w.pop()
+
+
+def _pow2(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+def _ring_index(expr: str, size: int) -> str:
+    """Modulo by a ring size, strength-reduced for powers of two."""
+    if _pow2(size):
+        return f"{expr} & {size - 1}"
+    return f"{expr} % {size}"
+
+
+class CodegenPass:
+    """Generate the specialized run-function source for one plan."""
+
+    def __call__(self, plan: KernelPlan, schedule: Schedule) -> str:
+        self.plan = plan
+        w = _Writer()
+        cfg = plan.config
+        w.line(f"# compiled kernel for config {cfg.label!r} (btb_kind={cfg.btb_kind})")
+        w.line(f"# schedule: {' -> '.join(schedule.names())}")
+        if plan.elided:
+            w.line(f"# elided components: {', '.join(plan.elided)}")
+        w.line()
+        with w.block("def kernel_run(sim, warmup, sample_structure):"):
+            self._emit_prelude(w)
+            with w.block("while admitted < n:"):
+                for comp in schedule.emitted:
+                    w.line(f"# -- component: {comp.name} " + "-" * 20)
+                    getattr(self, comp.emitter)(w)
+                self._emit_cycle_advance(w)
+            self._emit_finalize(w)
+        return w.source()
+
+    # -- prelude: bind everything to locals ------------------------------
+
+    def _emit_prelude(self, w: _Writer) -> None:
+        p = self.plan
+        w.lines(
+            "tr = sim.trace",
+            "n = len(tr.pc)",
+            "if warmup >= n:",
+            "    raise ValueError(\"warmup must be smaller than the trace\")",
+            "pcs = tr.pc",
+            "btypes = tr.btype",
+            "takens = tr.taken",
+            "targets = tr.target",
+            "dsts = tr.dst",
+            "src1s = tr.src1",
+            "src2s = tr.src2",
+            "loads_col = tr.is_load",
+            "stores_col = tr.is_store",
+            "maddrs = tr.maddr",
+            "line_ix = tr.line_index()",
+            "btb = sim.btb",
+            "engine = sim.engine",
+            "st = engine.stats",
+        )
+        # Engine internals. The geometry asserts catch a Simulator wired
+        # with hardware that does not match its declared config.
+        w.lines(
+            "perc = engine.perceptron",
+            f"if perc.table_entries != {p.ptable_mask + 1}:",
+            "    raise RuntimeError(\"compiled kernel/config mismatch: perceptron\")",
+        )
+        for t in range(16):
+            w.line(f"ptab{t} = perc.tables[{t}]")
+        w.lines("hist = engine.history", "hbits = hist.bits", "ind = engine.indirect")
+        for fs in p.folds:
+            w.line(f"{fs.local} = {fs.attr_path}.value")
+        w.lines(
+            "itab = ind._targets",
+            f"if len(itab) != {p.ind_mask + 1}:",
+            "    raise RuntimeError(\"compiled kernel/config mismatch: indirect\")",
+            "ras = engine.ras._stack",
+        )
+        # BTB internals.
+        w.lines(
+            "store = btb.store",
+            "l1arr = store.l1",
+            f"if l1arr.sets != {p.l1_set_mask + 1}:",
+            "    raise RuntimeError(\"compiled kernel/config mismatch: btb geometry\")",
+            "l1_sets = l1arr._sets",
+        )
+        if p.has_l2:
+            w.line("store_lookup = store.lookup")
+        kind = p.btb_kind
+        if kind == "ibtb":
+            w.line("ibtb_train = btb._train")
+        elif kind == "rbtb":
+            w.line("rb_train = btb._train")
+            if self._rb_overflow():
+                w.lines("ovf_arr = btb.overflow", "ovf_set = ovf_arr._sets[0]")
+        elif kind == "bbtb":
+            w.line("bb_train = btb._train_branch")
+        elif kind == "mbbtb":
+            w.lines("mb_train = btb._train_branch", "mb_update = btb._update_slot")
+        # Memory internals (always present in compiled runs).
+        w.lines(
+            "mem = sim.memory",
+            "itlb_arr = mem.itlb.array",
+            "itlb_sets = itlb_arr._sets",
+            "itlb_translate = mem.itlb.translate",
+            "l1i = mem.l1i",
+            "l1i_arr = l1i.array",
+            "l1i_sets = l1i_arr._sets",
+            "l1i_pending = l1i._pending",
+            "l1i_access = l1i.access",
+            "l1i_prefetch = l1i.prefetch",
+            f"if (l1i_arr.sets != {p.l1i_set_mask + 1} or l1i.latency != {p.l1i_latency}"
+            f" or itlb_arr.sets != {p.itlb_set_mask + 1}"
+            f" or mem.itlb.latency != {p.itlb_latency}):",
+            "    raise RuntimeError(\"compiled kernel/config mismatch: memory\")",
+        )
+        # Backend internals.
+        w.line("backend = sim.backend")
+        if p.ideal_backend:
+            w.lines(
+                "reg_ready = backend._reg_ready",
+                "commit_ring = backend._commit_ring",
+                f"if len(commit_ring) != {p.bk_window}:",
+                "    raise RuntimeError(\"compiled kernel/config mismatch: backend\")",
+            )
+        else:
+            w.lines(
+                "reg_ready = backend._reg_ready",
+                "commit_ring = backend._commit_ring",
+                "cw_ring = backend._commit_width_ring",
+                "disp_ring = backend._dispatch_width_ring",
+                "fq_ring = backend._fq_ring",
+                "load_ring = backend._load_ring",
+                "store_ring = backend._store_ring",
+                "nloads = backend._loads",
+                "nstores = backend._stores",
+                f"if (len(commit_ring) != {p.bk_rob} or len(disp_ring) != {p.bk_width}"
+                f" or len(fq_ring) != {p.bk_fq} or len(load_ring) != {p.bk_load_ports}"
+                f" or len(store_ring) != {p.bk_store_ports}):",
+                "    raise RuntimeError(\"compiled kernel/config mismatch: backend\")",
+                # d-side memory (live only with the OoO backend)
+                "dtlb_arr = mem.dtlb.array",
+                "dtlb_sets = dtlb_arr._sets",
+                "dtlb_translate = mem.dtlb.translate",
+                "l1d = mem.l1d",
+                "l1d_arr = l1d.array",
+                "l1d_sets = l1d_arr._sets",
+                "l1d_pending = l1d._pending",
+                "l1d_access = l1d.access",
+                "l1d_prefetch = l1d.prefetch",
+                "dstride = mem.dstride",
+                "dstab = dstride._table",
+                f"if (l1d_arr.sets != {p.l1d_set_mask + 1} or l1d.latency != {p.l1d_latency}"
+                f" or dtlb_arr.sets != {p.dtlb_set_mask + 1}"
+                f" or mem.dtlb.latency != {p.dtlb_latency}"
+                f" or dstride.table_entries != {p.dstride_entries}"
+                f" or dstride.degree != {p.dstride_degree}):",
+                "    raise RuntimeError(\"compiled kernel/config mismatch: memory\")",
+            )
+        # Per-run queues and loop state.
+        w.lines(
+            "ftq = deque()",
+            "ftq_append = ftq.append",
+            "ftq_popleft = ftq.popleft",
+            "line_avail = OrderedDict()",
+            "line_avail_get = line_avail.get",
+            "line_avail_touch = line_avail.move_to_end",
+            "line_avail_evict = line_avail.popitem",
+            "pending_events = {}",
+            f"HM = (1 << 256) - 1",
+            "cycle = 0",
+            "i_pcgen = 0",
+            "admitted = 0",
+            "acc_cycle = -1",
+            "pcgen_ready = 0",
+            "pcgen_stalled = False",
+            "last_commit = backend._last_commit",
+            "warm_commit = 0",
+            "warm_done = warmup == 0",
+            "max_cycles = 1000 + n * 64",
+        )
+        for local, _name in COUNTERS:
+            w.line(f"c_{local} = 0")
+        for local, _name in COUNTERS:
+            w.line(f"w_{local} = 0")
+
+    def _rb_overflow(self) -> bool:
+        cfg = self.plan.config
+        return cfg.btb_kind == "rbtb" and cfg.overflow_entries > 0
+
+    # -- shared emitters --------------------------------------------------
+
+    def _emit_hash(self, w: _Writer, out: str, value_expr: str) -> None:
+        """Inline mix_hash for a single value."""
+        w.line(f"{out} = ({_HASH_K} ^ {value_expr} & {MASK64}) * {_HASH_MUL} & {MASK64}")
+        w.line(f"{out} ^= {out} >> 29")
+
+    def _emit_history_push(self, w: _Writer, bit: str) -> None:
+        """Unrolled GlobalHistory.push for all registered folds."""
+        for fs in self.plan.folds:
+            wm = (1 << fs.width) - 1
+            w.line(
+                f"v = (({fs.local} << 1) | {bit}) ^ "
+                f"(((hbits >> {fs.length - 1}) & 1) << {fs.out_pos})"
+            )
+            w.line(f"v ^= v >> {fs.width}")
+            w.line(f"{fs.local} = v & {wm}")
+        w.line(f"hbits = ((hbits << 1) | {bit}) & HM")
+
+    def _emit_note_btb(self, w: _Writer, lvl_expr: str) -> None:
+        """Inline PredictionEngine.note_btb (taken branches only)."""
+        with w.block("if taken:"):
+            w.line("c_tlk += 1")
+            with w.block(f"if {lvl_expr} == 1:"):
+                w.line("c_l1h += 1")
+            if self.plan.has_l2:
+                with w.block(f"elif {lvl_expr} == 2:"):
+                    w.line("c_l2h += 1")
+
+    def _emit_ras_push(self, w: _Writer) -> None:
+        w.line(f"if len(ras) >= {self.plan.ras_depth}:")
+        w.line("    del ras[0]")
+        w.line("ras.append(pc + 4)")
+
+    def _emit_resolve(self, w: _Writer) -> None:
+        """Inline PredictionEngine.resolve.
+
+        Inputs: pc, bt, taken, target, known, slot. Output: res with
+        0=seq, 1=redirect, 2=misfetch, 3=mispredict.
+        """
+        p = self.plan
+        pm = p.ptable_mask
+        w.line("c_dbr += 1")
+        with w.block("if taken:"):
+            w.line("c_dtk += 1")
+        with w.block("if bt == 1:"):  # COND_DIRECT
+            # perceptron.predict — one fused expression: no index locals
+            # on the (hot) no-train path; the train arm recomputes each
+            # index from h and the fold locals, which are unchanged until
+            # the history push below.
+            self._emit_hash(w, "h", "pc")
+            index = [f"h & {pm}"]
+            index += [f"(h ^ pf{t} ^ {t << 3}) & {pm}" for t in range(1, 16)]
+            w.line(
+                "total = "
+                + " + ".join(f"ptab{t}[{ix}]" for t, ix in enumerate(index))
+            )
+            w.line("pt = total >= 0")
+            # perceptron.update (skip iff pt == taken and abs(total) > theta)
+            with w.block(
+                f"if pt != taken or ({-p.theta} <= total <= {p.theta}):"
+            ):
+                with w.block("if taken:"):
+                    for t, ix in enumerate(index):
+                        w.line(f"i = {ix}")
+                        w.line(f"wt = ptab{t}[i] + 1")
+                        w.line("if wt < 128:")
+                        w.line(f"    ptab{t}[i] = wt")
+                with w.block("else:"):
+                    for t, ix in enumerate(index):
+                        w.line(f"i = {ix}")
+                        w.line(f"wt = ptab{t}[i] - 1")
+                        w.line("if wt > -129:")
+                        w.line(f"    ptab{t}[i] = wt")
+            # history.push(taken)
+            w.line("hb = 1 if taken else 0")
+            self._emit_history_push(w, "hb")
+            with w.block("if not known:"):
+                with w.block("if taken:"):
+                    w.lines("c_mp += 1", "c_mpcu += 1", "res = 3")
+                with w.block("else:"):
+                    w.line("res = 0")
+            with w.block("elif pt != taken:"):
+                w.lines("c_mp += 1", "c_mpc += 1", "res = 3")
+            with w.block("else:"):
+                w.line("res = 1 if taken else 0")
+        with w.block("else:"):
+            # All remaining types are unconditionally taken.
+            self._emit_history_push(w, "1")
+            with w.block("if bt == 2 or bt == 3:"):  # UNCOND_DIRECT / CALL_DIRECT
+                with w.block("if bt == 3:"):
+                    self._emit_ras_push(w)
+                with w.block("if known:"):
+                    w.line("res = 1")
+                with w.block("else:"):
+                    w.lines("c_mf += 1", "res = 2")
+            with w.block("elif bt == 4:"):  # RETURN
+                with w.block("if ras:"):
+                    w.line("ras_ok = ras.pop() == target")
+                with w.block("else:"):
+                    w.line("ras_ok = False")
+                with w.block("if not ras_ok:"):
+                    w.lines("c_mp += 1", "c_mpr += 1", "res = 3")
+                with w.block("elif known:"):
+                    w.line("res = 1")
+                with w.block("else:"):
+                    w.lines("c_mf += 1", "res = 2")
+            with w.block("else:"):  # INDIRECT / CALL_INDIRECT
+                self._emit_hash(w, "h2", "pc")
+                w.line(f"ii = (h2 ^ jf) & {p.ind_mask}")
+                w.line("predicted = itab[ii]")
+                with w.block("if predicted == 0 and known:"):
+                    w.line("predicted = slot.target")
+                w.line("itab[ii] = target")
+                with w.block("if bt == 6:"):
+                    self._emit_ras_push(w)
+                with w.block("if not known:"):
+                    w.lines("c_mp += 1", "c_mpiu += 1", "res = 3")
+                with w.block("elif predicted != target:"):
+                    w.lines("c_mp += 1", "c_mpi += 1", "res = 3")
+                with w.block("else:"):
+                    w.line("res = 1")
+
+    def _emit_store_lookup(self, w: _Writer, key_expr: str) -> None:
+        """Inline TwoLevelStore.lookup -> (lvl, entry).
+
+        L1 hit is inlined (touch included); L1 miss falls through to the
+        reference method, whose internal L1 re-probe is a side-effect-free
+        dict miss. Single-level stores elide the L2 path entirely.
+        """
+        p = self.plan
+        w.line(f"sk = ({key_expr}) >> {p.index_shift}")
+        w.line(f"se = l1_sets[sk & {p.l1_set_mask}].get(sk)")
+        with w.block("if se is not None:"):
+            w.lines(
+                "l1arr._tick = stt = l1arr._tick + 1",
+                "se[1] = stt",
+                "lvl = 1",
+                "entry = se[0]",
+            )
+        with w.block("else:"):
+            if p.has_l2:
+                w.line(f"lvl, entry = store_lookup({key_expr})")
+            else:
+                w.lines("lvl = 0", "entry = None")
+
+    # -- cycle advance -----------------------------------------------------
+
+    def _emit_cycle_advance(self, w: _Writer) -> None:
+        """Advance time, skipping provably-idle cycles in one jump.
+
+        A cycle where PC generation did not fire (``acc_cycle != cycle``)
+        and fetch took nothing (``lines_used == 0``) changes no simulator
+        state except an idempotent LRU touch of the blocked head line, so
+        the interpreter's cycle-by-cycle spin through a stall is
+        observationally a no-op until the earliest of: PC generation's
+        resteer release (``pcgen_ready``), the FTQ head becoming
+        consumable, its fetch-gate slot freeing, or its I-cache line
+        arriving. All of those times are already known and none can move
+        while the machine is idle, so jumping straight to the minimum is
+        bit-identical to spinning — including the wedge diagnostic, which
+        still fires at exactly ``max_cycles + 1``.
+        """
+        p = self.plan
+        if p.ideal_backend:
+            gate_ring, gate_n = "commit_ring", p.bk_window
+        else:
+            gate_ring, gate_n = "fq_ring", p.bk_fq
+        with w.block("if lines_used or acc_cycle == cycle:"):
+            w.line("cycle += 1")
+        with w.block("else:"):
+            w.line("nxt = max_cycles + 1")
+            with w.block(
+                f"if i_pcgen < n and pcgen_ready > cycle and not pcgen_stalled "
+                f"and len(ftq) < {p.ftq_entries}:"
+            ):
+                w.line("nxt = pcgen_ready")
+            with w.block("if ftq:"):
+                w.line("head = ftq[0]")
+                w.line("t = head[3]")
+                with w.block("if not head[4]:"):
+                    w.line("t += 1")
+                w.line("first = head[1]")
+                with w.block(f"if first >= {gate_n}:"):
+                    w.line(f"g = {gate_ring}[{_ring_index('first', gate_n)}]")
+                    with w.block("if g > t:"):
+                        w.line("t = g")
+                w.line("av = line_avail_get(head[0])")
+                with w.block("if av is not None and av > t:"):
+                    w.line("t = av")
+                with w.block("if t < nxt:"):
+                    w.line("nxt = t")
+            with w.block("if nxt > max_cycles:"):
+                w.line("nxt = max_cycles + 1")
+            w.line("cycle = nxt if nxt > cycle else cycle + 1")
+        with w.block("if cycle > max_cycles:"):
+            w.line("raise RuntimeError(")
+            w.line("    f\"simulator wedged at cycle {cycle} \"")
+            w.line("    f\"(admitted {admitted}/{n}, ftq={len(ftq)})\"")
+            w.line(")")
+
+    # -- PC generation ----------------------------------------------------
+
+    def emit_pcgen(self, w: _Writer) -> None:
+        p = self.plan
+        with w.block(
+            f"if i_pcgen < n and not pcgen_stalled and cycle >= pcgen_ready "
+            f"and len(ftq) < {p.ftq_entries}:"
+        ):
+            w.line("acc_cycle = cycle")
+            w.lines("count = 0", "blocks = 1", "acc_event = 0", "acc_ei = -1", "acc_bubbles = 0")
+            getattr(self, f"_emit_scan_{p.btb_kind}")(w)
+            w.line("# -- component: pcgen.ftq_push " + "-" * 20)
+            self.emit_access_commit(w)
+
+    def _redirect_bubbles(self, w: _Writer) -> None:
+        """Common REDIRECT bubble computation (Fig. 3 penalties)."""
+        p = self.plan
+        if p.has_l2:
+            w.line(f"bubbles = 3 if lvl == 2 else {p.config.l1_taken_bubble}")
+        else:
+            w.line(f"bubbles = {p.config.l1_taken_bubble}")
+        with w.block("if bt == 5 or bt == 6:"):
+            w.line("bubbles += 1")
+
+    def _emit_scan_ibtb(self, w: _Writer) -> None:
+        cfg = self.plan.config
+        w.line("pc = pcs[i_pcgen]")
+        with w.block(f"while count < {cfg.width}:"):
+            w.line("j = i_pcgen + count")
+            with w.block("if j >= n:"):
+                w.line("break")
+            w.line("bt = btypes[j]")
+            w.line("count += 1")
+            with w.block("if bt == 0:"):
+                w.lines("pc += 4", "continue")
+            self._emit_store_lookup(w, "pc")
+            w.line("slot = entry")
+            w.lines("known = slot is not None", "taken = takens[j] == 1", "target = targets[j]")
+            self._emit_note_btb(w, "lvl")
+            self._emit_resolve(w)
+            with w.block("if taken:"):
+                with w.block("if slot is None:"):
+                    w.line("ibtb_train(pc, bt, True, target, None)")
+                with w.block("else:"):
+                    w.line("slot.target = target")
+            with w.block("if res == 0:"):
+                w.lines("pc += 4", "continue")
+            with w.block("if res == 1:"):
+                self._redirect_bubbles(w)
+                if cfg.skip_taken:
+                    w.lines("pc = target", "blocks += 1", "continue")
+                else:
+                    w.lines("acc_bubbles = bubbles", "break")
+            w.lines("acc_event = res", "acc_ei = j", "break")
+
+    def _emit_scan_rbtb(self, w: _Writer) -> None:
+        p = self.plan
+        cfg = p.config
+        rb = cfg.region_bytes
+        overflow = self._rb_overflow()
+        interleaved = cfg.interleaved
+        w.line("pc = pcs[i_pcgen]")
+        w.line("btb._tick = rb_tick = btb._tick + 1")
+        if interleaved:
+            w.line("done = False")
+            outer = w.block("for _rno in range(2):")
+            outer.__enter__()
+        # pc & -region_bytes == pc & ~(region_bytes - 1)
+        w.line(f"region = pc & -{rb}")
+        if interleaved:
+            with w.block("if _rno:"):
+                w.line(f"pk = region >> {p.index_shift}")
+                with w.block(f"if pk not in l1_sets[pk & {p.l1_set_mask}]:"):
+                    w.line("break")
+        self._emit_store_lookup(w, "region")
+        w.line(f"region_end = region + {rb}")
+        with w.block("while pc < region_end:"):
+            w.line("j = i_pcgen + count")
+            with w.block("if j >= n:"):
+                if interleaved:
+                    w.line("done = True")
+                w.line("break")
+            w.line("bt = btypes[j]")
+            w.line("count += 1")
+            with w.block("if bt == 0:"):
+                w.lines("pc += 4", "continue")
+            w.lines("slot = None", "from_overflow = False")
+            with w.block("if entry is not None:"):
+                w.line("spos = 0")
+                with w.block("for s_ in entry.slots:"):
+                    with w.block("if s_.pc == pc:"):
+                        w.lines("slot = s_", "break")
+                    w.line("spos += 1")
+                with w.block("if slot is not None:"):
+                    w.line("entry.ticks[spos] = rb_tick")
+                if overflow:
+                    with w.block("else:"):
+                        w.line("oe = ovf_set.get(pc)")
+                        with w.block("if oe is not None:"):
+                            w.lines(
+                                "ovf_arr._tick = ovt = ovf_arr._tick + 1",
+                                "oe[1] = ovt",
+                                "slot = oe[0]",
+                                "from_overflow = True",
+                            )
+            w.lines("known = slot is not None", "taken = takens[j] == 1", "target = targets[j]")
+            w.line("nlvl = lvl if known else 0")
+            self._emit_note_btb(w, "nlvl")
+            self._emit_resolve(w)
+            with w.block("if taken:"):
+                with w.block("if slot is not None:"):
+                    w.line("slot.target = target")
+                with w.block("else:"):
+                    w.line("rb_train(region, entry, pc, bt, True, target, None)")
+            with w.block("if res == 0:"):
+                w.lines("pc += 4", "continue")
+            with w.block("if res == 1:"):
+                if p.has_l2:
+                    w.line(f"bubbles = 3 if lvl == 2 else {cfg.l1_taken_bubble}")
+                else:
+                    w.line(f"bubbles = {cfg.l1_taken_bubble}")
+                if overflow:
+                    with w.block("if from_overflow:"):
+                        w.line(f"bubbles += {p.rb_overflow_bubble}")
+                with w.block("if bt == 5 or bt == 6:"):
+                    w.line("bubbles += 1")
+                w.line("acc_bubbles = bubbles")
+                if interleaved:
+                    w.line("done = True")
+                w.line("break")
+            w.lines("acc_event = res", "acc_ei = j")
+            if interleaved:
+                w.line("done = True")
+            w.line("break")
+        if interleaved:
+            with w.block("if done:"):
+                w.line("break")
+            w.line("pc = region_end")
+            outer.__exit__(None, None, None)
+
+    def _emit_scan_bbtb(self, w: _Writer) -> None:
+        p = self.plan
+        cfg = p.config
+        w.line("pc = pcs[i_pcgen]")
+        w.line("block_start = pc")
+        self._emit_store_lookup(w, "pc")
+        with w.block("if entry is not None:"):
+            w.line("end_pc = entry.start + entry.length * 4")
+        with w.block("else:"):
+            w.line(f"end_pc = pc + {cfg.block_insts * 4}")
+        w.line("btb._tick = bb_tick = btb._tick + 1")
+        with w.block("while pc < end_pc:"):
+            w.line("j = i_pcgen + count")
+            with w.block("if j >= n:"):
+                w.line("break")
+            w.line("bt = btypes[j]")
+            w.line("count += 1")
+            with w.block("if bt == 0:"):
+                w.lines("pc += 4", "continue")
+            w.line("slot = None")
+            with w.block("if entry is not None:"):
+                w.line("spos = 0")
+                with w.block("for s_ in entry.slots:"):
+                    with w.block("if s_.pc == pc:"):
+                        w.lines("slot = s_", "break")
+                    w.line("spos += 1")
+                with w.block("if slot is not None:"):
+                    w.line("entry.ticks[spos] = bb_tick")
+            w.lines("known = slot is not None", "taken = takens[j] == 1", "target = targets[j]")
+            w.line("nlvl = lvl if known else 0")
+            self._emit_note_btb(w, "nlvl")
+            self._emit_resolve(w)
+            with w.block("if taken:"):
+                with w.block("if slot is not None:"):
+                    w.line("slot.target = target")
+                with w.block("else:"):
+                    w.line("entry = bb_train(entry, block_start, pc, bt, True, target, None)")
+            with w.block("if res == 0:"):
+                w.lines("pc += 4", "continue")
+            with w.block("if res == 1:"):
+                self._redirect_bubbles(w)
+                w.lines("acc_bubbles = bubbles", "break")
+            w.lines("acc_event = res", "acc_ei = j", "break")
+        if cfg.split_bubble:
+            with w.block("else:"):
+                w.line(
+                    f"acc_bubbles = {cfg.split_bubble} "
+                    "if (entry is not None and entry.split) else 0"
+                )
+
+    def _emit_scan_mbbtb(self, w: _Writer) -> None:
+        p = self.plan
+        cfg = p.config
+        w.line("pc = pcs[i_pcgen]")
+        w.line("block_start = pc")
+        self._emit_store_lookup(w, "pc")
+        w.line("blk = 0")
+        with w.block("if entry is not None:"):
+            w.lines("bs_, bl_ = entry.blocks[0]", "end_pc = bs_ + bl_ * 4")
+        with w.block("else:"):
+            w.line(f"end_pc = pc + {cfg.block_insts * 4}")
+        with w.block("while pc < end_pc:"):
+            w.line("j = i_pcgen + count")
+            with w.block("if j >= n:"):
+                w.line("break")
+            w.line("bt = btypes[j]")
+            w.line("count += 1")
+            with w.block("if bt == 0:"):
+                w.lines("pc += 4", "continue")
+            w.line("slot = None")
+            with w.block("if entry is not None:"):
+                with w.block("for s_ in entry.slots:"):
+                    with w.block("if s_.blk_id == blk and s_.pc == pc:"):
+                        w.lines("slot = s_", "break")
+            w.lines("known = slot is not None", "taken = takens[j] == 1", "target = targets[j]")
+            w.line("nlvl = lvl if known else 0")
+            self._emit_note_btb(w, "nlvl")
+            self._emit_resolve(w)
+            with w.block("if taken:"):
+                with w.block("if slot is not None:"):
+                    with w.block("if slot.btype == 5 or slot.btype == 6:"):
+                        w.line("mb_update(entry, slot, target)")
+                    with w.block("else:"):
+                        w.line("slot.target = target")
+                with w.block("else:"):
+                    w.line(
+                        "entry = mb_train(entry, block_start, blk, pc, bt, True, target, None)"
+                    )
+            with w.block("else:"):
+                with w.block("if slot is not None:"):
+                    if cfg.immediate_downgrade:
+                        # A follow slot downgrades via the reference method
+                        # (truncate + follow clear + the stabl reset).
+                        with w.block("if slot.follow:"):
+                            w.line(
+                                "mb_train(entry, block_start, blk, pc, bt, False, target, slot)"
+                            )
+                        with w.block("elif slot.btype == 1:"):
+                            w.line("slot.stabl_ctr = -1")
+                    else:
+                        with w.block("if slot.btype == 1:"):
+                            w.line("slot.stabl_ctr = -1")
+            with w.block("if res == 0:"):
+                w.lines("pc += 4", "continue")
+            with w.block("if res == 1:"):
+                with w.block(
+                    "if (slot is not None and slot.follow and entry is not None "
+                    "and slot.blk_id + 1 < len(entry.blocks) "
+                    "and entry.blocks[slot.blk_id + 1][0] == target):"
+                ):
+                    w.lines(
+                        "blk = slot.blk_id + 1",
+                        "pc = target",
+                        "bs_, bl_ = entry.blocks[blk]",
+                        "end_pc = bs_ + bl_ * 4",
+                        "blocks += 1",
+                        "continue",
+                    )
+                self._redirect_bubbles(w)
+                w.lines("acc_bubbles = bubbles", "break")
+            w.lines("acc_event = res", "acc_ei = j", "break")
+        if cfg.split_bubble:
+            with w.block("else:"):
+                w.line(
+                    f"acc_bubbles = {cfg.split_bubble} "
+                    "if (entry is not None and entry.split) else 0"
+                )
+
+    # -- FTQ push + FDIP prefetch ----------------------------------------
+
+    def _emit_fdip_prefetch(self, w: _Writer, line_var: str) -> None:
+        """Inline MemoryHierarchy.ifetch_prefetch (ITLB warm + L1I pf)."""
+        p = self.plan
+        w.line(f"la = {line_var} << 6")
+        w.line("pg = la >> 12")
+        w.line(f"pe = itlb_sets[pg & {p.itlb_set_mask}].get(pg)")
+        with w.block("if pe is not None:"):
+            w.lines("itlb_arr._tick = ptt = itlb_arr._tick + 1", "pe[1] = ptt")
+        with w.block("else:"):
+            w.line("itlb_translate(la, cycle)")
+        with w.block(
+            f"if {line_var} not in l1i_sets[{line_var} & {p.l1i_set_mask}] "
+            f"and {line_var} not in l1i_pending:"
+        ):
+            w.line("l1i_prefetch(la, cycle)")
+
+    def emit_access_commit(self, w: _Writer) -> None:
+        """Consume one Access: stats, line segmentation, FTQ pushes,
+        FDIP prefetches and the pending-event / bubble bookkeeping."""
+        with w.block("if count > 0:"):
+            w.lines("c_acc += 1", "c_fpc += count", "c_bpa += blocks")
+            w.lines(
+                "seg_start = i_pcgen",
+                "seg_line = line_ix[seg_start]",
+                "seg_count = 1",
+            )
+            with w.block("for jj in range(i_pcgen + 1, i_pcgen + count):"):
+                w.line("line = line_ix[jj]")
+                with w.block("if line == seg_line:"):
+                    w.lines("seg_count += 1", "continue")
+                w.line(
+                    "ftq_append([seg_line, seg_start, seg_count, cycle, 0 if ftq else 1])"
+                )
+                self._emit_fdip_prefetch(w, "seg_line")
+                w.lines("seg_start = jj", "seg_line = line", "seg_count = 1")
+            w.line(
+                "ftq_append([seg_line, seg_start, seg_count, cycle, 0 if ftq else 1])"
+            )
+            self._emit_fdip_prefetch(w, "seg_line")
+            w.line("i_pcgen += count")
+            with w.block("if acc_event:"):
+                w.lines("pending_events[acc_ei] = acc_event", "pcgen_stalled = True")
+            with w.block("else:"):
+                w.line("pcgen_ready = cycle + 1 + acc_bubbles")
+        with w.block("else:"):
+            w.line("i_pcgen = n")
+
+    # -- fetch + backend admit + d-side memory ----------------------------
+
+    def _emit_ifetch(self, w: _Writer) -> None:
+        """Inline MemoryHierarchy.ifetch -> avail for head line hline."""
+        p = self.plan
+        w.line("la = hline << 6")
+        w.line("pg = la >> 12")
+        w.line(f"pe = itlb_sets[pg & {p.itlb_set_mask}].get(pg)")
+        with w.block("if pe is not None:"):
+            w.lines(
+                "itlb_arr._tick = ptt = itlb_arr._tick + 1",
+                "pe[1] = ptt",
+                "tlb_done = cycle",
+            )
+        with w.block("else:"):
+            w.line(f"tlb_done = itlb_translate(la, cycle) - {p.itlb_latency}")
+        w.line(f"ce = l1i_sets[hline & {p.l1i_set_mask}].get(hline)")
+        with w.block("if ce is not None:"):
+            w.lines(
+                "l1i_arr._tick = ctt = l1i_arr._tick + 1",
+                "ce[1] = ctt",
+                "hr = ce[0]",
+                f"data_done = cycle if hr <= cycle else hr - {p.l1i_latency}",
+            )
+        with w.block("else:"):
+            w.line(f"data_done = l1i_access(la, cycle) - {p.l1i_latency}")
+        w.line("avail = tlb_done if tlb_done > data_done else data_done")
+        with w.block("if avail < cycle:"):
+            w.line("avail = cycle")
+
+    def _emit_dstride(self, w: _Writer, addr: str, cycle_var: str) -> None:
+        """Inline IPStridePrefetcher.on_access for an L1D hit."""
+        p = self.plan
+        w.line("pcj = pcs[j2]")
+        w.line("ds = dstab.get(pcj)")
+        with w.block("if ds is None:"):
+            with w.block(f"if len(dstab) >= {p.dstride_entries}:"):
+                w.line("del dstab[next(iter(dstab))]")
+            w.line(f"dstab[pcj] = ({addr}, 0, 0)")
+        with w.block("else:"):
+            w.lines("pla, pls, pcf = ds", f"stride = {addr} - pla")
+            with w.block("if stride != 0 and stride == pls:"):
+                with w.block("if pcf < 3:"):
+                    w.line("pcf += 1")
+            with w.block("else:"):
+                with w.block("if pcf > 0:"):
+                    w.line("pcf -= 1")
+            w.line(f"dstab[pcj] = ({addr}, stride, pcf)")
+            with w.block("if pcf >= 2 and stride != 0:"):
+                for d in range(1, p.dstride_degree + 1):
+                    mult = "stride" if d == 1 else f"stride * {d}"
+                    w.line(f"pfa = {addr} + {mult}")
+                    w.line("pfl = pfa >> 6")
+                    with w.block(
+                        f"if pfl not in l1d_sets[pfl & {p.l1d_set_mask}] "
+                        "and pfl not in l1d_pending:"
+                    ):
+                        w.line(f"l1d_prefetch(pfa, {cycle_var})")
+
+    def _emit_l1d_access(self, w: _Writer, addr: str, cycle_var: str, out: Optional[str]) -> None:
+        """Inline Cache.access on the L1D (hit fast path + prefetcher)."""
+        p = self.plan
+        w.line(f"aline = {addr} >> 6")
+        w.line(f"le = l1d_sets[aline & {p.l1d_set_mask}].get(aline)")
+        with w.block("if le is not None:"):
+            w.lines(
+                "l1d_arr._tick = ldt = l1d_arr._tick + 1",
+                "le[1] = ldt",
+            )
+            if out:
+                w.line("hr = le[0]")
+                w.line(
+                    f"{out} = {cycle_var} + {p.l1d_latency} "
+                    f"if hr <= {cycle_var} else hr"
+                )
+            self._emit_dstride(w, addr, cycle_var)
+        with w.block("else:"):
+            w.line("dstride._pc = pcs[j2]")
+            if out:
+                w.line(f"{out} = l1d_access({addr}, {cycle_var})")
+            else:
+                w.line(f"l1d_access({addr}, {cycle_var})")
+
+    def _emit_dtlb(self, w: _Writer, addr: str, cycle_var: str, out: Optional[str]) -> None:
+        p = self.plan
+        w.line(f"pg = {addr} >> 12")
+        w.line(f"de = dtlb_sets[pg & {p.dtlb_set_mask}].get(pg)")
+        with w.block("if de is not None:"):
+            w.lines("dtlb_arr._tick = dtt = dtlb_arr._tick + 1", "de[1] = dtt")
+            if out:
+                w.line(f"{out} = {cycle_var} + {p.dtlb_latency}")
+        with w.block("else:"):
+            if out:
+                w.line(f"{out} = dtlb_translate({addr}, {cycle_var})")
+            else:
+                w.line(f"dtlb_translate({addr}, {cycle_var})")
+
+    def _emit_admit_ooo(self, w: _Writer) -> None:
+        p = self.plan
+        bw, rob, fq = p.bk_width, p.bk_rob, p.bk_fq
+        w.line(f"bwx = {_ring_index('j2', bw)}")
+        w.line(f"robx = {_ring_index('j2', rob)}")
+        w.line("dispatch = decode_ready + 1")
+        with w.block(f"if j2 >= {bw}:"):
+            w.line("prevd = disp_ring[bwx] + 1")
+            with w.block("if prevd > dispatch:"):
+                w.line("dispatch = prevd")
+        with w.block(f"if j2 >= {rob}:"):
+            w.line("rob_free = commit_ring[robx]")
+            with w.block("if rob_free > dispatch:"):
+                w.line("dispatch = rob_free")
+        w.line("disp_ring[bwx] = dispatch")
+        w.line(f"fq_ring[{_ring_index('j2', fq)}] = dispatch")
+        w.line("ready = dispatch + 1")
+        w.line("s1 = src1s[j2]")
+        with w.block("if s1 >= 0 and reg_ready[s1] > ready:"):
+            w.line("ready = reg_ready[s1]")
+        w.line("s2 = src2s[j2]")
+        with w.block("if s2 >= 0 and reg_ready[s2] > ready:"):
+            w.line("ready = reg_ready[s2]")
+        with w.block("if loads_col[j2]:"):
+            w.line(f"lslot = nloads % {p.bk_load_ports}")
+            w.line("lr = load_ring[lslot] + 1")
+            w.line("issue = ready if ready > lr else lr")
+            w.line("load_ring[lslot] = issue")
+            w.line("nloads += 1")
+            # memory.load inline
+            w.line("a = maddrs[j2]")
+            self._emit_dtlb(w, "a", "issue", "tlb_done")
+            self._emit_l1d_access(w, "a", "issue", "data_done")
+            w.line("complete = tlb_done if tlb_done > data_done else data_done")
+        with w.block("elif stores_col[j2]:"):
+            w.line(f"sslot = nstores % {p.bk_store_ports}")
+            w.line("sr = store_ring[sslot] + 1")
+            w.line("issue = ready if ready > sr else sr")
+            w.line("store_ring[sslot] = issue")
+            w.line("nstores += 1")
+            # memory.store inline
+            w.line("a = maddrs[j2]")
+            self._emit_dtlb(w, "a", "issue", None)
+            self._emit_l1d_access(w, "a", "issue", None)
+            w.line("complete = issue + 1")
+        if p.bk_branch_latency == p.bk_alu_latency:
+            with w.block("else:"):
+                w.line(f"complete = ready + {p.bk_alu_latency}")
+        else:
+            with w.block("elif btypes[j2] != 0:"):
+                w.line(f"complete = ready + {p.bk_branch_latency}")
+            with w.block("else:"):
+                w.line(f"complete = ready + {p.bk_alu_latency}")
+        w.line("d = dsts[j2]")
+        with w.block("if d >= 0:"):
+            w.line("reg_ready[d] = complete")
+        w.line("commit = complete if complete >= last_commit else last_commit")
+        with w.block(f"if j2 >= {bw}:"):
+            w.line("prevc = cw_ring[bwx] + 1")
+            with w.block("if prevc > commit:"):
+                w.line("commit = prevc")
+        w.line("cw_ring[bwx] = commit")
+        w.line("commit_ring[robx] = commit")
+        w.line("last_commit = commit")
+
+    def _emit_admit_ideal(self, w: _Writer) -> None:
+        p = self.plan
+        w.line("ready = decode_ready + 1")
+        w.line("s1 = src1s[j2]")
+        with w.block("if s1 >= 0 and reg_ready[s1] > ready:"):
+            w.line("ready = reg_ready[s1]")
+        w.line("s2 = src2s[j2]")
+        with w.block("if s2 >= 0 and reg_ready[s2] > ready:"):
+            w.line("ready = reg_ready[s2]")
+        w.line("complete = ready + 1")
+        w.line("d = dsts[j2]")
+        with w.block("if d >= 0:"):
+            w.line("reg_ready[d] = complete")
+        w.line("commit = complete if complete >= last_commit else last_commit")
+        w.line(f"commit_ring[{_ring_index('j2', p.bk_window)}] = commit")
+        w.line("last_commit = commit")
+
+    def emit_fetch(self, w: _Writer) -> None:
+        p = self.plan
+        w.lines("lines_used = 0", "insts_used = 0", "il_used = 0")
+        with w.block(
+            f"while lines_used < {p.fetch_lines} and insts_used < {p.fetch_width}:"
+        ):
+            with w.block("if not ftq:"):
+                w.line("break")
+            w.line("head = ftq[0]")
+            w.line("enq = head[3]")
+            with w.block("if head[4]:"):
+                with w.block("if enq > cycle:"):
+                    w.line("break")
+            with w.block("elif enq >= cycle:"):
+                w.line("break")
+            w.line("hline = head[0]")
+            w.line(f"il_bit = 1 << (hline & {p.interleave_mask})")
+            with w.block("if il_used & il_bit:"):
+                w.line("break")
+            w.line("first = head[1]")
+            # fetch_gate inline
+            if p.ideal_backend:
+                gate_ring = f"commit_ring[{_ring_index('first', p.bk_window)}]"
+                gate_min = p.bk_window
+            else:
+                gate_ring = f"fq_ring[{_ring_index('first', p.bk_fq)}]"
+                gate_min = p.bk_fq
+            with w.block(f"if first >= {gate_min} and {gate_ring} > cycle:"):
+                w.line("break")
+            w.line("avail = line_avail_get(hline)")
+            with w.block("if avail is None:"):
+                self._emit_ifetch(w)
+                w.line("line_avail[hline] = avail")
+                with w.block(f"if len(line_avail) > {p.line_avail_entries}:"):
+                    w.line("line_avail_evict(last=False)")
+            with w.block("else:"):
+                w.line("line_avail_touch(hline)")
+            with w.block("if avail > cycle:"):
+                w.line("break")
+            w.line("hcount = head[2]")
+            w.line(f"room = {p.fetch_width} - insts_used")
+            w.line("take = hcount if hcount < room else room")
+            w.line(f"decode_ready = cycle + {p.decode_depth}")
+            with w.block("for j2 in range(first, first + take):"):
+                if p.ideal_backend:
+                    self._emit_admit_ideal(w)
+                else:
+                    self._emit_admit_ooo(w)
+                with w.block("if pending_events:"):
+                    w.line("kind = pending_events.pop(j2, None)")
+                    with w.block("if kind is not None:"):
+                        with w.block("if kind == 2:"):
+                            if p.early_resteer:
+                                w.line("resteer = decode_ready - 2")
+                                with w.block("if resteer < cycle:"):
+                                    w.line("resteer = cycle")
+                            else:
+                                w.line("resteer = decode_ready")
+                        with w.block("else:"):
+                            w.line("resteer = complete")
+                        w.line("resume = resteer + 1")
+                        with w.block("if resume > pcgen_ready:"):
+                            w.line("pcgen_ready = resume")
+                        w.line("pcgen_stalled = False")
+            w.lines(
+                "admitted += take",
+                "insts_used += take",
+                "il_used |= il_bit",
+                "lines_used += 1",
+            )
+            with w.block("if take == hcount:"):
+                w.line("ftq_popleft()")
+            with w.block("else:"):
+                w.lines("head[2] = hcount - take", "head[1] = first + take")
+            with w.block("if not warm_done and admitted >= warmup:"):
+                w.line("warm_commit = last_commit")
+                for local, _name in COUNTERS:
+                    w.line(f"w_{local} = c_{local}")
+                w.line("warm_done = True")
+
+    # -- finalization ------------------------------------------------------
+
+    def _emit_finalize(self, w: _Writer) -> None:
+        p = self.plan
+        # Write live predictor/backend state back onto the objects so a
+        # post-run inspection sees exactly what the interpreter leaves.
+        w.line("hist.bits = hbits")
+        for fs in p.folds:
+            w.line(f"{fs.attr_path}.value = {fs.local}")
+        w.line("backend._last_commit = last_commit")
+        if not p.ideal_backend:
+            w.lines(
+                "backend._loads = nloads",
+                "backend._stores = nstores",
+                "backend._count += admitted",
+            )
+        w.line("sc = st._counters")
+        w.line("measured = {}")
+        for local, name in COUNTERS:
+            if name == "btb_taken_l2_hits" and not p.has_l2:
+                continue
+            with w.block(f"if c_{local}:"):
+                w.line(f'sc["{name}"] = sc.get("{name}", 0.0) + c_{local}')
+                w.line(f'measured["{name}"] = float(c_{local} - w_{local})')
+        w.line("structure = {}")
+        with w.block("if sample_structure:"):
+            w.line('structure["l1_slot_occupancy"] = btb.slot_occupancy(1)')
+            w.line('structure["l1_redundancy"] = btb.redundancy_ratio(1)')
+            if p.has_l2:
+                w.line('structure["l2_slot_occupancy"] = btb.slot_occupancy(2)')
+                w.line('structure["l2_redundancy"] = btb.redundancy_ratio(2)')
+        w.line("cyc = last_commit - warm_commit")
+        with w.block("if cyc < 1:"):
+            w.line("cyc = 1")
+        w.line("return SimResult(")
+        w.line("    name=tr.name,")
+        w.line("    instructions=n - warmup,")
+        w.line("    cycles=cyc,")
+        w.line("    stats=measured,")
+        w.line("    structure=structure,")
+        w.line(")")

@@ -1,0 +1,135 @@
+"""Explicit declarations of the simulator's pipeline components.
+
+The interpreter's cycle loop interleaves several logical pipeline
+stages. For the pass pipeline each stage is declared as a
+:class:`Component` with explicit data-flow ports: the sets of simulator
+state it reads and writes. :class:`~repro.core.passes.dag.GenDAGPass`
+turns the declarations into a dependency DAG for one :class:`MachineConfig`
+(dropping components the config makes dead), and
+:class:`~repro.core.passes.schedule.SchedulePass` orders the survivors.
+
+``emitter`` names the :class:`~repro.core.passes.codegen.CodegenPass`
+method that contributes the component's code; nested components (the
+L2 BTB level, the R-BTB overflow pool, the d-side memory) are emitted
+inside their parent's block and carry ``parent`` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Component:
+    """One declared pipeline component.
+
+    ``reads``/``writes`` are port names over the shared per-cycle state
+    (``ftq``, ``pending_events``, ``line_avail``, ``stats`` ...); the DAG
+    pass derives producer -> consumer edges from them. ``live`` decides,
+    per config, whether the component exists at all — a dead component
+    is elided from the schedule and contributes zero generated code.
+    """
+
+    name: str
+    reads: Tuple[str, ...] = ()
+    writes: Tuple[str, ...] = ()
+    #: CodegenPass emitter method name ("" for nested components that
+    #: are emitted inside their parent's block).
+    emitter: str = ""
+    #: Name of the enclosing component for nested/elidable sub-stages.
+    parent: Optional[str] = None
+    #: Predicate MachineConfig -> bool; None means always live.
+    live: Optional[Callable] = field(default=None, compare=False)
+
+    def is_live(self, config) -> bool:
+        return True if self.live is None else bool(self.live(config))
+
+
+def _has_l2(config) -> bool:
+    return not config.ideal_btb
+
+
+def _has_overflow(config) -> bool:
+    return config.btb_kind == "rbtb" and config.overflow_entries > 0
+
+
+def _ooo_backend(config) -> bool:
+    return not config.ideal_backend
+
+
+#: The declared pipeline, in program order of the reference interpreter.
+#: The obs probe component is declared live only for instrumented runs —
+#: compiled kernels are only built for uninstrumented runs, so it is
+#: always elided (NULL_PROBE call sites are removed entirely, not just
+#: guarded).
+PIPELINE: Tuple[Component, ...] = (
+    Component(
+        name="pcgen.btb_access",
+        reads=("pcgen_state", "trace", "btb", "engine", "ftq_space"),
+        writes=("access", "stats", "btb", "engine"),
+        emitter="emit_pcgen",
+    ),
+    Component(
+        name="btb.l2_level",
+        reads=("btb",),
+        writes=("btb",),
+        parent="pcgen.btb_access",
+        live=_has_l2,
+    ),
+    Component(
+        name="rbtb.overflow_pool",
+        reads=("btb",),
+        writes=("btb",),
+        parent="pcgen.btb_access",
+        live=_has_overflow,
+    ),
+    Component(
+        name="pcgen.ftq_push",
+        reads=("access", "pcgen_state"),
+        writes=("ftq", "pending_events", "pcgen_state", "stats"),
+        parent="pcgen.btb_access",
+    ),
+    Component(
+        name="pcgen.fdip_prefetch",
+        reads=("access", "memory"),
+        writes=("memory",),
+        parent="pcgen.ftq_push",
+    ),
+    Component(
+        name="fetch.icache",
+        reads=("ftq", "line_avail", "memory", "backend_gate"),
+        writes=("line_avail", "memory"),
+        emitter="emit_fetch",
+    ),
+    Component(
+        name="fetch.backend_admit",
+        reads=("ftq", "trace", "backend"),
+        writes=("backend", "pcgen_state", "pending_events", "commit"),
+        parent="fetch.icache",
+    ),
+    Component(
+        name="backend.dside_memory",
+        reads=("backend", "memory"),
+        writes=("memory",),
+        parent="fetch.backend_admit",
+        live=_ooo_backend,
+    ),
+    Component(
+        name="obs.probe",
+        reads=("stats", "ftq", "access", "commit"),
+        writes=("probe",),
+        parent=None,
+        live=lambda config: False,  # compiled kernels are uninstrumented
+    ),
+)
+
+
+def live_components(config) -> Tuple[Component, ...]:
+    """The components that exist for *config* (dead ones elided)."""
+    return tuple(c for c in PIPELINE if c.is_live(config))
+
+
+def elided_components(config) -> Tuple[str, ...]:
+    """Names of the components *config* makes dead."""
+    return tuple(c.name for c in PIPELINE if not c.is_live(config))

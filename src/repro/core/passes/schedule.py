@@ -1,0 +1,59 @@
+"""SchedulePass: static per-cycle ordering of the live components.
+
+Kahn topological sort over the port-derived DAG, with declaration order
+as the tie-breaker so the schedule reproduces the reference
+interpreter's program order exactly. The result is a :class:`Schedule`
+whose top-level entries (components with an ``emitter``) drive
+:class:`~repro.core.passes.codegen.CodegenPass`; nested components are
+emitted inside their parent and appear in :attr:`Schedule.order` for
+introspection only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.passes.components import Component
+from repro.core.passes.dag import KernelPlan
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """The static stage order for one config's cycle function."""
+
+    #: Every live component, topologically ordered.
+    order: Tuple[Component, ...]
+    #: The subset with emitters, in emission order.
+    emitted: Tuple[Component, ...]
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.order)
+
+
+class ScheduleError(RuntimeError):
+    """The component DAG has a cycle (a declaration bug)."""
+
+
+class SchedulePass:
+    def __call__(self, plan: KernelPlan) -> Schedule:
+        components = plan.components
+        decl_pos = {c.name: i for i, c in enumerate(components)}
+        by_name = {c.name: c for c in components}
+        remaining = {c.name: set(plan.edges.get(c.name, ())) for c in components}
+        ordered: List[Component] = []
+        while remaining:
+            ready = sorted(
+                (name for name, deps in remaining.items() if not deps),
+                key=decl_pos.__getitem__,
+            )
+            if not ready:
+                stuck = ", ".join(sorted(remaining))
+                raise ScheduleError(f"component DAG has a cycle among: {stuck}")
+            for name in ready:
+                ordered.append(by_name[name])
+                del remaining[name]
+            for deps in remaining.values():
+                deps.difference_update(ready)
+        emitted = tuple(c for c in ordered if c.emitter)
+        return Schedule(order=tuple(ordered), emitted=emitted)

@@ -119,6 +119,7 @@ class Simulator:
         memory=None,
         frontend: Optional[FrontendConfig] = None,
         probe=None,
+        config=None,
     ) -> None:
         self.trace = trace
         self.btb = btb
@@ -130,9 +131,57 @@ class Simulator:
         #: Observability probe (see :mod:`repro.obs`); the default
         #: :data:`NULL_PROBE` keeps the run uninstrumented.
         self.probe = probe if probe is not None else NULL_PROBE
+        #: The MachineConfig this simulator elaborates (when known); the
+        #: pass pipeline needs it to specialize a compiled tick kernel.
+        self.config = config
+
+    def kernel_engine(self) -> str:
+        """Engine :meth:`run` will use: ``"compiled"`` or ``"interp"``.
+
+        The compiled engine needs the elaborating config (for the pass
+        pipeline), an uninstrumented run (probe call sites are elided,
+        not guarded), the stock frontend/backend/memory shapes, and a
+        fresh stats bag (the interpreter's warm-snapshot subtraction and
+        the kernel's local counters only agree from zero). Anything else
+        falls back to the reference interpreter — bit-identical, slower.
+        """
+        # Imported lazily: repro.core.passes.dag imports this module.
+        from repro.core.passes.kernel import kernel_mode, supports
+
+        if kernel_mode() != "compiled":
+            return "interp"
+        if not supports(self.config):
+            return "interp"
+        if self.probe.enabled or self.memory is None:
+            return "interp"
+        if self.fe != FrontendConfig(early_resteer=self.config.early_resteer):
+            return "interp"
+        from repro.backend.scoreboard import IdealBackend, OoOBackend
+
+        expected = IdealBackend if self.config.ideal_backend else OoOBackend
+        if type(self.backend) is not expected:
+            return "interp"
+        if self.stats._counters:
+            return "interp"
+        return "compiled"
 
     def run(self, warmup: int = 0, sample_structure: bool = True) -> SimResult:
-        """Simulate the whole trace; measure after *warmup* instructions."""
+        """Simulate the whole trace; measure after *warmup* instructions.
+
+        Dispatches to the per-config compiled kernel when eligible (see
+        :meth:`kernel_engine`); otherwise runs the reference interpreter
+        below. Both produce bit-identical :class:`SimResult`s.
+        """
+        if self.kernel_engine() == "compiled":
+            from repro.core.passes.kernel import get_kernel
+
+            return get_kernel(self.config).fn(self, warmup, sample_structure)
+        return self._run_interp(warmup, sample_structure)
+
+    def _run_interp(
+        self, warmup: int = 0, sample_structure: bool = True
+    ) -> SimResult:
+        """Reference interpreter (the readable, always-correct engine)."""
         tr = self.trace
         n = len(tr.pc)
         if warmup >= n:
