@@ -1,0 +1,156 @@
+"""Batched engine benchmark: multi-config sweeps, compiled vs batched.
+
+Quantifies what decode-once columnar plans + batched kernels
+(repro.trace.columnar, repro.core.passes.batch) buy on a cold
+multi-config sweep: K configs of one predictor-geometry family run over
+one workload, paying per-config trace iteration and prediction-engine
+replay under the compiled engine versus one shared plan build plus K
+plan-consuming kernels under the batched engine. Results must be
+bit-identical — asserted per config — so the speedup columns compare
+engines only.
+
+Two families are reported separately and honestly
+(docs/batched_kernels.md): the ideal-backend family, where branch
+resolution dominates and the shared plan removes most of it, and the
+OoO-backend family, where the data-side timing model dominates per-config
+cost the plan cannot share. Writes
+``benchmarks/results/BENCH_batch.json`` (consumed by the CI perf guard)
+plus a text table.
+"""
+
+import json
+import time
+
+from repro.analysis.report import format_table
+from repro.core.config import bbtb, build_simulator, ibtb, mbbtb, rbtb
+from repro.core.passes.kernel import (
+    KERNEL_ENV,
+    batch_geometry,
+    get_batch_kernel,
+    get_kernel,
+    kernel_cache_clear,
+)
+from repro.trace.columnar import build_batch_plan
+from repro.trace.workloads import get_trace
+
+from benchmarks.conftest import RESULTS_DIR, emit, once
+
+#: K=8 configs per family, spanning every compiled BTB organization.
+_SHAPES = [
+    lambda **kw: ibtb(16, **kw),
+    lambda **kw: ibtb(4, **kw),
+    lambda **kw: ibtb(64, **kw),
+    lambda **kw: rbtb(3, **kw),
+    lambda **kw: rbtb(2, interleaved=True, **kw),
+    lambda **kw: bbtb(2, **kw),
+    lambda **kw: bbtb(1, splitting=True, **kw),
+    lambda **kw: mbbtb(2, "allbr", **kw),
+]
+
+FAMILIES = {
+    "ideal_backend": [shape(ideal_backend=True) for shape in _SHAPES],
+    "ooo_backend": [shape() for shape in _SHAPES],
+}
+
+
+def _run(config, trace, warmup, mode, env, plan=None):
+    env[KERNEL_ENV] = mode
+    sim = build_simulator(config, trace)
+    t0 = time.perf_counter()
+    result = sim.run(warmup=warmup, batch_plan=plan)
+    return result, time.perf_counter() - t0
+
+
+def test_batched_sweep_throughput(benchmark, bench_env, monkeypatch):
+    import os
+
+    suite, length, warmup = bench_env
+    workloads = list(suite[:2])
+    traces = {w: get_trace(w, length) for w in workloads}
+
+    def run():
+        kernel_cache_clear()
+        env = os.environ
+        prior = env.get(KERNEL_ENV)
+        families = {}
+        try:
+            for fname, configs in FAMILIES.items():
+                geometry = batch_geometry(configs[0])
+                # Compile both engine variants outside the timed region.
+                for config in configs:
+                    get_kernel(config)
+                    get_batch_kernel(config)
+                compiled_s = 0.0
+                plan_s = 0.0
+                batched_s = 0.0
+                for w in workloads:
+                    trace = traces[w]
+                    t0 = time.perf_counter()
+                    plan = build_batch_plan(trace, geometry)
+                    plan_s += time.perf_counter() - t0
+                    for config in configs:
+                        ref, c_s = _run(config, trace, warmup, "compiled", env)
+                        got, b_s = _run(
+                            config, trace, warmup, "batched", env, plan=plan
+                        )
+                        assert ref.stats == got.stats, (fname, config.label, w)
+                        assert ref.cycles == got.cycles, (fname, config.label, w)
+                        compiled_s += c_s
+                        batched_s += b_s
+                total_batched = plan_s + batched_s
+                families[fname] = {
+                    "configs": [c.label for c in configs],
+                    "compiled_seconds": round(compiled_s, 4),
+                    "plan_seconds": round(plan_s, 4),
+                    "batched_seconds": round(batched_s, 4),
+                    "batched_total_seconds": round(total_batched, 4),
+                    "speedup": round(compiled_s / max(total_batched, 1e-9), 3),
+                    "identical": True,
+                }
+        finally:
+            if prior is None:
+                env.pop(KERNEL_ENV, None)
+            else:
+                env[KERNEL_ENV] = prior
+        speedups = [f["speedup"] for f in families.values()]
+        geomean = 1.0
+        for s in speedups:
+            geomean *= s
+        geomean **= 1.0 / len(speedups)
+        return {
+            "schema": 1,
+            "workloads": workloads,
+            "instructions": length,
+            "warmup": warmup,
+            "configs_per_family": len(_SHAPES),
+            "families": families,
+            "geomean_speedup": round(geomean, 3),
+        }
+
+    payload = once(benchmark, run)
+
+    rows = [
+        (
+            fname,
+            f"{f['compiled_seconds']:.2f}s",
+            f"{f['plan_seconds']:.2f}s",
+            f"{f['batched_seconds']:.2f}s",
+            f"{f['speedup']:.2f}x",
+        )
+        for fname, f in payload["families"].items()
+    ]
+    rows.append(("geomean", "", "", "", f"{payload['geomean_speedup']:.2f}x"))
+    table = format_table(
+        ["family (K=8)", "compiled", "plan build", "batched", "speedup"], rows
+    )
+    emit("bench_batch", table)
+
+    out = RESULTS_DIR / "BENCH_batch.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    assert all(f["identical"] for f in payload["families"].values())
+    # The ideal-backend family is where the shared plan pays; the OoO
+    # family is bounded by unshareable data-side timing (see
+    # docs/batched_kernels.md for the floor experiments).
+    assert payload["families"]["ideal_backend"]["speedup"] > 1.0

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Fail CI when the batched engine's speedup regresses vs the baseline.
+
+Usage::
+
+    python scripts/perf_guard.py FRESH.json [BASELINE.json] [--tolerance F]
+
+Compares the ``geomean_speedup`` (and each per-family speedup) of a
+freshly measured ``BENCH_batch.json`` against the committed baseline in
+``benchmarks/results/``. Speedup is a ratio of two engines measured in
+the same process on the same machine, so it is stable across runner
+hardware and trace scale where absolute seconds are not. The guard
+fails (exit 1) when the fresh geomean falls more than ``--tolerance``
+(default 0.15, i.e. 15%) below the baseline's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "results"
+    / "BENCH_batch.json"
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly measured BENCH_batch.json")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default=str(DEFAULT_BASELINE),
+        help="committed baseline (default: benchmarks/results/BENCH_batch.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional regression of the geomean (default 0.15)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(Path(args.fresh).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+
+    got = fresh["geomean_speedup"]
+    want = baseline["geomean_speedup"]
+    floor = want * (1.0 - args.tolerance)
+
+    for name, base_family in baseline.get("families", {}).items():
+        fresh_family = fresh.get("families", {}).get(name)
+        if fresh_family is None:
+            print(f"FAIL: family {name!r} missing from fresh measurement")
+            return 1
+        print(
+            f"{name}: baseline {base_family['speedup']:.2f}x, "
+            f"fresh {fresh_family['speedup']:.2f}x"
+        )
+
+    print(
+        f"geomean: baseline {want:.3f}x, fresh {got:.3f}x, "
+        f"floor {floor:.3f}x (tolerance {args.tolerance:.0%})"
+    )
+    if got < floor:
+        print(
+            f"FAIL: batched geomean speedup {got:.3f}x regressed more than "
+            f"{args.tolerance:.0%} below the baseline {want:.3f}x"
+        )
+        return 1
+    print("ok: batched speedup within tolerance of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,6 +61,7 @@ from repro.core.exec import (
     configure_disk_cache,
     env_cache_root,
     point_key,
+    resolve_jobs,
     sweep_key,
 )
 from repro.core.runner import (
@@ -298,6 +299,7 @@ def _cmd_sweep(args) -> int:
     import time
 
     engine = kernel_mode()  # validate REPRO_KERNEL before any work
+    args.jobs = resolve_jobs(args.jobs)  # 0 = auto-detect CPU count
     configs = [parse_config(s) for s in (args.configs or SWEEP_DEFAULT_SPECS)]
     names = args.workloads or SERVER_SUITE
     warmup = args.warmup if args.warmup is not None else args.length // 4
@@ -333,7 +335,7 @@ def _cmd_sweep(args) -> int:
         return sweep_compare(
             configs, IDEAL_IBTB16, names, length=args.length, warmup=warmup,
             jobs=jobs, policy=policy, journal=journal, resume=args.resume,
-            strict=args.strict,
+            strict=args.strict, batch=args.batch, recycle=args.recycle,
         )
 
     def timed(jobs: int, purge_disk: bool):
@@ -441,8 +443,8 @@ def _cmd_sweep(args) -> int:
         c = cache.snapshot()
         print(
             f"disk cache: {c['result_hits']} result hits / "
-            f"{c['result_misses']} misses, {c['trace_hits']} trace hits "
-            f"({cache.root})"
+            f"{c['result_misses']} misses, {c['trace_hits']} trace hits, "
+            f"{c.get('plan_hits', 0)} plan hits ({cache.root})"
         )
     print(f"kernel engine: {engine}")
     return 1 if (report is not None and report.failures) else 0
@@ -563,13 +565,30 @@ def _cmd_corpus_verify(args) -> int:
 
 
 def _cmd_corpus_gc(args) -> int:
+    from repro.core.exec import DiskCache
+
     store = _corpus_store(args)
     removed = store.gc(dry_run=args.dry_run)
     verb = "would remove" if args.dry_run else "removed"
     if removed:
         for name in removed:
             print(f"{verb} {store.shards_root / name}")
-    else:
+    # Prune batch plans whose backing corpus entry is gone: the plans
+    # tier stores each entry's source content hash in its ``__meta__``
+    # ("synth" plans never reference the corpus and are kept).
+    live = {store.get(name).content_hash for name in store.names()}
+    cache = DiskCache(args.cache_dir or env_cache_root())
+    stale = [
+        path
+        for path, meta in cache.iter_plans()
+        if meta.get("source", "synth") != "synth"
+        and meta.get("source") not in live
+    ]
+    for path in stale:
+        print(f"{verb} {path}")
+        if not args.dry_run:
+            path.unlink(missing_ok=True)
+    if not removed and not stale:
         print("nothing to collect")
     return 0
 
@@ -653,7 +672,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workloads", nargs="*", default=None)
     p.add_argument("--length", type=int, default=160_000)
     p.add_argument("--warmup", type=int, default=None, help="default: length/4")
-    p.add_argument("--jobs", type=int, default=1, help="worker processes")
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (0 = auto-detect the CPU count)",
+    )
+    p.add_argument(
+        "--batch", type=int, default=None, metavar="N",
+        help="points per worker dispatch (default: load-balanced); "
+        "larger batches amortize shared batch plans when "
+        "REPRO_KERNEL=batched",
+    )
+    p.add_argument(
+        "--recycle", type=int, default=0, metavar="N",
+        help="retire each worker process after N dispatched points and "
+        "respawn on demand (default 0: never)",
+    )
     p.add_argument(
         "--no-disk-cache", action="store_true",
         help="skip the persistent cache (~/.cache/repro-btb)",
@@ -746,11 +779,13 @@ def build_parser() -> argparse.ArgumentParser:
     c.set_defaults(func=_cmd_corpus_verify)
 
     c = corpus_sub.add_parser(
-        "gc", help="remove shard directories no manifest references"
+        "gc", help="remove shard directories no manifest references "
+        "(and cached batch plans of vanished corpus content)"
     )
     c.add_argument("--dry-run", action="store_true",
                    help="report what would be removed without removing it")
     c.add_argument("--corpus-dir", default=None, help="corpus store root")
+    c.add_argument("--cache-dir", default=None, help="persistent cache root")
     c.set_defaults(func=_cmd_corpus_gc)
 
     p = sub.add_parser("list", help="list workloads and config syntax")

@@ -33,13 +33,17 @@ from repro.core.exec.diskcache import (
 from repro.core.exec.engine import (
     ENV_DISK_CACHE,
     SweepPoint,
+    clear_plan_memo,
     clear_trace_memo,
     configure_disk_cache,
     env_cache_root,
     execute_point,
+    fetch_batch_plan,
     fetch_trace,
     get_disk_cache,
+    plan_key,
     point_key,
+    resolve_jobs,
     run_points,
 )
 from repro.core.exec.faults import (
@@ -87,15 +91,19 @@ __all__ = [
     "SweepPoint",
     "SweepReport",
     "canonical_json",
+    "clear_plan_memo",
     "clear_trace_memo",
     "configure_disk_cache",
     "default_cache_dir",
     "digest",
     "env_cache_root",
     "execute_point",
+    "fetch_batch_plan",
     "fetch_trace",
     "get_disk_cache",
+    "plan_key",
     "point_key",
+    "resolve_jobs",
     "result_key",
     "run_points",
     "sweep_key",

@@ -5,6 +5,13 @@ overridable via ``REPRO_CACHE_DIR``)::
 
     <root>/v<SCHEMA>/results/<sha256>.json   SimResult payloads
     <root>/v<SCHEMA>/traces/<sha256>.npz     Trace columns (compressed)
+    <root>/v<SCHEMA>/plans/<sha256>.npz      batch plans (columnar trace
+                                             derivations + per-geometry
+                                             predictor outcomes consumed
+                                             by the batched kernels; a
+                                             ``__meta__`` JSON member
+                                             records provenance for
+                                             ``corpus gc``)
     <root>/v<SCHEMA>/obs/<sha256>.json       observability artifacts
                                              (repro.obs observation dumps,
                                              stored alongside the result
@@ -134,12 +141,15 @@ class DiskCache:
         self.version_dir = self.root / f"v{CACHE_SCHEMA}"
         self.results_dir = self.version_dir / "results"
         self.traces_dir = self.version_dir / "traces"
+        self.plans_dir = self.version_dir / "plans"
         self.obs_dir = self.version_dir / "obs"
         self.counters: Dict[str, int] = {
             "result_hits": 0,
             "result_misses": 0,
             "trace_hits": 0,
             "trace_misses": 0,
+            "plan_hits": 0,
+            "plan_misses": 0,
             "lock_skips": 0,
         }
 
@@ -150,6 +160,9 @@ class DiskCache:
 
     def trace_path(self, key: str) -> Path:
         return self.traces_dir / f"{key}.npz"
+
+    def plan_path(self, key: str) -> Path:
+        return self.plans_dir / f"{key}.npz"
 
     def obs_path(self, key: str) -> Path:
         return self.obs_dir / f"{key}.json"
@@ -245,6 +258,68 @@ class DiskCache:
 
     def store_trace(self, key: str, trace: Trace) -> None:
         self._atomic_write(self.trace_path(key), lambda tmp: trace.save(tmp))
+
+    # -- batch plans --------------------------------------------------------
+
+    def load_plan(self, key: str):
+        """Fetch a cached batch plan: ``(arrays, meta)`` or ``None``.
+
+        ``arrays`` maps payload column names to numpy arrays; ``meta`` is
+        the provenance dict stored with the entry. Corrupted entries are
+        removed and count as misses.
+        """
+        import numpy as np
+
+        path = self.plan_path(key)
+        if not path.exists():
+            self.counters["plan_misses"] += 1
+            return None
+        try:
+            with np.load(str(path)) as npz:
+                meta = json.loads(str(npz["__meta__"]))
+                arrays = {
+                    name: npz[name]
+                    for name in npz.files
+                    if name != "__meta__"
+                }
+        except Exception:
+            self._drop(path)
+            self.counters["plan_misses"] += 1
+            return None
+        self.counters["plan_hits"] += 1
+        return arrays, meta
+
+    def store_plan(self, key: str, arrays: Dict, meta: Dict) -> None:
+        """Store a batch-plan payload (compressed npz) with provenance."""
+        import numpy as np
+
+        payload = dict(arrays)
+        payload["__meta__"] = np.array(json.dumps(meta, sort_keys=True))
+
+        def write(tmp: str) -> None:
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(fh, **payload)
+
+        self._atomic_write(self.plan_path(key), write)
+
+    def iter_plans(self):
+        """Yield ``(path, meta)`` for every stored plan (for ``corpus gc``).
+
+        Unreadable entries are dropped on the way through, matching the
+        corruption tolerance of the load path.
+        """
+        import numpy as np
+
+        if not self.plans_dir.is_dir():
+            return
+        for path in sorted(self.plans_dir.glob("*.npz")):
+            try:
+                with np.load(str(path)) as npz:
+                    meta = json.loads(str(npz["__meta__"]))
+            except Exception:
+                self._drop(path)
+                continue
+            yield path, meta
 
     # -- observability artifacts --------------------------------------------
 

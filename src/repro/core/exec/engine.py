@@ -40,7 +40,7 @@ from multiprocessing import connection as mp_connection
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import MachineConfig, build_simulator
-from repro.core.exec.cachekey import result_key, trace_key
+from repro.core.exec.cachekey import CACHE_SCHEMA, digest, result_key, trace_key
 from repro.core.exec.diskcache import DiskCache
 from repro.core.exec.faults import InjectedCacheCorruption, maybe_fault
 from repro.core.exec.resilience import (
@@ -80,6 +80,13 @@ _disk_cache_configured = False
 #: synthesis; this additionally memoizes disk loads.
 _trace_memo: Dict[Tuple[str, int, int], object] = {}
 
+#: In-process memo of batch plans (columnar derivations + predictor
+#: replay consumed by batched kernels), keyed by
+#: (workload, length, seed, PredictorGeometry). Chunk dispatch groups
+#: points by trace, so a warm worker amortizes one plan across every
+#: config of a geometry family, exactly like the trace memo.
+_plan_memo: Dict[Tuple, object] = {}
+
 
 def configure_disk_cache(
     enabled: bool = True, root=None
@@ -92,6 +99,7 @@ def configure_disk_cache(
     _disk_cache = DiskCache(root) if enabled else None
     _disk_cache_configured = True
     _trace_memo.clear()
+    _plan_memo.clear()
     return _disk_cache
 
 
@@ -120,6 +128,11 @@ def get_disk_cache() -> Optional[DiskCache]:
 def clear_trace_memo() -> None:
     """Drop the in-process trace memo (tests use this for isolation)."""
     _trace_memo.clear()
+
+
+def clear_plan_memo() -> None:
+    """Drop the in-process batch-plan memo (tests use this for isolation)."""
+    _plan_memo.clear()
 
 
 @dataclass(frozen=True)
@@ -195,6 +208,79 @@ def fetch_trace(workload: str, length: int, seed: int):
     return trace
 
 
+def plan_key(point: SweepPoint, geometry) -> str:
+    """Persistent-cache key of the batch plan *point* consumes.
+
+    Content-addressed exactly like :func:`point_key` but per
+    (trace identity, predictor geometry) instead of per config — every
+    config of one geometry family shares the entry.
+    """
+    from repro.trace.columnar import COLUMNAR_SCHEMA
+
+    spec = WORKLOAD_SPECS.get(point.workload)
+    if spec is None and point.workload.startswith(CORPUS_PREFIX):
+        spec = _corpus_resolve().corpus_point_spec(point.workload)
+    return digest(
+        {
+            "kind": "plan",
+            "schema": [CACHE_SCHEMA, COLUMNAR_SCHEMA],
+            "workload": point.workload,
+            "spec": spec,
+            "length": point.length,
+            "seed": point.seed,
+            "geometry": geometry.key_fields(),
+        }
+    )
+
+
+def fetch_batch_plan(point: SweepPoint, trace):
+    """Batch plan for *point*, via memo -> disk cache -> build.
+
+    The stored entry's ``__meta__`` carries a ``source`` marker —
+    ``"synth"`` for synthetic workloads, the corpus content hash for
+    ``corpus:`` ones — so ``repro-sim corpus gc`` can prune plans whose
+    backing corpus entry is gone.
+    """
+    from repro.core.passes.kernel import batch_geometry
+    from repro.trace.columnar import BatchPlan, build_batch_plan
+
+    geometry = batch_geometry(point.config)
+    memo_key = (point.workload, point.length, point.seed, geometry)
+    plan = _plan_memo.get(memo_key)
+    if plan is not None:
+        return plan
+    disk = get_disk_cache()
+    key = plan_key(point, geometry) if disk is not None else None
+    if disk is not None:
+        hit = disk.load_plan(key)
+        if hit is not None:
+            arrays, _meta = hit
+            try:
+                plan = BatchPlan.from_payload(geometry, arrays)
+            except Exception:
+                plan = None  # missing columns: rebuild below
+        if plan is not None and len(plan.line_ix) == len(trace):
+            _plan_memo[memo_key] = plan
+            return plan
+        plan = None
+    plan = build_batch_plan(trace, geometry)
+    if disk is not None:
+        source = "synth"
+        if point.workload.startswith(CORPUS_PREFIX):
+            spec = _corpus_resolve().corpus_point_spec(point.workload)
+            source = spec["content"]
+        meta = {
+            "workload": point.workload,
+            "length": point.length,
+            "seed": point.seed,
+            "geometry": geometry.key_fields(),
+            "source": source,
+        }
+        disk.store_plan(key, plan.payload(), meta)
+    _plan_memo[memo_key] = plan
+    return plan
+
+
 def execute_point(point: SweepPoint) -> SimResult:
     """Simulate one point, going through the persistent cache if enabled.
 
@@ -222,7 +308,13 @@ def execute_point(point: SweepPoint) -> SimResult:
             meta={"config": point.config.label, "workload": point.workload},
         )
     sim = build_simulator(point.config, trace, probe=probe)
-    result = sim.run(warmup=point.warmup)
+    bplan = None
+    if sim.kernel_engine() == "batched":
+        # Batched points consume the shared per-(trace, geometry) plan;
+        # the plan fetch is memoized, so a warm worker builds it once
+        # for every config of the family.
+        bplan = fetch_batch_plan(point, trace)
+    result = sim.run(warmup=point.warmup, batch_plan=bplan)
     if disk is not None:
         disk.store_result(key, result)
         if probe is not None:
@@ -327,14 +419,33 @@ def _worker_main(conn, cache_root) -> None:
             pass
 
 
+def resolve_jobs(jobs: int) -> int:
+    """Normalize a job count; ``0`` auto-detects the usable CPU count.
+
+    Uses :func:`os.process_cpu_count` (affinity-aware, Python >= 3.13)
+    when available, falling back to :func:`os.cpu_count`.
+    """
+    jobs = int(jobs)
+    if jobs == 0:
+        probe = getattr(os, "process_cpu_count", None) or os.cpu_count
+        jobs = probe() or 1
+    return max(1, jobs)
+
+
 def _chunk_pairs(
-    pairs: Sequence[Tuple[int, SweepPoint]], jobs: int
+    pairs: Sequence[Tuple[int, SweepPoint]],
+    jobs: int,
+    batch: Optional[int] = None,
 ) -> List[List[Tuple[int, SweepPoint]]]:
     """Chunk (index, point) pairs, grouping shared-trace points together.
 
     Points are bucketed by (workload, length, seed) so a worker reuses
-    one synthesized trace across its whole chunk; chunks are bounded so
-    the pool stays load-balanced even when one workload dominates.
+    one synthesized trace across its whole chunk; within a bucket they
+    are ordered by predictor size so configs sharing a batch-plan
+    geometry land adjacent (one plan build serves the run of them when
+    the batched engine is active); chunks are bounded so the pool stays
+    load-balanced even when one workload dominates. *batch* overrides
+    the load-balancing bound with an explicit chunk size.
     """
     order = sorted(
         range(len(pairs)),
@@ -342,10 +453,14 @@ def _chunk_pairs(
             pairs[i][1].workload,
             pairs[i][1].length,
             pairs[i][1].seed,
+            pairs[i][1].config.bp_size_kb,
             pairs[i][0],
         ),
     )
-    bound = max(1, ceil(len(pairs) / (jobs * 4)))
+    if batch is not None:
+        bound = max(1, int(batch))
+    else:
+        bound = max(1, ceil(len(pairs) / (jobs * 4)))
     chunks: List[List[Tuple[int, SweepPoint]]] = []
     current: List[Tuple[int, SweepPoint]] = []
     current_group = None
@@ -399,6 +514,11 @@ class _LiveWorker:
     counters: Dict[str, int] = field(default_factory=dict)
     eof: bool = False
     killed: bool = False
+    #: Points dispatched to this worker over its lifetime; when it
+    #: crosses the recycle threshold the worker is retired after its
+    #: current chunk (bounding per-process memory growth from memos).
+    dispatched: int = 0
+    retiring: bool = False
 
 
 class _SweepState:
@@ -570,7 +690,12 @@ def _run_serial_resilient(state: _SweepState) -> SweepReport:
     return state.finish()
 
 
-def _run_parallel_resilient(state: _SweepState, jobs: int) -> SweepReport:
+def _run_parallel_resilient(
+    state: _SweepState,
+    jobs: int,
+    batch: Optional[int] = None,
+    recycle: int = 0,
+) -> SweepReport:
     """Process fan-out with crash/hang detection and per-point retries.
 
     A pool of at most *jobs* persistent workers; chunks are dispatched
@@ -583,6 +708,12 @@ def _run_parallel_resilient(state: _SweepState, jobs: int) -> SweepReport:
     point of the worker's current chunk is the one that was executing —
     it is blamed and quarantined into a singleton retry chunk while its
     chunk-mates are re-dispatched blame-free.
+
+    *recycle* > 0 retires a worker cleanly after it has been handed that
+    many points (``maxtasksperchild`` discipline: a fresh process
+    replaces it on demand, bounding memo/kernel memory growth on long
+    sweeps without losing counters — the retiree's final snapshot is
+    folded in at reap time like any other shutdown).
     """
     policy = state.policy
     ctx = multiprocessing.get_context()
@@ -602,7 +733,7 @@ def _run_parallel_resilient(state: _SweepState, jobs: int) -> SweepReport:
         )
         next_chunk_id += 1
 
-    for chunk_pairs in _chunk_pairs(state.pairs, jobs):
+    for chunk_pairs in _chunk_pairs(state.pairs, jobs, batch):
         schedule(chunk_pairs)
 
     live: Dict[object, _LiveWorker] = {}
@@ -631,6 +762,7 @@ def _run_parallel_resilient(state: _SweepState, jobs: int) -> SweepReport:
             worker.eof = True
             return False
         worker.chunk = chunk
+        worker.dispatched += len(chunk.pairs)
         worker.groups.add(_chunk_group(chunk))
         worker.reported = set()
         worker.deferred = []
@@ -701,6 +833,20 @@ def _run_parallel_resilient(state: _SweepState, jobs: int) -> SweepReport:
                 schedule(worker.deferred)
                 worker.deferred = []
                 worker.chunk = None  # idle: ready for the next chunk
+                if recycle and worker.dispatched >= recycle:
+                    # Retire cleanly between chunks; the reap pass folds
+                    # its counters and frees the slot for a respawn.
+                    worker.retiring = True
+                    state.report.record(
+                        state.now(),
+                        "worker_retire",
+                        slot=worker.slot,
+                        dispatched=worker.dispatched,
+                    )
+                    try:
+                        worker.conn.send(None)
+                    except Exception:
+                        worker.eof = True
 
     def reap(conn, worker: _LiveWorker) -> None:
         """Fold counters, blame/re-dispatch unfinished work, free the slot."""
@@ -782,7 +928,10 @@ def _run_parallel_resilient(state: _SweepState, jobs: int) -> SweepReport:
                     (
                         w
                         for w in live.values()
-                        if w.chunk is None and not w.eof and not w.killed
+                        if w.chunk is None
+                        and not w.eof
+                        and not w.killed
+                        and not w.retiring
                     ),
                     None,
                 )
@@ -883,13 +1032,19 @@ def run_points(
     policy: Optional[RetryPolicy] = None,
     journal: Optional[SweepJournal] = None,
     resume: bool = False,
+    batch: Optional[int] = None,
+    recycle: int = 0,
 ):
     """Execute every point; results are positionally ordered like *points*.
 
-    ``jobs=1`` runs serially in-process. ``jobs>1`` fans chunks across
+    ``jobs=1`` runs serially in-process. ``jobs=0`` auto-detects the
+    CPU count (:func:`resolve_jobs`). ``jobs>1`` fans chunks across
     worker processes; because each point is an independent deterministic
     simulation and results are reassembled by index, the output is
-    bit-identical to the serial run.
+    bit-identical to the serial run. *batch* caps the chunk size
+    explicitly (points per worker dispatch); *recycle* > 0 retires each
+    worker process after that many dispatched points and respawns on
+    demand.
 
     Resilience (``docs/robustness.md``): failures are retried with
     exponential backoff up to ``policy.max_retries`` (crashed/hung
@@ -904,7 +1059,7 @@ def run_points(
     checkpointed by a previous run and whose cached result still loads.
     """
     points = list(points)
-    jobs = max(1, int(jobs))
+    jobs = resolve_jobs(jobs)
     if jobs == 1 or len(points) <= 1:
         if strict and policy is None and journal is None and not resume:
             # Legacy fast path: zero resilience overhead.
@@ -914,7 +1069,9 @@ def run_points(
     else:
         state = _SweepState(points, policy or DEFAULT_POLICY, journal, resume)
         report = (
-            _run_parallel_resilient(state, jobs) if state.pairs else state.finish()
+            _run_parallel_resilient(state, jobs, batch, recycle)
+            if state.pairs
+            else state.finish()
         )
     if strict:
         if report.interrupted:

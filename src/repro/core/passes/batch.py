@@ -1,0 +1,618 @@
+"""Batched (plan-consuming) kernel codegen for multi-config sweeps.
+
+:class:`BatchPass` extends :class:`~repro.core.passes.codegen.CodegenPass`
+to emit the *batched* variant of a config's kernel: one that consumes a
+shared :class:`~repro.trace.columnar.BatchPlan` instead of replaying the
+prediction engine and re-deriving trace geometry per config. A batch of
+K compatible configs (same workload, same predictor geometry — the
+*structural family*) advances through one decode of the trace: the plan
+is built once and every config's kernel reads it.
+
+Why config-major rather than per-instruction lockstep
+-----------------------------------------------------
+
+A literal lockstep kernel — one loop advancing K machine states one
+instruction at a time — is the wrong shape for CPython: each config's
+machine state (BTB contents, FTQ, cache/backend rings, cycle counts)
+diverges immediately, so a lockstep body must juggle K copies of every
+local through dict/list indirection, forfeiting exactly the
+local-variable specialization that made the compiled kernels fast
+(docs/compiled_kernels.md). What *is* shared across configs is
+everything derived from the trace alone:
+
+* the columnar arrays and their derived plans (``next_br``, ``run_end``,
+  ``line_ix``) — the decode-once part, and
+* the entire prediction-engine evolution (perceptron, folded history,
+  indirect table, RAS): ``PredictionEngine.resolve`` trains on trace
+  outcomes only, never on BTB state, so its per-branch outcomes are
+  config-invariant within a geometry family.
+
+So the batch executes config-major — each config runs its own
+specialized kernel, with every trace-derived and predictor-derived read
+hoisted into the shared plan. On top of the plan reads, the batched
+variant uses the derived arrays for two structural loop optimizations
+the per-config kernels cannot do (they would have to pay the derivation
+per config):
+
+* **non-branch gap skipping**: scan loops jump over runs of non-branch
+  instructions via ``next_br`` instead of testing ``btype`` per
+  instruction;
+* **line-run segmentation**: FTQ segmentation jumps from cache-line run
+  boundary to boundary via ``run_end`` instead of comparing per-PC line
+  indices.
+
+Both transforms consume exactly the instructions the reference loops
+consume, so results stay bit-identical to the interpreter (enforced by
+the differential goldens in ``tests/kernel/``).
+
+One observable difference is documented in docs/batched_kernels.md:
+batched kernels leave the live predictor *objects* untouched (their
+evolution lives in the plan), so post-run inspection of
+``sim.engine.perceptron`` etc. sees cold state. ``SimResult`` — the only
+thing sweeps consume — is bit-identical.
+"""
+
+from __future__ import annotations
+
+from repro.core.passes.codegen import COUNTERS, CodegenPass, _Writer
+
+
+class BatchPass(CodegenPass):
+    """Emit the plan-consuming batched kernel variant for one config."""
+
+    def __call__(self, plan, schedule) -> str:
+        self.plan = plan
+        w = _Writer()
+        cfg = plan.config
+        w.line(
+            f"# batched kernel for config {cfg.label!r} "
+            f"(btb_kind={cfg.btb_kind})"
+        )
+        w.line(f"# schedule: {' -> '.join(schedule.names())}")
+        if plan.elided:
+            w.line(f"# elided components: {', '.join(plan.elided)}")
+        w.line()
+        with w.block("def kernel_run(sim, bplan, warmup, sample_structure):"):
+            self._emit_prelude(w)
+            with w.block("while admitted < n:"):
+                for comp in schedule.emitted:
+                    w.line(f"# -- component: {comp.name} " + "-" * 20)
+                    getattr(self, comp.emitter)(w)
+                self._emit_cycle_advance(w)
+            self._emit_finalize(w)
+        return w.source()
+
+    # -- prelude ----------------------------------------------------------
+
+    def _emit_prelude(self, w: _Writer) -> None:
+        p = self.plan
+        w.lines(
+            "tr = sim.trace",
+            "n = len(tr.pc)",
+            "if warmup >= n:",
+            "    raise ValueError(\"warmup must be smaller than the trace\")",
+            "pcs = tr.pc",
+            "btypes = tr.btype",
+            "takens = tr.taken",
+            "targets = tr.target",
+            "dsts = tr.dst",
+            "src1s = tr.src1",
+            "src2s = tr.src2",
+            "loads_col = tr.is_load",
+            "stores_col = tr.is_store",
+            "maddrs = tr.maddr",
+            "btb = sim.btb",
+            "engine = sim.engine",
+            "st = engine.stats",
+        )
+        # Shared batch plan. The geometry guard catches a plan built for
+        # a different predictor family; the length guard catches a plan
+        # built from a different trace slice.
+        w.lines(
+            "pg = bplan.geometry",
+            f"if (pg.ptable_mask != {p.ptable_mask} or pg.theta != {p.theta}"
+            f" or pg.ind_mask != {p.ind_mask}"
+            f" or pg.ras_depth != {p.ras_depth}):",
+            "    raise RuntimeError(\"batched kernel/plan mismatch: geometry\")",
+            "line_ix = bplan.line_ix",
+            "if len(line_ix) != n:",
+            "    raise RuntimeError(\"batched kernel/plan mismatch: trace length\")",
+            "next_br = bplan.next_br",
+            "run_end = bplan.run_end",
+            "pt_plan = bplan.pt",
+            "rasok_plan = bplan.ras_ok",
+            "ind_plan = bplan.ind_pred",
+        )
+        # BTB internals (unchanged from the per-config kernel).
+        w.lines(
+            "store = btb.store",
+            "l1arr = store.l1",
+            f"if l1arr.sets != {p.l1_set_mask + 1}:",
+            "    raise RuntimeError(\"compiled kernel/config mismatch: btb geometry\")",
+            "l1_sets = l1arr._sets",
+        )
+        if p.has_l2:
+            w.line("store_lookup = store.lookup")
+        kind = p.btb_kind
+        if kind == "ibtb":
+            w.line("ibtb_train = btb._train")
+        elif kind == "rbtb":
+            w.line("rb_train = btb._train")
+            if self._rb_overflow():
+                w.lines("ovf_arr = btb.overflow", "ovf_set = ovf_arr._sets[0]")
+        elif kind == "bbtb":
+            w.line("bb_train = btb._train_branch")
+        elif kind == "mbbtb":
+            w.lines("mb_train = btb._train_branch", "mb_update = btb._update_slot")
+        # Memory internals.
+        w.lines(
+            "mem = sim.memory",
+            "itlb_arr = mem.itlb.array",
+            "itlb_sets = itlb_arr._sets",
+            "itlb_translate = mem.itlb.translate",
+            "l1i = mem.l1i",
+            "l1i_arr = l1i.array",
+            "l1i_sets = l1i_arr._sets",
+            "l1i_pending = l1i._pending",
+            "l1i_access = l1i.access",
+            "l1i_prefetch = l1i.prefetch",
+            f"if (l1i_arr.sets != {p.l1i_set_mask + 1} or l1i.latency != {p.l1i_latency}"
+            f" or itlb_arr.sets != {p.itlb_set_mask + 1}"
+            f" or mem.itlb.latency != {p.itlb_latency}):",
+            "    raise RuntimeError(\"compiled kernel/config mismatch: memory\")",
+        )
+        # Backend internals.
+        w.line("backend = sim.backend")
+        if p.ideal_backend:
+            w.lines(
+                "reg_ready = backend._reg_ready",
+                "commit_ring = backend._commit_ring",
+                f"if len(commit_ring) != {p.bk_window}:",
+                "    raise RuntimeError(\"compiled kernel/config mismatch: backend\")",
+            )
+        else:
+            w.lines(
+                "reg_ready = backend._reg_ready",
+                "commit_ring = backend._commit_ring",
+                "cw_ring = backend._commit_width_ring",
+                "disp_ring = backend._dispatch_width_ring",
+                "fq_ring = backend._fq_ring",
+                "load_ring = backend._load_ring",
+                "store_ring = backend._store_ring",
+                "nloads = backend._loads",
+                "nstores = backend._stores",
+                f"if (len(commit_ring) != {p.bk_rob} or len(disp_ring) != {p.bk_width}"
+                f" or len(fq_ring) != {p.bk_fq} or len(load_ring) != {p.bk_load_ports}"
+                f" or len(store_ring) != {p.bk_store_ports}):",
+                "    raise RuntimeError(\"compiled kernel/config mismatch: backend\")",
+                "dtlb_arr = mem.dtlb.array",
+                "dtlb_sets = dtlb_arr._sets",
+                "dtlb_translate = mem.dtlb.translate",
+                "l1d = mem.l1d",
+                "l1d_arr = l1d.array",
+                "l1d_sets = l1d_arr._sets",
+                "l1d_pending = l1d._pending",
+                "l1d_access = l1d.access",
+                "l1d_prefetch = l1d.prefetch",
+                "dstride = mem.dstride",
+                "dstab = dstride._table",
+                f"if (l1d_arr.sets != {p.l1d_set_mask + 1} or l1d.latency != {p.l1d_latency}"
+                f" or dtlb_arr.sets != {p.dtlb_set_mask + 1}"
+                f" or mem.dtlb.latency != {p.dtlb_latency}"
+                f" or dstride.table_entries != {p.dstride_entries}"
+                f" or dstride.degree != {p.dstride_degree}):",
+                "    raise RuntimeError(\"compiled kernel/config mismatch: memory\")",
+            )
+        # Per-run queues and loop state.
+        w.lines(
+            "ftq = deque()",
+            "ftq_append = ftq.append",
+            "ftq_popleft = ftq.popleft",
+            "line_avail = OrderedDict()",
+            "line_avail_get = line_avail.get",
+            "line_avail_touch = line_avail.move_to_end",
+            "line_avail_evict = line_avail.popitem",
+            "pending_events = {}",
+            "cycle = 0",
+            "i_pcgen = 0",
+            "admitted = 0",
+            "acc_cycle = -1",
+            "pcgen_ready = 0",
+            "pcgen_stalled = False",
+            "last_commit = backend._last_commit",
+            "warm_commit = 0",
+            "warm_done = warmup == 0",
+            "max_cycles = 1000 + n * 64",
+        )
+        for local, _name in COUNTERS:
+            w.line(f"c_{local} = 0")
+        for local, _name in COUNTERS:
+            w.line(f"w_{local} = 0")
+
+    # -- resolve: plan reads instead of predictor replay ------------------
+
+    def _emit_resolve(self, w: _Writer) -> None:
+        """Plan-consuming PredictionEngine.resolve.
+
+        Same inputs/outputs as the parent emitter (res: 0=seq,
+        1=redirect, 2=misfetch, 3=mispredict), but the perceptron sum,
+        RAS pop and indirect-table read come from the shared plan; all
+        predictor *training* was done once at plan-build time. The only
+        per-config piece left is the BTB-fallback indirect prediction
+        (``predicted == 0 and known``) — it reads this config's slot.
+        """
+        w.line("c_dbr += 1")
+        with w.block("if taken:"):
+            w.line("c_dtk += 1")
+        with w.block("if bt == 1:"):  # COND_DIRECT
+            w.line("pt = pt_plan[j] == 1")
+            with w.block("if not known:"):
+                with w.block("if taken:"):
+                    w.lines("c_mp += 1", "c_mpcu += 1", "res = 3")
+                with w.block("else:"):
+                    w.line("res = 0")
+            with w.block("elif pt != taken:"):
+                w.lines("c_mp += 1", "c_mpc += 1", "res = 3")
+            with w.block("else:"):
+                w.line("res = 1 if taken else 0")
+        with w.block("else:"):
+            with w.block("if bt == 2 or bt == 3:"):  # UNCOND/CALL_DIRECT
+                with w.block("if known:"):
+                    w.line("res = 1")
+                with w.block("else:"):
+                    w.lines("c_mf += 1", "res = 2")
+            with w.block("elif bt == 4:"):  # RETURN
+                with w.block("if rasok_plan[j]:"):
+                    with w.block("if known:"):
+                        w.line("res = 1")
+                    with w.block("else:"):
+                        w.lines("c_mf += 1", "res = 2")
+                with w.block("else:"):
+                    w.lines("c_mp += 1", "c_mpr += 1", "res = 3")
+            with w.block("else:"):  # INDIRECT / CALL_INDIRECT
+                w.line("predicted = ind_plan[j]")
+                with w.block("if predicted == 0 and known:"):
+                    w.line("predicted = slot.target")
+                with w.block("if not known:"):
+                    w.lines("c_mp += 1", "c_mpiu += 1", "res = 3")
+                with w.block("elif predicted != target:"):
+                    w.lines("c_mp += 1", "c_mpi += 1", "res = 3")
+                with w.block("else:"):
+                    w.line("res = 1")
+
+    # -- scan loops with next_br gap skipping -----------------------------
+
+    def _emit_gap_skip(self, w: _Writer, room_expr: str) -> None:
+        """Jump over a run of non-branch instructions in one step.
+
+        Emitted at the top of a scan loop body, after ``j`` is computed
+        and bounds-checked. ``room_expr`` is the number of instructions
+        the enclosing loop could still consume (fetch-width or
+        region/block span). Consumes exactly the instructions the
+        reference one-at-a-time loop would: each non-branch advances
+        ``pc`` by 4 and ``count`` by 1, capped by the room; ``continue``
+        re-checks the loop condition so natural-exit ``else`` clauses
+        (bbtb/mbbtb split bubbles) still fire.
+        """
+        w.line("nb = next_br[j]")
+        with w.block("if nb > j:"):
+            w.line("gap = nb - j")
+            w.line(f"room = {room_expr}")
+            with w.block("if gap >= room:"):
+                w.lines("pc += room << 2", "count += room", "continue")
+            w.lines("pc += gap << 2", "count += gap")
+            with w.block("if nb >= n:"):
+                w.line("continue")
+            w.line("j = nb")
+
+    def _emit_scan_ibtb(self, w: _Writer) -> None:
+        cfg = self.plan.config
+        w.line("pc = pcs[i_pcgen]")
+        with w.block(f"while count < {cfg.width}:"):
+            w.line("j = i_pcgen + count")
+            with w.block("if j >= n:"):
+                w.line("break")
+            self._emit_gap_skip(w, f"{cfg.width} - count")
+            w.line("bt = btypes[j]")
+            w.line("count += 1")
+            self._emit_store_lookup(w, "pc")
+            w.line("slot = entry")
+            w.lines("known = slot is not None", "taken = takens[j] == 1", "target = targets[j]")
+            self._emit_note_btb(w, "lvl")
+            self._emit_resolve(w)
+            with w.block("if taken:"):
+                with w.block("if slot is None:"):
+                    w.line("ibtb_train(pc, bt, True, target, None)")
+                with w.block("else:"):
+                    w.line("slot.target = target")
+            with w.block("if res == 0:"):
+                w.lines("pc += 4", "continue")
+            with w.block("if res == 1:"):
+                self._redirect_bubbles(w)
+                if cfg.skip_taken:
+                    w.lines("pc = target", "blocks += 1", "continue")
+                else:
+                    w.lines("acc_bubbles = bubbles", "break")
+            w.lines("acc_event = res", "acc_ei = j", "break")
+
+    def _emit_scan_rbtb(self, w: _Writer) -> None:
+        p = self.plan
+        cfg = p.config
+        rb = cfg.region_bytes
+        overflow = self._rb_overflow()
+        interleaved = cfg.interleaved
+        w.line("pc = pcs[i_pcgen]")
+        w.line("btb._tick = rb_tick = btb._tick + 1")
+        if interleaved:
+            w.line("done = False")
+            outer = w.block("for _rno in range(2):")
+            outer.__enter__()
+        w.line(f"region = pc & -{rb}")
+        if interleaved:
+            with w.block("if _rno:"):
+                w.line(f"pk = region >> {p.index_shift}")
+                with w.block(f"if pk not in l1_sets[pk & {p.l1_set_mask}]:"):
+                    w.line("break")
+        self._emit_store_lookup(w, "region")
+        w.line(f"region_end = region + {rb}")
+        with w.block("while pc < region_end:"):
+            w.line("j = i_pcgen + count")
+            with w.block("if j >= n:"):
+                if interleaved:
+                    w.line("done = True")
+                w.line("break")
+            self._emit_gap_skip(w, "(region_end - pc) >> 2")
+            w.line("bt = btypes[j]")
+            w.line("count += 1")
+            w.lines("slot = None", "from_overflow = False")
+            with w.block("if entry is not None:"):
+                w.line("spos = 0")
+                with w.block("for s_ in entry.slots:"):
+                    with w.block("if s_.pc == pc:"):
+                        w.lines("slot = s_", "break")
+                    w.line("spos += 1")
+                with w.block("if slot is not None:"):
+                    w.line("entry.ticks[spos] = rb_tick")
+                if overflow:
+                    with w.block("else:"):
+                        w.line("oe = ovf_set.get(pc)")
+                        with w.block("if oe is not None:"):
+                            w.lines(
+                                "ovf_arr._tick = ovt = ovf_arr._tick + 1",
+                                "oe[1] = ovt",
+                                "slot = oe[0]",
+                                "from_overflow = True",
+                            )
+            w.lines("known = slot is not None", "taken = takens[j] == 1", "target = targets[j]")
+            w.line("nlvl = lvl if known else 0")
+            self._emit_note_btb(w, "nlvl")
+            self._emit_resolve(w)
+            with w.block("if taken:"):
+                with w.block("if slot is not None:"):
+                    w.line("slot.target = target")
+                with w.block("else:"):
+                    w.line("rb_train(region, entry, pc, bt, True, target, None)")
+            with w.block("if res == 0:"):
+                w.lines("pc += 4", "continue")
+            with w.block("if res == 1:"):
+                if p.has_l2:
+                    w.line(f"bubbles = 3 if lvl == 2 else {cfg.l1_taken_bubble}")
+                else:
+                    w.line(f"bubbles = {cfg.l1_taken_bubble}")
+                if overflow:
+                    with w.block("if from_overflow:"):
+                        w.line(f"bubbles += {p.rb_overflow_bubble}")
+                with w.block("if bt == 5 or bt == 6:"):
+                    w.line("bubbles += 1")
+                w.line("acc_bubbles = bubbles")
+                if interleaved:
+                    w.line("done = True")
+                w.line("break")
+            w.lines("acc_event = res", "acc_ei = j")
+            if interleaved:
+                w.line("done = True")
+            w.line("break")
+        if interleaved:
+            with w.block("if done:"):
+                w.line("break")
+            w.line("pc = region_end")
+            outer.__exit__(None, None, None)
+
+    def _emit_scan_bbtb(self, w: _Writer) -> None:
+        p = self.plan
+        cfg = p.config
+        w.line("pc = pcs[i_pcgen]")
+        w.line("block_start = pc")
+        self._emit_store_lookup(w, "pc")
+        with w.block("if entry is not None:"):
+            w.line("end_pc = entry.start + entry.length * 4")
+        with w.block("else:"):
+            w.line(f"end_pc = pc + {cfg.block_insts * 4}")
+        w.line("btb._tick = bb_tick = btb._tick + 1")
+        with w.block("while pc < end_pc:"):
+            w.line("j = i_pcgen + count")
+            with w.block("if j >= n:"):
+                w.line("break")
+            self._emit_gap_skip(w, "(end_pc - pc) >> 2")
+            w.line("bt = btypes[j]")
+            w.line("count += 1")
+            w.line("slot = None")
+            with w.block("if entry is not None:"):
+                w.line("spos = 0")
+                with w.block("for s_ in entry.slots:"):
+                    with w.block("if s_.pc == pc:"):
+                        w.lines("slot = s_", "break")
+                    w.line("spos += 1")
+                with w.block("if slot is not None:"):
+                    w.line("entry.ticks[spos] = bb_tick")
+            w.lines("known = slot is not None", "taken = takens[j] == 1", "target = targets[j]")
+            w.line("nlvl = lvl if known else 0")
+            self._emit_note_btb(w, "nlvl")
+            self._emit_resolve(w)
+            with w.block("if taken:"):
+                with w.block("if slot is not None:"):
+                    w.line("slot.target = target")
+                with w.block("else:"):
+                    w.line("entry = bb_train(entry, block_start, pc, bt, True, target, None)")
+            with w.block("if res == 0:"):
+                w.lines("pc += 4", "continue")
+            with w.block("if res == 1:"):
+                self._redirect_bubbles(w)
+                w.lines("acc_bubbles = bubbles", "break")
+            w.lines("acc_event = res", "acc_ei = j", "break")
+        if cfg.split_bubble:
+            with w.block("else:"):
+                w.line(
+                    f"acc_bubbles = {cfg.split_bubble} "
+                    "if (entry is not None and entry.split) else 0"
+                )
+
+    def _emit_scan_mbbtb(self, w: _Writer) -> None:
+        p = self.plan
+        cfg = p.config
+        w.line("pc = pcs[i_pcgen]")
+        w.line("block_start = pc")
+        self._emit_store_lookup(w, "pc")
+        w.line("blk = 0")
+        with w.block("if entry is not None:"):
+            w.lines("bs_, bl_ = entry.blocks[0]", "end_pc = bs_ + bl_ * 4")
+        with w.block("else:"):
+            w.line(f"end_pc = pc + {cfg.block_insts * 4}")
+        with w.block("while pc < end_pc:"):
+            w.line("j = i_pcgen + count")
+            with w.block("if j >= n:"):
+                w.line("break")
+            self._emit_gap_skip(w, "(end_pc - pc) >> 2")
+            w.line("bt = btypes[j]")
+            w.line("count += 1")
+            w.line("slot = None")
+            with w.block("if entry is not None:"):
+                with w.block("for s_ in entry.slots:"):
+                    with w.block("if s_.blk_id == blk and s_.pc == pc:"):
+                        w.lines("slot = s_", "break")
+            w.lines("known = slot is not None", "taken = takens[j] == 1", "target = targets[j]")
+            w.line("nlvl = lvl if known else 0")
+            self._emit_note_btb(w, "nlvl")
+            self._emit_resolve(w)
+            with w.block("if taken:"):
+                with w.block("if slot is not None:"):
+                    with w.block("if slot.btype == 5 or slot.btype == 6:"):
+                        w.line("mb_update(entry, slot, target)")
+                    with w.block("else:"):
+                        w.line("slot.target = target")
+                with w.block("else:"):
+                    w.line(
+                        "entry = mb_train(entry, block_start, blk, pc, bt, True, target, None)"
+                    )
+            with w.block("else:"):
+                with w.block("if slot is not None:"):
+                    if cfg.immediate_downgrade:
+                        with w.block("if slot.follow:"):
+                            w.line(
+                                "mb_train(entry, block_start, blk, pc, bt, False, target, slot)"
+                            )
+                        with w.block("elif slot.btype == 1:"):
+                            w.line("slot.stabl_ctr = -1")
+                    else:
+                        with w.block("if slot.btype == 1:"):
+                            w.line("slot.stabl_ctr = -1")
+            with w.block("if res == 0:"):
+                w.lines("pc += 4", "continue")
+            with w.block("if res == 1:"):
+                with w.block(
+                    "if (slot is not None and slot.follow and entry is not None "
+                    "and slot.blk_id + 1 < len(entry.blocks) "
+                    "and entry.blocks[slot.blk_id + 1][0] == target):"
+                ):
+                    w.lines(
+                        "blk = slot.blk_id + 1",
+                        "pc = target",
+                        "bs_, bl_ = entry.blocks[blk]",
+                        "end_pc = bs_ + bl_ * 4",
+                        "blocks += 1",
+                        "continue",
+                    )
+                self._redirect_bubbles(w)
+                w.lines("acc_bubbles = bubbles", "break")
+            w.lines("acc_event = res", "acc_ei = j", "break")
+        if cfg.split_bubble:
+            with w.block("else:"):
+                w.line(
+                    f"acc_bubbles = {cfg.split_bubble} "
+                    "if (entry is not None and entry.split) else 0"
+                )
+
+    # -- FTQ push via line-run segmentation -------------------------------
+
+    def emit_access_commit(self, w: _Writer) -> None:
+        """Segment the covered indices into cache lines by jumping
+        between ``run_end`` boundaries instead of comparing per-PC line
+        indices; pushes and prefetches are unchanged."""
+        with w.block("if count > 0:"):
+            w.lines("c_acc += 1", "c_fpc += count", "c_bpa += blocks")
+            w.lines("seg_start = i_pcgen", "end_ = i_pcgen + count")
+            with w.block("while True:"):
+                w.line("seg_line = line_ix[seg_start]")
+                w.line("re_ = run_end[seg_start]")
+                w.line("nxt = re_ if re_ < end_ else end_")
+                w.line("seg_count = nxt - seg_start")
+                with w.block("if nxt >= end_:"):
+                    w.line("break")
+                w.line(
+                    "ftq_append([seg_line, seg_start, seg_count, cycle, 0 if ftq else 1])"
+                )
+                self._emit_fdip_prefetch(w, "seg_line")
+                w.line("seg_start = nxt")
+            w.line(
+                "ftq_append([seg_line, seg_start, seg_count, cycle, 0 if ftq else 1])"
+            )
+            self._emit_fdip_prefetch(w, "seg_line")
+            w.line("i_pcgen += count")
+            with w.block("if acc_event:"):
+                w.lines("pending_events[acc_ei] = acc_event", "pcgen_stalled = True")
+            with w.block("else:"):
+                w.line("pcgen_ready = cycle + 1 + acc_bubbles")
+        with w.block("else:"):
+            w.line("i_pcgen = n")
+
+    # -- finalization -----------------------------------------------------
+
+    def _emit_finalize(self, w: _Writer) -> None:
+        """Identical to the parent finalize except that there is no live
+        predictor state to write back (the plan owns that evolution;
+        the engine's predictor objects were never touched)."""
+        p = self.plan
+        w.line("backend._last_commit = last_commit")
+        if not p.ideal_backend:
+            w.lines(
+                "backend._loads = nloads",
+                "backend._stores = nstores",
+                "backend._count += admitted",
+            )
+        w.line("sc = st._counters")
+        w.line("measured = {}")
+        for local, name in COUNTERS:
+            if name == "btb_taken_l2_hits" and not p.has_l2:
+                continue
+            with w.block(f"if c_{local}:"):
+                w.line(f'sc["{name}"] = sc.get("{name}", 0.0) + c_{local}')
+                w.line(f'measured["{name}"] = float(c_{local} - w_{local})')
+        w.line("structure = {}")
+        with w.block("if sample_structure:"):
+            w.line('structure["l1_slot_occupancy"] = btb.slot_occupancy(1)')
+            w.line('structure["l1_redundancy"] = btb.redundancy_ratio(1)')
+            if p.has_l2:
+                w.line('structure["l2_slot_occupancy"] = btb.slot_occupancy(2)')
+                w.line('structure["l2_redundancy"] = btb.redundancy_ratio(2)')
+        # Division-by-zero guard: a warmup-only window would leave
+        # cyc == 0; clamp exactly as the interpreter does.
+        w.line("cyc = last_commit - warm_commit")
+        with w.block("if cyc < 1:"):
+            w.line("cyc = 1")
+        w.line("return SimResult(")
+        w.line("    name=tr.name,")
+        w.line("    instructions=n - warmup,")
+        w.line("    cycles=cyc,")
+        w.line("    stats=measured,")
+        w.line("    structure=structure,")
+        w.line(")")

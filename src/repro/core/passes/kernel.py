@@ -26,7 +26,7 @@ from repro.core.passes.dag import GenDAGPass, KernelPlan
 from repro.core.passes.schedule import Schedule, SchedulePass
 
 #: Valid values of the ``REPRO_KERNEL`` environment variable.
-KERNEL_MODES = ("compiled", "interp")
+KERNEL_MODES = ("compiled", "interp", "batched")
 
 #: Environment variable selecting the engine.
 KERNEL_ENV = "REPRO_KERNEL"
@@ -35,7 +35,7 @@ KERNEL_ENV = "REPRO_KERNEL"
 #: cache keys; it deliberately does NOT touch ``CACHE_SCHEMA`` because
 #: kernels produce bit-identical results — persisted sweep results stay
 #: valid across kernel changes.
-KERNEL_SCHEMA = 1
+KERNEL_SCHEMA = 2
 
 #: BTB organizations the codegen knows how to specialize. The
 #: heterogeneous hierarchy keeps its own storage scheme and stays on the
@@ -135,6 +135,77 @@ def get_kernel(config) -> CompiledKernel:
     )
     _CACHE[key] = kernel
     return kernel
+
+
+def get_batch_kernel(config) -> CompiledKernel:
+    """Batched (plan-consuming) kernel variant for *config*.
+
+    Same pass pipeline as :func:`get_kernel` with
+    :class:`~repro.core.passes.batch.BatchPass` as the codegen stage;
+    cached separately (a ``variant`` discriminator joins the key) so the
+    compiled and batched variants of one config coexist.
+    """
+    global _HITS, _MISSES
+    if not supports(config):
+        raise KernelConfigError(
+            f"config {getattr(config, 'label', config)!r} is not compilable "
+            f"(btb_kind must be one of {SUPPORTED_KINDS})"
+        )
+    key = digest(
+        {
+            "kind": "kernel",
+            "schema": KERNEL_SCHEMA,
+            "variant": "batched",
+            "config": replace(config, label=""),
+        }
+    )
+    kernel = _CACHE.get(key)
+    if kernel is not None:
+        _HITS += 1
+        return kernel
+    _MISSES += 1
+    from repro.core.passes.batch import BatchPass
+
+    plan = GenDAGPass()(config)
+    schedule = SchedulePass()(plan)
+    source = BatchPass()(plan, schedule)
+    namespace = _exec_namespace()
+    code = compile(source, f"<batch-kernel:{config.label}>", "exec")
+    exec(code, namespace)
+    kernel = CompiledKernel(
+        key=key,
+        source=source,
+        fn=namespace["kernel_run"],
+        plan=plan,
+        schedule=schedule,
+    )
+    _CACHE[key] = kernel
+    return kernel
+
+
+_GEOMETRY_MEMO: Dict[int, object] = {}
+
+
+def batch_geometry(config):
+    """Predictor geometry of the batch family *config* belongs to.
+
+    Derived through the same elaboration the kernel plan uses (so a plan
+    built for this geometry is exact for every config mapping here) and
+    memoized by the only config field the predictors depend on.
+    """
+    from repro.trace.columnar import PredictorGeometry
+
+    geom = _GEOMETRY_MEMO.get(config.bp_size_kb)
+    if geom is None:
+        plan = GenDAGPass()(config)
+        geom = PredictorGeometry(
+            ptable_mask=plan.ptable_mask,
+            theta=plan.theta,
+            ind_mask=plan.ind_mask,
+            ras_depth=plan.ras_depth,
+        )
+        _GEOMETRY_MEMO[config.bp_size_kb] = geom
+    return geom
 
 
 def _exec_namespace() -> Dict[str, object]:

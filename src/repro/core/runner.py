@@ -184,6 +184,8 @@ def sweep_compare(
     journal: Optional[SweepJournal] = None,
     resume: bool = False,
     strict: bool = True,
+    batch: Optional[int] = None,
+    recycle: int = 0,
 ) -> Tuple[List[ComparedConfig], SweepReport, List[str]]:
     """Fault-tolerant sweep + comparison: the ``repro-sim sweep`` engine.
 
@@ -217,6 +219,8 @@ def sweep_compare(
             policy=policy,
             journal=journal,
             resume=resume,
+            batch=batch,
+            recycle=recycle,
         )
         for key, outcome in zip(missing, report.outcomes):
             if outcome.ok:

@@ -136,19 +136,25 @@ class Simulator:
         self.config = config
 
     def kernel_engine(self) -> str:
-        """Engine :meth:`run` will use: ``"compiled"`` or ``"interp"``.
+        """Engine :meth:`run` will use: ``"batched"``, ``"compiled"`` or
+        ``"interp"``.
 
-        The compiled engine needs the elaborating config (for the pass
-        pipeline), an uninstrumented run (probe call sites are elided,
-        not guarded), the stock frontend/backend/memory shapes, and a
-        fresh stats bag (the interpreter's warm-snapshot subtraction and
-        the kernel's local counters only agree from zero). Anything else
-        falls back to the reference interpreter — bit-identical, slower.
+        The compiled/batched engines need the elaborating config (for
+        the pass pipeline), an uninstrumented run (probe call sites are
+        elided, not guarded), the stock frontend/backend/memory shapes,
+        and a fresh stats bag (the interpreter's warm-snapshot
+        subtraction and the kernel's local counters only agree from
+        zero). Anything else falls back to the reference interpreter —
+        bit-identical, slower. ``"batched"`` additionally requires the
+        caller to hand :meth:`run` a shared
+        :class:`~repro.trace.columnar.BatchPlan`; without one, the run
+        degrades to the compiled per-config kernel (same results).
         """
         # Imported lazily: repro.core.passes.dag imports this module.
         from repro.core.passes.kernel import kernel_mode, supports
 
-        if kernel_mode() != "compiled":
+        mode = kernel_mode()
+        if mode == "interp":
             return "interp"
         if not supports(self.config):
             return "interp"
@@ -163,16 +169,30 @@ class Simulator:
             return "interp"
         if self.stats._counters:
             return "interp"
-        return "compiled"
+        return mode
 
-    def run(self, warmup: int = 0, sample_structure: bool = True) -> SimResult:
+    def run(
+        self,
+        warmup: int = 0,
+        sample_structure: bool = True,
+        batch_plan=None,
+    ) -> SimResult:
         """Simulate the whole trace; measure after *warmup* instructions.
 
-        Dispatches to the per-config compiled kernel when eligible (see
-        :meth:`kernel_engine`); otherwise runs the reference interpreter
-        below. Both produce bit-identical :class:`SimResult`s.
+        Dispatches to the batched kernel when eligible and a shared
+        *batch_plan* was provided, else to the per-config compiled
+        kernel when eligible (see :meth:`kernel_engine`), else to the
+        reference interpreter below. All engines produce bit-identical
+        :class:`SimResult`s.
         """
-        if self.kernel_engine() == "compiled":
+        engine = self.kernel_engine()
+        if engine == "batched" and batch_plan is not None:
+            from repro.core.passes.kernel import get_batch_kernel
+
+            return get_batch_kernel(self.config).fn(
+                self, batch_plan, warmup, sample_structure
+            )
+        if engine in ("compiled", "batched"):
             from repro.core.passes.kernel import get_kernel
 
             return get_kernel(self.config).fn(self, warmup, sample_structure)

@@ -1,0 +1,397 @@
+"""Decode-once columnar trace plans for batched sweep execution.
+
+A sweep runs the *same* workload trace through many machine configs, yet
+every per-config engine walks the Python-object :class:`~repro.trace.trace.Trace`
+from scratch: re-deriving cache-line indices, scanning forward for the
+next branch one instruction at a time, and — most expensively — replaying
+the prediction engine (hashed perceptron, folded global history, indirect
+table, RAS) whose state provably never depends on the BTB organization
+(it trains on trace outcomes only; see ``PredictionEngine.resolve``).
+
+This module pays those costs once per workload:
+
+* :class:`ColumnarTrace` lowers a ``Trace`` into typed numpy arrays —
+  PCs, targets, taken bits, branch kinds, fall-through/next-PC — plus
+  three derived plans computed with vectorized numpy ops:
+
+  - ``next_br[i]``: index of the first branch at or after ``i`` (``n``
+    when none remain), i.e. inter-branch instruction counts; lets a
+    scan loop jump over non-branch runs instead of testing each one;
+  - ``run_end[i]``: exclusive end of the cache-line run containing
+    ``i``; replaces the per-instruction line-segmentation loop;
+  - ``line_ix[i]``: per-instruction cache-line index
+    (``pc // LINE_BYTES``), shared across configs instead of being
+    recomputed per simulator via ``Trace.line_index``.
+
+* :class:`PredictorPlan` replays the prediction engine once and records,
+  per branch, exactly the values a per-config kernel needs:
+  ``pt`` (perceptron direction prediction), ``ras_ok`` (RAS pop matched
+  the return target) and ``ind_pred`` (raw indirect-table read, 0 when
+  cold). The replica below mirrors ``PredictionEngine.resolve`` /
+  ``HashedPerceptron`` / ``FoldedRegister`` operation-for-operation, so
+  batched kernels consuming the plan stay bit-identical to the
+  interpreter (enforced by differential goldens in ``tests/kernel/``).
+
+Plans are cached on disk as ``.npz`` through the :class:`DiskCache`
+``plans`` tier, keyed by trace content hash (and predictor geometry for
+:class:`PredictorPlan`), and pruned by ``repro-sim corpus gc`` when the
+backing corpus entry disappears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.branch.history import MAX_HISTORY
+from repro.branch.indirect import IndirectPredictor
+from repro.branch.perceptron import HISTORY_LENGTHS
+from repro.common.types import ILEN, LINE_BYTES
+
+#: Version of the columnar/predictor-plan layout *and* of the replica
+#: semantics. Bump whenever the derivation or the prediction engine
+#: changes so stale cached plans become unreachable.
+COLUMNAR_SCHEMA = 1
+
+_M64 = (1 << 64) - 1
+_HMASK = (1 << MAX_HISTORY) - 1
+
+
+# ---------------------------------------------------------------------------
+# Columnar lowering
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ColumnarTrace:
+    """Typed-array view of a trace plus vectorized derived plans.
+
+    All arrays have one entry per instruction. ``ops`` (operand tuples
+    for the admit loop) and the plain-list views consumed by generated
+    kernels are materialized lazily and memoized.
+    """
+
+    n: int
+    pc: np.ndarray
+    btype: np.ndarray
+    taken: np.ndarray
+    target: np.ndarray
+    next_pc: np.ndarray
+    next_br: np.ndarray
+    run_end: np.ndarray
+    line_ix: np.ndarray
+
+    def __post_init__(self) -> None:
+        self._lists: Optional[Dict[str, list]] = None
+
+    def lists(self) -> Dict[str, list]:
+        """Plain-list views for the generated kernels (list indexing is
+        faster than numpy scalar indexing in CPython hot loops)."""
+        if self._lists is None:
+            self._lists = {
+                "line_ix": self.line_ix.tolist(),
+                "next_br": self.next_br.tolist(),
+                "run_end": self.run_end.tolist(),
+            }
+        return self._lists
+
+
+def _derive(pc: np.ndarray, btype: np.ndarray, taken: np.ndarray,
+            target: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized next-branch / line-run / line-index derivations."""
+    n = len(pc)
+    line_ix = pc // LINE_BYTES
+    if n == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy(), line_ix
+    idx = np.arange(n, dtype=np.int64)
+    # next_br[i] = min index j >= i with btype[j] != 0, else n.
+    nb = np.where(btype != 0, idx, np.int64(n))
+    next_br = np.minimum.accumulate(nb[::-1])[::-1]
+    # run_end[i] = exclusive end of the cache-line run containing i.
+    chg = np.nonzero(np.diff(line_ix))[0] + 1
+    bounds = np.concatenate((chg, [n])).astype(np.int64)
+    run_end = bounds[np.searchsorted(bounds, idx, side="right")]
+    return next_br, run_end, line_ix
+
+
+def lower_trace(trace) -> ColumnarTrace:
+    """Lower a :class:`~repro.trace.trace.Trace` into columnar form."""
+    pc = np.asarray(trace.pc, dtype=np.int64)
+    btype = np.asarray(trace.btype, dtype=np.int64)
+    taken = np.asarray(trace.taken, dtype=np.int64)
+    target = np.asarray(trace.target, dtype=np.int64)
+    next_pc = np.where(taken != 0, target, pc + ILEN)
+    next_br, run_end, line_ix = _derive(pc, btype, taken, target)
+    return ColumnarTrace(
+        n=len(pc), pc=pc, btype=btype, taken=taken, target=target,
+        next_pc=next_pc, next_br=next_br, run_end=run_end, line_ix=line_ix,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Predictor geometry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PredictorGeometry:
+    """The structural knobs the prediction-engine replay depends on.
+
+    Everything else about a :class:`MachineConfig` (BTB kind/geometry,
+    backend, caches) is invisible to the prediction engine — its state
+    evolves from trace outcomes only — so one plan serves every config
+    sharing this geometry.
+    """
+
+    ptable_mask: int
+    theta: int
+    ind_mask: int
+    ras_depth: int
+
+    def key_fields(self) -> Dict[str, int]:
+        return {
+            "ptable_mask": self.ptable_mask,
+            "theta": self.theta,
+            "ind_mask": self.ind_mask,
+            "ras_depth": self.ras_depth,
+        }
+
+
+def geometry_for(bp_size_kb: int, indirect_entries: int = 4096,
+                 ras_depth: int = 64) -> PredictorGeometry:
+    """Geometry of the predictors a config of this size elaborates
+    (mirrors ``HashedPerceptron.__init__`` sizing)."""
+    entries = (bp_size_kb * 1024) // len(HISTORY_LENGTHS)
+    table_entries = 32
+    while table_entries * 2 <= entries:
+        table_entries *= 2
+    theta = 2 * len(HISTORY_LENGTHS) + 14
+    return PredictorGeometry(
+        ptable_mask=table_entries - 1,
+        theta=theta,
+        ind_mask=indirect_entries - 1,
+        ras_depth=ras_depth,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Predictor plan
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PredictorPlan:
+    """Per-branch prediction outcomes shared by every config of one
+    predictor geometry: ``pt[i]`` (cond direction prediction, 0/1),
+    ``ras_ok[i]`` (return target matched the RAS pop, 0/1) and
+    ``ind_pred[i]`` (raw indirect-table read at predict time; 0 = cold).
+    Entries for non-branches (and for kinds a field does not apply to)
+    are zero and never read."""
+
+    geometry: PredictorGeometry
+    pt: np.ndarray
+    ras_ok: np.ndarray
+    ind_pred: np.ndarray
+
+    def __post_init__(self) -> None:
+        self._lists: Optional[Dict[str, list]] = None
+
+    def lists(self) -> Dict[str, list]:
+        if self._lists is None:
+            self._lists = {
+                "pt": self.pt.tolist(),
+                "ras_ok": self.ras_ok.tolist(),
+                "ind_pred": self.ind_pred.tolist(),
+            }
+        return self._lists
+
+
+def build_predictor_plan(col: ColumnarTrace,
+                         geometry: PredictorGeometry) -> PredictorPlan:
+    """Replay the prediction engine once over the trace.
+
+    This is an operation-for-operation replica of
+    ``PredictionEngine.resolve`` restricted to the state that evolves
+    independently of the BTB: perceptron tables, folded global history,
+    indirect table and RAS. Ordering subtleties preserved exactly:
+
+    * conditional branches predict/update the perceptron *before* the
+      history (and folds) advance;
+    * every other branch kind pushes history *first*, so the indirect
+      index is computed with the post-push fold;
+    * the indirect table is read (plan value), then updated, and only
+      then does an indirect call push the RAS.
+    """
+    n = col.n
+    pt = np.zeros(n, dtype=np.uint8)
+    ras_ok = np.zeros(n, dtype=np.uint8)
+    ind_pred = np.zeros(n, dtype=np.int64)
+
+    mask = geometry.ptable_mask
+    theta = geometry.theta
+    ind_mask = geometry.ind_mask
+    ras_depth = geometry.ras_depth
+    index_width = (mask + 1).bit_length() - 1
+    ind_width = (ind_mask + 1).bit_length() - 1
+
+    # Perceptron tables and folded-history registers (table 0 has zero
+    # history length: unfolded, indexed by the PC hash alone).
+    tables = [[0] * (mask + 1) for _ in HISTORY_LENGTHS]
+    # (table, fold slot, length, out_pos) for tables 1..15.
+    pgeo = []
+    for t, length in enumerate(HISTORY_LENGTHS):
+        if length:
+            pgeo.append((t, length, length % index_width))
+    pfold = [0] * len(HISTORY_LENGTHS)  # fold values, slot per table
+    jlen = IndirectPredictor.HISTORY_BITS
+    jpos = jlen % ind_width
+    jfold = 0
+    hbits = 0
+    itab = [0] * (ind_mask + 1)
+    ras: List[int] = []
+
+    bts = col.btype.tolist()
+    pcs = col.pc.tolist()
+    tks = col.taken.tolist()
+    tgs = col.target.tolist()
+    branch_idx = np.nonzero(col.btype)[0].tolist()
+    pwm = mask  # fold width mask equals table mask (same width)
+    jwm = ind_mask
+
+    for j in branch_idx:
+        bt = bts[j]
+        pc = pcs[j]
+        h = ((0x9E3779B97F4A7C15 ^ pc) * 0xBF58476D1CE4E5B9) & _M64
+        h ^= h >> 29
+        if bt == 1:
+            tk = tks[j]
+            # predict: table 0 unfolded, 1..15 folded.
+            i0 = h & mask
+            total = tables[0][i0]
+            idxs = [i0]
+            for t, _length, _pos in pgeo:
+                ix = (h ^ pfold[t] ^ (t << 3)) & mask
+                idxs.append(ix)
+                total += tables[t][ix]
+            pt[j] = 1 if total >= 0 else 0
+            # update (classic margin rule, clamped 8-bit weights).
+            predicted = total >= 0
+            took = tk == 1
+            if not (predicted == took and abs(total) > theta):
+                delta = 1 if took else -1
+                t = 0
+                for ix in idxs:
+                    row = tables[t]
+                    w = row[ix] + delta
+                    if w > 127:
+                        w = 127
+                    elif w < -128:
+                        w = -128
+                    row[ix] = w
+                    t += 1
+            # history push AFTER perceptron work for conditionals...
+            bit = tk
+            for t, length, pos in pgeo:
+                v = (pfold[t] << 1) | bit
+                v ^= ((hbits >> (length - 1)) & 1) << pos
+                v ^= v >> index_width
+                pfold[t] = v & pwm
+            v = (jfold << 1) | bit
+            v ^= ((hbits >> (jlen - 1)) & 1) << jpos
+            v ^= v >> ind_width
+            jfold = v & jwm
+            hbits = ((hbits << 1) | bit) & _HMASK
+            continue
+        # ...and BEFORE the type-specific work for every other kind, so
+        # the indirect index sees the post-push fold.
+        for t, length, pos in pgeo:
+            v = (pfold[t] << 1) | 1
+            v ^= ((hbits >> (length - 1)) & 1) << pos
+            v ^= v >> index_width
+            pfold[t] = v & pwm
+        v = (jfold << 1) | 1
+        v ^= ((hbits >> (jlen - 1)) & 1) << jpos
+        v ^= v >> ind_width
+        jfold = v & jwm
+        hbits = ((hbits << 1) | 1) & _HMASK
+        if bt == 2 or bt == 3:
+            if bt == 3:
+                if len(ras) >= ras_depth:
+                    del ras[0]
+                ras.append(pc + ILEN)
+        elif bt == 4:
+            if ras:
+                ras_ok[j] = 1 if ras.pop() == tgs[j] else 0
+            # empty RAS pops None in the reference engine: never equal.
+        else:
+            ii = (h ^ jfold) & ind_mask
+            ind_pred[j] = itab[ii]
+            itab[ii] = tgs[j]
+            if bt == 6:
+                if len(ras) >= ras_depth:
+                    del ras[0]
+                ras.append(pc + ILEN)
+
+    return PredictorPlan(geometry=geometry, pt=pt, ras_ok=ras_ok,
+                         ind_pred=ind_pred)
+
+
+# ---------------------------------------------------------------------------
+# Batch plan: what a generated batched kernel binds in its prelude
+# ---------------------------------------------------------------------------
+
+
+class BatchPlan:
+    """Bundle handed to a batched kernel: the runtime arrays of a
+    columnar trace + predictor plan, exposed as plain lists (list
+    indexing beats numpy scalar indexing in CPython hot loops). Built
+    once per (workload, geometry) and shared by every config in the
+    batch; persistable as an ``.npz`` payload through the disk cache's
+    ``plans`` tier."""
+
+    __slots__ = ("geometry", "line_ix", "next_br", "run_end",
+                 "pt", "ras_ok", "ind_pred")
+
+    #: Arrays persisted per plan (everything a batched kernel reads).
+    PAYLOAD_KEYS = ("line_ix", "next_br", "run_end", "pt", "ras_ok",
+                    "ind_pred")
+
+    def __init__(self, geometry: PredictorGeometry, line_ix, next_br,
+                 run_end, pt, ras_ok, ind_pred) -> None:
+        self.geometry = geometry
+        self.line_ix = line_ix
+        self.next_br = next_br
+        self.run_end = run_end
+        self.pt = pt
+        self.ras_ok = ras_ok
+        self.ind_pred = ind_pred
+
+    @classmethod
+    def from_parts(cls, col: ColumnarTrace,
+                   plan: PredictorPlan) -> "BatchPlan":
+        cl = col.lists()
+        pl = plan.lists()
+        return cls(plan.geometry, cl["line_ix"], cl["next_br"],
+                   cl["run_end"], pl["pt"], pl["ras_ok"], pl["ind_pred"])
+
+    @classmethod
+    def from_payload(cls, geometry: PredictorGeometry,
+                     arrays: Dict[str, np.ndarray]) -> "BatchPlan":
+        cols = [np.asarray(arrays[k]).tolist() for k in cls.PAYLOAD_KEYS]
+        return cls(geometry, *cols)
+
+    def payload(self) -> Dict[str, np.ndarray]:
+        dtypes = {"pt": np.uint8, "ras_ok": np.uint8}
+        return {
+            k: np.asarray(getattr(self, k), dtype=dtypes.get(k, np.int64))
+            for k in self.PAYLOAD_KEYS
+        }
+
+
+def build_batch_plan(trace, geometry: PredictorGeometry) -> BatchPlan:
+    """Lower *trace* and replay the predictors for *geometry*."""
+    col = lower_trace(trace)
+    return BatchPlan.from_parts(col, build_predictor_plan(col, geometry))

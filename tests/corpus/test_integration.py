@@ -139,3 +139,70 @@ def test_sweep_resume_skips_checkpointed_corpus_points(ingested, tmp_path):
         journal.close()
     assert [r.cycles for r in resumed] == [r.cycles for r in first]
     assert [r.stats for r in resumed] == [r.stats for r in first]
+
+
+# -- batched plans over corpus workloads -------------------------------------
+
+
+def test_batched_corpus_point_bit_identical_and_plan_cached(
+    ingested, tmp_path, monkeypatch
+):
+    """A corpus point runs bit-identically under the batched engine, and
+    its batch plan lands in the disk cache's plans tier keyed (and
+    source-marked) by the corpus content hash."""
+    from repro.core.exec import clear_plan_memo
+    from repro.core.passes.kernel import KERNEL_ENV
+
+    monkeypatch.setenv(KERNEL_ENV, "interp")
+    ref = run_points([_point()])
+    clear_cache()
+    monkeypatch.setenv(KERNEL_ENV, "batched")
+    cache = configure_disk_cache(True, tmp_path / "cache")
+    got = run_points([_point()])
+    assert ref[0].stats == got[0].stats
+    assert ref[0].cycles == got[0].cycles
+    plans = list(cache.iter_plans())
+    assert len(plans) == 1
+    _, meta = plans[0]
+    store, _ = ingested
+    assert meta["source"] == store.get("web_frontend").content_hash
+    clear_plan_memo()
+    monkeypatch.delenv(KERNEL_ENV, raising=False)
+
+
+def test_corpus_gc_prunes_plans_of_removed_entries(
+    ingested, tmp_path, monkeypatch
+):
+    """``corpus gc`` removes cached batch plans whose backing corpus
+    entry is gone, while synthetic-trace plans survive."""
+    from repro.cli import main
+    from repro.core.exec import clear_plan_memo
+    from repro.core.passes.kernel import KERNEL_ENV
+
+    store, _ = ingested
+    monkeypatch.setenv(KERNEL_ENV, "batched")
+    cache_dir = tmp_path / "cache"
+    cache = configure_disk_cache(True, cache_dir)
+    run_points([_point()])  # corpus-backed plan
+    run_points([SweepPoint(ibtb(16), "db_oltp", 4000, 1000, 7)])  # synth plan
+    assert len(list(cache.iter_plans())) == 2
+
+    store.remove("web_frontend")
+    assert (
+        main(
+            [
+                "corpus",
+                "gc",
+                "--corpus-dir",
+                str(store.root),
+                "--cache-dir",
+                str(cache_dir),
+            ]
+        )
+        == 0
+    )
+    remaining = [meta for _, meta in cache.iter_plans()]
+    assert len(remaining) == 1
+    assert remaining[0]["source"] == "synth"
+    clear_plan_memo()
+    monkeypatch.delenv(KERNEL_ENV, raising=False)

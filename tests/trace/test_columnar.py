@@ -1,0 +1,239 @@
+"""Property tests for the columnar trace lowering and predictor plans.
+
+The contract (docs/batched_kernels.md): :func:`lower_trace`'s derived
+arrays round-trip *exactly* against reference iteration over the
+:class:`Trace` — ``line_ix`` vs ``Trace.line_index``, ``next_pc`` vs
+``Trace.next_pc``, ``next_br``/``run_end`` vs naive per-instruction
+scans — for synthetic traces, for traces materialized from every corpus
+ingestion format (CSV, ChampSim, CVP-1, gzip/xz-compressed), and for
+empty/one-branch edge cases. :func:`build_predictor_plan` must match
+the live :class:`PredictionEngine` decision-for-decision.
+"""
+
+import gzip
+import lzma
+
+import pytest
+
+from repro.common.types import ILEN, BranchType
+from repro.corpus import configure_corpus, load_corpus_trace
+from repro.frontend.engine import PredictionEngine
+from repro.trace.columnar import (
+    BatchPlan,
+    build_batch_plan,
+    build_predictor_plan,
+    geometry_for,
+    lower_trace,
+)
+from repro.trace.external import save_trace_csv
+from repro.trace.trace import Trace
+from repro.trace.workloads import get_trace
+
+
+@pytest.fixture
+def store(tmp_path, monkeypatch):
+    """An isolated corpus store that ``corpus:`` names resolve against."""
+    root = tmp_path / "corpus"
+    monkeypatch.setenv("REPRO_CORPUS_DIR", str(root))
+    return configure_corpus(root)
+
+
+@pytest.fixture
+def trace_csv(tmp_path):
+    trace = get_trace("web_frontend", 9_000)
+    path = tmp_path / "web_frontend.csv"
+    save_trace_csv(trace, str(path))
+    return trace, str(path)
+
+
+# -- reference derivations (naive per-instruction scans) ---------------------
+
+
+def _ref_next_br(trace):
+    n = len(trace)
+    out = [n] * n
+    nxt = n
+    for i in range(n - 1, -1, -1):
+        if trace.btype[i]:
+            nxt = i
+        out[i] = nxt
+    return out
+
+
+def _ref_run_end(trace):
+    lines = trace.line_index()
+    n = len(trace)
+    out = [0] * n
+    i = 0
+    while i < n:
+        j = i
+        while j < n and lines[j] == lines[i]:
+            j += 1
+        for k in range(i, j):
+            out[k] = j
+        i = j
+    return out
+
+
+def _assert_roundtrip(trace):
+    col = lower_trace(trace)
+    n = len(trace)
+    assert col.n == n
+    assert col.line_ix.tolist() == trace.line_index()
+    assert col.next_pc.tolist() == [trace.next_pc(i) for i in range(n)]
+    assert col.next_br.tolist() == _ref_next_br(trace)
+    assert col.run_end.tolist() == _ref_run_end(trace)
+    assert col.pc.tolist() == list(trace.pc)
+    assert col.btype.tolist() == list(trace.btype)
+    assert col.taken.tolist() == list(trace.taken)
+    assert col.target.tolist() == list(trace.target)
+
+
+# -- synthetic workloads -----------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["web_frontend", "db_oltp", "gc_runtime"])
+def test_roundtrip_synthetic(name):
+    _assert_roundtrip(get_trace(name, 8_000))
+
+
+def test_roundtrip_empty_trace():
+    _assert_roundtrip(Trace(name="empty"))
+
+
+def test_roundtrip_single_instruction():
+    trace = Trace(name="one")
+    trace.append(0x1000)
+    _assert_roundtrip(trace)
+
+
+def test_roundtrip_single_branch():
+    trace = Trace(name="onebr")
+    trace.append(0x1000, btype=BranchType.UNCOND_DIRECT, taken=True,
+                 target=0x2000)
+    _assert_roundtrip(trace)
+    col = lower_trace(trace)
+    assert col.next_br.tolist() == [0]
+    assert col.next_pc.tolist() == [0x2000]
+
+
+def test_roundtrip_trailing_nonbranch_run():
+    trace = Trace(name="tail")
+    pc = 0x40  # crosses a line boundary mid-run
+    for _ in range(20):
+        trace.append(pc)
+        pc += ILEN
+    _assert_roundtrip(trace)
+    col = lower_trace(trace)
+    assert all(v == 20 for v in col.next_br.tolist())
+
+
+# -- corpus ingestion formats ------------------------------------------------
+
+CHAMPSIM_TEXT = (
+    "0x100 N\n"
+    "0x104 B 1 0x200\n"
+    "0x200 J 1 0x300\n"
+    "0x300 C 1 0x400\n"
+    "0x400 R 1 0x304\n"
+    "0x304 I 1 0x500\n"
+    "0x500 X 1 0x600\n"
+)
+
+CVP1_TEXT = (
+    "0x100 aluInstClass\n"
+    "0x104 loadInstClass 0x9000\n"
+    "0x108 condBranchInstClass 1 0x200\n"
+    "0x200 uncondDirectBranchInstClass 1 0x300\n"
+    "0x300 uncondIndirectBranchInstClass 1 0x400\n"
+)
+
+
+def _write(tmp_path, name, text, opener=None):
+    path = tmp_path / name
+    if opener is None:
+        path.write_text(text)
+    else:
+        with opener(str(path), "wt") as fh:
+            fh.write(text)
+    return str(path)
+
+
+@pytest.mark.parametrize(
+    "name,text,opener",
+    [
+        ("t.champsim", CHAMPSIM_TEXT, None),
+        ("t.champsim.gz", CHAMPSIM_TEXT, gzip.open),
+        ("t.champsim.xz", CHAMPSIM_TEXT, lzma.open),
+        ("t.cvp1", CVP1_TEXT, None),
+        ("t.cvp1.xz", CVP1_TEXT, lzma.open),
+    ],
+)
+def test_roundtrip_corpus_formats(store, tmp_path, name, text, opener):
+    path = _write(tmp_path, name, text, opener)
+    store.ingest(path, name="fmt")
+    _assert_roundtrip(load_corpus_trace("corpus:fmt"))
+
+
+def test_roundtrip_corpus_csv(store, trace_csv):
+    _, path = trace_csv
+    store.ingest(path, shard_insts=2_000)
+    corpus = load_corpus_trace("corpus:web_frontend")
+    _assert_roundtrip(corpus)
+
+
+# -- predictor plan vs the live engine ---------------------------------------
+
+
+def _reference_plan_values(trace, bp_size_kb):
+    """Drive the real PredictionEngine sub-predictors in exactly the
+    order ``PredictionEngine.resolve`` does, recording the decisions."""
+    eng = PredictionEngine(bp_size_kb=bp_size_kb)
+    n = len(trace)
+    pt = [0] * n
+    ras_ok = [0] * n
+    ind_pred = [0] * n
+    for i in range(n):
+        bt = trace.btype[i]
+        if not bt:
+            continue
+        pc, taken, target = trace.pc[i], bool(trace.taken[i]), trace.target[i]
+        if bt == BranchType.COND_DIRECT:
+            predicted, total, idxs = eng.perceptron.predict(pc)
+            pt[i] = 1 if predicted else 0
+            eng.perceptron.update(taken, total, idxs)
+            eng.history.push(taken)
+            continue
+        eng.history.push(True)
+        if bt in (BranchType.UNCOND_DIRECT, BranchType.CALL_DIRECT):
+            if bt == BranchType.CALL_DIRECT:
+                eng.ras.push(pc + ILEN)
+        elif bt == BranchType.RETURN:
+            ras_ok[i] = 1 if eng.ras.pop() == target else 0
+        else:
+            pred = eng.indirect.predict(pc)
+            ind_pred[i] = pred if pred is not None else 0
+            eng.indirect.update(pc, target)
+            if bt == BranchType.CALL_INDIRECT:
+                eng.ras.push(pc + ILEN)
+    return pt, ras_ok, ind_pred
+
+
+@pytest.mark.parametrize("name,size", [("web_frontend", 64), ("db_oltp", 2)])
+def test_predictor_plan_matches_live_engine(name, size):
+    trace = get_trace(name, 8_000)
+    plan = build_predictor_plan(lower_trace(trace), geometry_for(size))
+    pt, ras_ok, ind_pred = _reference_plan_values(trace, size)
+    assert plan.pt.tolist() == pt
+    assert plan.ras_ok.tolist() == ras_ok
+    assert plan.ind_pred.tolist() == ind_pred
+
+
+def test_batch_plan_payload_roundtrip():
+    trace = get_trace("web_frontend", 4_000)
+    geom = geometry_for(64)
+    plan = build_batch_plan(trace, geom)
+    clone = BatchPlan.from_payload(geom, plan.payload())
+    for key in BatchPlan.PAYLOAD_KEYS:
+        assert getattr(clone, key) == getattr(plan, key)
+    assert clone.geometry == geom
