@@ -1,42 +1,124 @@
 #!/usr/bin/env python
-"""Fail CI when the batched engine's speedup regresses vs the baseline.
+"""Fail CI when a measured engine speedup regresses vs its baseline.
 
-Usage::
+Two invocation forms::
 
     python scripts/perf_guard.py FRESH.json [BASELINE.json] [--tolerance F]
+    python scripts/perf_guard.py --all FRESH_DIR [BASELINE_DIR] [--tolerance F]
 
-Compares the ``geomean_speedup`` (and each per-family speedup) of a
-freshly measured ``BENCH_batch.json`` against the committed baseline in
-``benchmarks/results/``. Speedup is a ratio of two engines measured in
-the same process on the same machine, so it is stable across runner
-hardware and trace scale where absolute seconds are not. The guard
-fails (exit 1) when the fresh geomean falls more than ``--tolerance``
-(default 0.15, i.e. 15%) below the baseline's.
+The single-file form compares one freshly measured ``BENCH_*.json``
+against its committed counterpart. The ``--all`` form pairs every
+guardable ``BENCH_*.json`` in the baseline directory (default:
+``benchmarks/results/``) with the file of the same name in
+``FRESH_DIR`` and checks them all in one invocation.
+
+A benchmark document is *guardable* when it carries a
+``geomean_speedup`` (optionally with per-family ``families`` speedups —
+``BENCH_batch.json``, ``BENCH_kernel.json``); when it only has
+families, the geomean is computed from them. Documents with neither
+(e.g. ``BENCH_sweep.json``, ``BENCH_corpus.json``, which report raw
+phase timings) are skipped with a note — wall-clock seconds are not
+stable across runner hardware, but a speedup *ratio* measured within
+one process is.
+
+The guard fails (exit 1) when any fresh geomean falls more than
+``--tolerance`` (default 0.15, i.e. 15%) below its baseline, or when a
+baseline family is missing from the fresh measurement.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 
-DEFAULT_BASELINE = (
-    Path(__file__).resolve().parent.parent
-    / "benchmarks"
-    / "results"
-    / "BENCH_batch.json"
-)
+BASELINE_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+DEFAULT_BASELINE = BASELINE_DIR / "BENCH_batch.json"
+
+
+def extract(doc: dict):
+    """``(geomean_speedup, families)`` of a benchmark document, or
+    ``None`` when it carries no engine-relative speedup to guard."""
+    families = {
+        name: float(family["speedup"])
+        for name, family in doc.get("families", {}).items()
+        if isinstance(family, dict) and "speedup" in family
+    }
+    geomean = doc.get("geomean_speedup")
+    if geomean is None and families:
+        geomean = math.exp(
+            sum(math.log(s) for s in families.values()) / len(families)
+        )
+    if geomean is None:
+        return None
+    return float(geomean), families
+
+
+def check_pair(
+    fresh_path: Path, baseline_path: Path, tolerance: float
+) -> bool:
+    """Guard one fresh/baseline pair; ``True`` when within tolerance."""
+    fresh_doc = json.loads(fresh_path.read_text())
+    baseline_doc = json.loads(baseline_path.read_text())
+    baseline = extract(baseline_doc)
+    if baseline is None:
+        print(f"skip {baseline_path.name}: no speedup keys to guard")
+        return True
+    fresh = extract(fresh_doc)
+    if fresh is None:
+        print(f"FAIL {fresh_path.name}: fresh measurement has no speedup keys")
+        return False
+    want, base_families = baseline
+    got, fresh_families = fresh
+    ok = True
+    for name, base_speedup in base_families.items():
+        fresh_speedup = fresh_families.get(name)
+        if fresh_speedup is None:
+            print(
+                f"FAIL {fresh_path.name}: family {name!r} missing from "
+                f"fresh measurement"
+            )
+            ok = False
+            continue
+        print(
+            f"{baseline_path.name} {name}: baseline {base_speedup:.2f}x, "
+            f"fresh {fresh_speedup:.2f}x"
+        )
+    floor = want * (1.0 - tolerance)
+    print(
+        f"{baseline_path.name} geomean: baseline {want:.3f}x, "
+        f"fresh {got:.3f}x, floor {floor:.3f}x (tolerance {tolerance:.0%})"
+    )
+    if got < floor:
+        print(
+            f"FAIL {fresh_path.name}: geomean speedup {got:.3f}x regressed "
+            f"more than {tolerance:.0%} below the baseline {want:.3f}x"
+        )
+        ok = False
+    return ok
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("fresh", help="freshly measured BENCH_batch.json")
+    parser.add_argument(
+        "fresh",
+        help="freshly measured BENCH_*.json (or, with --all, a directory "
+        "of fresh measurements)",
+    )
     parser.add_argument(
         "baseline",
         nargs="?",
-        default=str(DEFAULT_BASELINE),
-        help="committed baseline (default: benchmarks/results/BENCH_batch.json)",
+        default=None,
+        help="committed baseline file (default: the file of the same name "
+        "under benchmarks/results/) or, with --all, the baseline directory",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="treat FRESH as a directory and guard every guardable "
+        "BENCH_*.json committed in the baseline directory",
     )
     parser.add_argument(
         "--tolerance",
@@ -46,34 +128,41 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    fresh = json.loads(Path(args.fresh).read_text())
-    baseline = json.loads(Path(args.baseline).read_text())
-
-    got = fresh["geomean_speedup"]
-    want = baseline["geomean_speedup"]
-    floor = want * (1.0 - args.tolerance)
-
-    for name, base_family in baseline.get("families", {}).items():
-        fresh_family = fresh.get("families", {}).get(name)
-        if fresh_family is None:
-            print(f"FAIL: family {name!r} missing from fresh measurement")
+    if args.all:
+        fresh_dir = Path(args.fresh)
+        baseline_dir = Path(args.baseline) if args.baseline else BASELINE_DIR
+        ok = True
+        checked = 0
+        for baseline_path in sorted(baseline_dir.glob("BENCH_*.json")):
+            if extract(json.loads(baseline_path.read_text())) is None:
+                print(f"skip {baseline_path.name}: no speedup keys to guard")
+                continue
+            fresh_path = fresh_dir / baseline_path.name
+            if not fresh_path.is_file():
+                print(
+                    f"FAIL: no fresh measurement {fresh_path} for committed "
+                    f"baseline {baseline_path.name}"
+                )
+                ok = False
+                continue
+            ok = check_pair(fresh_path, baseline_path, args.tolerance) and ok
+            checked += 1
+        if not checked and ok:
+            print("FAIL: nothing guarded (no guardable baselines found)")
             return 1
-        print(
-            f"{name}: baseline {base_family['speedup']:.2f}x, "
-            f"fresh {fresh_family['speedup']:.2f}x"
-        )
+        if ok:
+            print(f"ok: {checked} benchmark(s) within tolerance")
+        return 0 if ok else 1
 
-    print(
-        f"geomean: baseline {want:.3f}x, fresh {got:.3f}x, "
-        f"floor {floor:.3f}x (tolerance {args.tolerance:.0%})"
-    )
-    if got < floor:
-        print(
-            f"FAIL: batched geomean speedup {got:.3f}x regressed more than "
-            f"{args.tolerance:.0%} below the baseline {want:.3f}x"
-        )
+    fresh_path = Path(args.fresh)
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:
+        named = BASELINE_DIR / fresh_path.name
+        baseline_path = named if named.is_file() else DEFAULT_BASELINE
+    if not check_pair(fresh_path, baseline_path, args.tolerance):
         return 1
-    print("ok: batched speedup within tolerance of the committed baseline")
+    print("ok: speedup within tolerance of the committed baseline")
     return 0
 
 

@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""CI smoke for the ``repro-sim serve`` daemon (see docs/service.md).
+
+Boots a real daemon subprocess, submits two identical concurrent sweep
+jobs, and asserts the service-level invariants end to end:
+
+* both jobs finish ``done`` with identical result documents;
+* at least one duplicate point was coalesced (``/v1/metrics``), and
+  every requested point was either scheduled once or coalesced;
+* with ``--expect-cold``, the disk cache records exactly one miss per
+  unique grid point — i.e. 0 duplicate executions for 2x the requests;
+* SIGTERM drains gracefully: exit code 0 after in-flight work lands.
+
+The winning job's result document is written to ``--out`` in exactly
+the format of ``repro-sim sweep --out`` so the caller can ``cmp`` it
+against a clean one-shot CLI sweep — including runs where
+``REPRO_FAULT_SPEC`` (inherited by the daemon) injects worker crashes.
+
+Stdlib only; exits non-zero with a diagnostic on any violated invariant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _request(port, method, path, body=None, headers=None, timeout=300):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    conn.request(
+        method,
+        path,
+        body=json.dumps(body) if body is not None else None,
+        headers=headers or {},
+    )
+    resp = conn.getresponse()
+    data = resp.read()
+    conn.close()
+    return resp.status, json.loads(data) if data else None
+
+
+def _wait_job(port, job_id, timeout):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, doc = _request(port, "GET", f"/v1/jobs/{job_id}")
+        if status != 200:
+            raise SystemExit(f"FAIL: job poll returned HTTP {status}")
+        if doc["status"] != "running":
+            return doc
+        time.sleep(0.2)
+    raise SystemExit(f"FAIL: job {job_id} still running after {timeout}s")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", required=True, help="result document path")
+    parser.add_argument("--cache-dir", required=True)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--length", type=int, default=20_000)
+    parser.add_argument(
+        "--configs", nargs="+", default=["ibtb:16", "mbbtb:2:allbr"]
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=["web_frontend", "db_oltp", "kv_store", "template_render"],
+    )
+    parser.add_argument(
+        "--expect-cold",
+        action="store_true",
+        help="assert exactly one cache miss per unique point "
+        "(start this run on an empty --cache-dir)",
+    )
+    parser.add_argument("--timeout", type=float, default=600.0)
+    args = parser.parse_args(argv)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{REPO / 'src'}{os.pathsep}" + env.get("PYTHONPATH", "")
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--jobs", str(args.jobs),
+            "--cache-dir", args.cache_dir,
+            "--drain-timeout", "300",
+            "--timeout", "60",  # hung (faulted) workers get killed + retried
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        line = daemon.stdout.readline()
+        if "listening on http://" not in line:
+            raise SystemExit(f"FAIL: unexpected daemon banner: {line!r}")
+        port = int(line.split("listening on http://", 1)[1]
+                   .split()[0].rsplit(":", 1)[1])
+        print(f"daemon up on port {port} (pid {daemon.pid})")
+
+        spec = {
+            "configs": args.configs,
+            "workloads": args.workloads,
+            "length": args.length,
+        }
+        submissions = [None, None]
+
+        def submit(slot):
+            submissions[slot] = _request(port, "POST", "/v1/sweep", spec)
+
+        threads = [
+            threading.Thread(target=submit, args=(slot,)) for slot in (0, 1)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for status, doc in submissions:
+            if status != 202:
+                raise SystemExit(f"FAIL: submission got HTTP {status}: {doc}")
+        ids = [doc["job"] for _status, doc in submissions]
+        print(f"submitted twin sweeps: {ids[0]} and {ids[1]}")
+
+        docs = [_wait_job(port, job_id, args.timeout) for job_id in ids]
+        for doc in docs:
+            if doc["status"] != "done" or doc["failed"]:
+                raise SystemExit(f"FAIL: job did not converge: {doc}")
+
+        results = [
+            json.dumps(doc["result"], indent=2, sort_keys=True) + "\n"
+            for doc in docs
+        ]
+        if results[0] != results[1]:
+            raise SystemExit("FAIL: twin jobs returned different results")
+
+        _status, metrics = _request(port, "GET", "/v1/metrics")
+        service = metrics["service"]
+        unique = (len(args.configs) + 1) * len(args.workloads)  # + baseline
+        print(
+            f"metrics: requested={service['points_requested']} "
+            f"scheduled={service['points_scheduled']} "
+            f"coalesced={service['points_coalesced']} "
+            f"result_misses={metrics['cache'].get('result_misses')} "
+            f"resilience={metrics['resilience']}"
+        )
+        if service["points_requested"] != 2 * unique:
+            raise SystemExit("FAIL: wrong request accounting")
+        if service["points_coalesced"] < 1:
+            raise SystemExit("FAIL: no coalescing observed across twin sweeps")
+        if (
+            service["points_scheduled"] + service["points_coalesced"]
+            != service["points_requested"]
+        ):
+            raise SystemExit("FAIL: scheduled + coalesced != requested")
+        if args.expect_cold:
+            misses = metrics["cache"].get("result_misses")
+            if misses != unique:
+                raise SystemExit(
+                    f"FAIL: expected {unique} cold misses (one execution "
+                    f"per unique point), saw {misses}"
+                )
+        if os.environ.get("REPRO_FAULT_SPEC"):
+            if metrics["resilience"].get("retries", 0) < 1:
+                raise SystemExit(
+                    "FAIL: fault spec set but no retries recorded — "
+                    "the chaos run didn't actually exercise recovery"
+                )
+
+        Path(args.out).write_text(results[0])
+        print(f"wrote {args.out}")
+
+        daemon.send_signal(signal.SIGTERM)
+        rc = daemon.wait(timeout=120)
+        tail = daemon.stdout.read()
+        if rc != 0:
+            raise SystemExit(f"FAIL: daemon exited {rc} on SIGTERM: {tail}")
+        print("ok: coalesced, converged, drained cleanly")
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,11 @@ Subcommands::
                                                Chrome/Perfetto + CSV export
     repro-sim compare CONFIG [CONFIG...]       whisker table vs ideal I-BTB 16
     repro-sim sweep [CONFIG...] --jobs N       parallel, disk-cached sweep
+    repro-sim serve --port N --jobs N          async simulation daemon
+                                               (coalescing, admission
+                                               control, NDJSON job events
+                                               — docs/service.md)
+    repro-sim cache stats|prune                persistent-cache maintenance
     repro-sim corpus ingest|ls|info|verify|gc  manage the trace corpus store
     repro-sim workloads                        synthetic + corpus workload names
     repro-sim list                             workloads and config syntax
@@ -69,6 +74,7 @@ from repro.core.runner import (
     compare_to_baseline,
     run_one,
     sweep_compare,
+    sweep_results_payload,
 )
 from repro.corpus import (
     DEFAULT_SHARD_INSTS,
@@ -262,35 +268,9 @@ _RESILIENCE_COLUMNS = (
 )
 
 
-def _sweep_results_payload(compared, baseline_label: str) -> dict:
-    """Deterministic per-point results document (``sweep --out``).
-
-    Fault-injected runs must produce byte-identical output to clean
-    runs, so everything is plain sorted JSON derived from SimResults.
-    """
-    configs = {}
-    relative = {}
-    for cc in compared:
-        per_workload = {}
-        for result in cc.results:
-            per_workload[result.name] = {
-                "instructions": result.instructions,
-                "cycles": result.cycles,
-                "ipc": result.ipc,
-                "branch_mpki": result.branch_mpki,
-                "misfetch_pki": result.misfetch_pki,
-                "stats": result.stats,
-            }
-        configs[cc.config.label] = per_workload
-        relative[cc.config.label] = {
-            r.name: rel for r, rel in zip(cc.results, cc.relative_ipc)
-        }
-    return {
-        "schema": 1,
-        "baseline": baseline_label,
-        "configs": configs,
-        "relative_ipc": relative,
-    }
+#: Kept as an alias — the payload builder moved to the runner so the
+#: service daemon's sweep jobs emit byte-identical documents.
+_sweep_results_payload = sweep_results_payload
 
 
 def _cmd_sweep(args) -> int:
@@ -448,6 +428,96 @@ def _cmd_sweep(args) -> int:
         )
     print(f"kernel engine: {engine}")
     return 1 if (report is not None and report.failures) else 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the sweep-as-a-service daemon (repro.service)."""
+    import asyncio
+
+    from repro.service import Service, ServiceConfig
+
+    kernel_mode()  # validate REPRO_KERNEL before accepting traffic
+    if not args.no_disk_cache:
+        # The daemon is long-lived: default to the sharded layout so the
+        # store scales past what a one-shot sweep ever writes.
+        configure_disk_cache(
+            True, args.cache_dir or env_cache_root(), shard=args.shard
+        )
+    service = Service(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs if args.jobs is not None else resolve_jobs(None),
+            queue_limit=args.queue_limit,
+            rate=args.rate,
+            burst=args.burst,
+            max_retries=args.max_retries,
+            timeout=args.timeout,
+            batch=args.batch,
+            recycle=args.recycle,
+            cache_max_bytes=int(args.cache_max_mb * (1 << 20)),
+            drain_timeout=args.drain_timeout,
+        )
+    )
+    return asyncio.run(service.run())
+
+
+def _cache_for(args):
+    from repro.core.exec import DiskCache
+
+    return DiskCache(args.cache_dir or env_cache_root())
+
+
+def _cmd_cache_stats(args) -> int:
+    """Per-tier entry counts and sizes (sweeps stale write locks too)."""
+    import json
+
+    from repro.core.exec import TIERS
+
+    cache = _cache_for(args)
+    stats = cache.tier_stats()
+    swept = cache.counters.get("locks_swept", 0)
+    if args.json:
+        print(
+            json.dumps(
+                {"root": str(cache.root), "tiers": stats, "locks_swept": swept},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    rows = [
+        (tier, f"{stats[tier]['entries']:,}", _fmt_bytes(stats[tier]["bytes"]))
+        for tier in [*TIERS, "total"]
+    ]
+    print(f"cache root: {cache.root}")
+    print(format_table(("tier", "entries", "size"), rows))
+    if swept:
+        print(f"(swept {swept} stale lock/temp file(s))")
+    return 0
+
+
+def _cmd_cache_prune(args) -> int:
+    """LRU-evict entries until the store fits ``--max-mb``."""
+    cache = _cache_for(args)
+    summary = cache.prune(
+        int(args.max_mb * (1 << 20)), tiers=args.tiers or None
+    )
+    print(
+        f"evicted {summary['evicted']} entr(y/ies) "
+        f"({_fmt_bytes(summary['evicted_bytes'])}); "
+        f"kept {summary['kept']} ({_fmt_bytes(summary['kept_bytes'])}) "
+        f"under {args.max_mb} MB at {cache.root}"
+    )
+    return 0
+
+
+def _fmt_bytes(n: int) -> str:
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):.1f}MB"
+    if n >= 1 << 10:
+        return f"{n / (1 << 10):.1f}KB"
+    return f"{n}B"
 
 
 def _cmd_export(args) -> int:
@@ -673,8 +743,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--length", type=int, default=160_000)
     p.add_argument("--warmup", type=int, default=None, help="default: length/4")
     p.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes (0 = auto-detect the CPU count)",
+        "--jobs", type=int, default=None,
+        help="worker processes (0 = auto-detect the CPU count; "
+        "default: $REPRO_JOBS, else 1)",
     )
     p.add_argument(
         "--batch", type=int, default=None, metavar="N",
@@ -728,6 +799,96 @@ def build_parser() -> argparse.ArgumentParser:
         "crashes) as Chrome trace_event JSON",
     )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "serve", help="async simulation daemon (coalescing + admission "
+        "control over the warm worker pool; docs/service.md)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default 0: pick an ephemeral port and print it)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (0 = auto-detect the CPU count; "
+        "default: $REPRO_JOBS, else 1)",
+    )
+    p.add_argument(
+        "--queue-limit", type=int, default=16, metavar="N",
+        help="max concurrently active jobs before submissions get 429 "
+        "(default 16)",
+    )
+    p.add_argument(
+        "--rate", type=float, default=0.0, metavar="R",
+        help="per-client token-bucket refill, submissions/second "
+        "(default 0: unlimited)",
+    )
+    p.add_argument(
+        "--burst", type=float, default=20.0, metavar="B",
+        help="per-client token-bucket capacity (default 20)",
+    )
+    p.add_argument("--max-retries", type=int, default=2, metavar="N",
+                   help="per-point retry budget (default 2)")
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="soft per-point wall-clock budget (default: no deadline)",
+    )
+    p.add_argument(
+        "--batch", type=int, default=None, metavar="N",
+        help="points per worker dispatch (default: load-balanced)",
+    )
+    p.add_argument(
+        "--recycle", type=int, default=0, metavar="N",
+        help="retire each worker after N points (default 0: never)",
+    )
+    p.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="skip the persistent cache (~/.cache/repro-btb)",
+    )
+    p.add_argument("--cache-dir", default=None, help="persistent cache root")
+    p.add_argument(
+        "--shard", action=argparse.BooleanOptionalAction, default=True,
+        help="fan cache entries into 256 subdirectories per tier "
+        "(default on for the daemon; flat caches are still read)",
+    )
+    p.add_argument(
+        "--cache-max-mb", type=float, default=0.0, metavar="MB",
+        help="result-store byte budget, LRU-enforced between batches "
+        "(default 0: unbounded)",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="grace for in-flight work on SIGTERM before aborting it "
+        "(default 30)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "cache", help="inspect and bound the persistent cache"
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+
+    c = cache_sub.add_parser(
+        "stats", help="per-tier entry counts and sizes "
+        "(sweeps stale write locks)"
+    )
+    c.add_argument("--cache-dir", default=None, help="persistent cache root")
+    c.add_argument("--json", action="store_true", help="machine-readable output")
+    c.set_defaults(func=_cmd_cache_stats)
+
+    c = cache_sub.add_parser(
+        "prune", help="LRU-evict entries until the store fits a byte budget"
+    )
+    c.add_argument("--max-mb", type=float, required=True, metavar="MB",
+                   help="target store size in megabytes")
+    c.add_argument(
+        "--tiers", nargs="*", default=None,
+        help="tiers to measure/evict (default: all of "
+        "results traces plans obs)",
+    )
+    c.add_argument("--cache-dir", default=None, help="persistent cache root")
+    c.set_defaults(func=_cmd_cache_prune)
 
     p = sub.add_parser("export", help="export workload traces to CSV")
     p.add_argument("outdir")

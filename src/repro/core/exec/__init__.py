@@ -27,11 +27,15 @@ from repro.core.exec.cachekey import (
 from repro.core.exec.diskcache import (
     DEFAULT_CACHE_DIR,
     ENV_CACHE_DIR,
+    ENV_CACHE_SHARDS,
+    STALE_LOCK_SECONDS,
+    TIERS,
     DiskCache,
     default_cache_dir,
 )
 from repro.core.exec.engine import (
     ENV_DISK_CACHE,
+    ENV_JOBS,
     SweepPoint,
     clear_plan_memo,
     clear_trace_memo,
@@ -73,11 +77,15 @@ __all__ = [
     "DEFAULT_POLICY",
     "DiskCache",
     "ENV_CACHE_DIR",
+    "ENV_CACHE_SHARDS",
     "ENV_DISK_CACHE",
     "ENV_FAULT_DIR",
     "ENV_FAULT_HANG",
     "ENV_FAULT_SPEC",
+    "ENV_JOBS",
     "ERROR_KINDS",
+    "STALE_LOCK_SECONDS",
+    "TIERS",
     "FaultPlan",
     "FaultRule",
     "FaultSpecError",

@@ -17,6 +17,23 @@ overridable via ``REPRO_CACHE_DIR``)::
                                              stored alongside the result
                                              under the same key)
 
+With sharding enabled (``shard=True``, or ``REPRO_CACHE_SHARDS=1`` —
+the service daemon's default) each tier fans its entries out into 256
+two-hex-digit subdirectories (``results/ab/<sha256>.json``), so a store
+holding millions of entries never concentrates them in one directory.
+Keys are unchanged either way, and reads transparently find entries
+written under the other layout, so flat and sharded stores interoperate
+on the same root.
+
+Size discipline for long-lived stores: :meth:`DiskCache.tier_stats`
+reports per-tier entry counts and byte sizes (sweeping abandoned
+``.lock`` sentinels on the way through), and :meth:`DiskCache.prune`
+evicts least-recently-used entries until the store fits a byte budget —
+successful loads touch the entry's mtime, so recency tracks use, not
+creation. The service daemon applies the budget continuously
+(``repro-sim serve --cache-max-mb``); ``repro-sim cache stats`` /
+``cache prune`` expose the same machinery on the command line.
+
 Writes are atomic (temp file + ``os.replace``), so a crashed or killed
 run never leaves a half-written entry behind. Concurrent sweeps sharing
 one cache are additionally serialized per key with a ``.lock`` sentinel
@@ -37,7 +54,7 @@ import shutil
 import tempfile
 import time
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.core.exec.cachekey import CACHE_SCHEMA
 from repro.core.simulator import SimResult
@@ -52,6 +69,13 @@ DEFAULT_CACHE_DIR = "~/.cache/repro-btb"
 #: Age (seconds) past which a ``.lock`` sentinel is presumed abandoned
 #: by a killed writer and may be broken by the next one.
 STALE_LOCK_SECONDS = 60.0
+
+#: Set to ``1``/``true`` to shard cache tiers into 256 two-hex-digit
+#: subdirectories (for stores expected to hold millions of entries).
+ENV_CACHE_SHARDS = "REPRO_CACHE_SHARDS"
+
+#: The cache tiers, in the order maintenance commands report them.
+TIERS = ("results", "traces", "plans", "obs")
 
 
 def default_cache_dir() -> Path:
@@ -136,13 +160,17 @@ def atomic_write(path: Path, writer) -> bool:
 class DiskCache:
     """Content-addressed result/trace store with hit/miss counters."""
 
-    def __init__(self, root=None) -> None:
+    def __init__(self, root=None, shard: Optional[bool] = None) -> None:
         self.root = Path(root).expanduser() if root else default_cache_dir()
         self.version_dir = self.root / f"v{CACHE_SCHEMA}"
         self.results_dir = self.version_dir / "results"
         self.traces_dir = self.version_dir / "traces"
         self.plans_dir = self.version_dir / "plans"
         self.obs_dir = self.version_dir / "obs"
+        if shard is None:
+            env = os.environ.get(ENV_CACHE_SHARDS, "").strip().lower()
+            shard = env not in ("", "0", "false", "no")
+        self.shard = bool(shard)
         self.counters: Dict[str, int] = {
             "result_hits": 0,
             "result_misses": 0,
@@ -155,17 +183,51 @@ class DiskCache:
 
     # -- paths / plumbing ---------------------------------------------------
 
+    def _entry_path(self, tier_dir: Path, key: str, suffix: str) -> Path:
+        """Path of *key* in *tier_dir*, honouring the shard layout.
+
+        The preferred layout (sharded when ``self.shard``, flat
+        otherwise) wins, but an entry that already exists under the
+        *other* layout is found and reused, so flat and sharded caches
+        interoperate on one root.
+        """
+        flat = tier_dir / f"{key}{suffix}"
+        sharded = tier_dir / key[:2] / f"{key}{suffix}"
+        preferred, other = (sharded, flat) if self.shard else (flat, sharded)
+        if not preferred.exists() and other.exists():
+            return other
+        return preferred
+
     def result_path(self, key: str) -> Path:
-        return self.results_dir / f"{key}.json"
+        return self._entry_path(self.results_dir, key, ".json")
 
     def trace_path(self, key: str) -> Path:
-        return self.traces_dir / f"{key}.npz"
+        return self._entry_path(self.traces_dir, key, ".npz")
 
     def plan_path(self, key: str) -> Path:
-        return self.plans_dir / f"{key}.npz"
+        return self._entry_path(self.plans_dir, key, ".npz")
 
     def obs_path(self, key: str) -> Path:
-        return self.obs_dir / f"{key}.json"
+        return self._entry_path(self.obs_dir, key, ".json")
+
+    def tier_dir(self, tier: str) -> Path:
+        """Directory of one named tier (a member of :data:`TIERS`)."""
+        if tier not in TIERS:
+            raise ValueError(f"unknown cache tier {tier!r}; expected one of {TIERS}")
+        return {
+            "results": self.results_dir,
+            "traces": self.traces_dir,
+            "plans": self.plans_dir,
+            "obs": self.obs_dir,
+        }[tier]
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh an entry's mtime on a hit so eviction is LRU, not FIFO."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
 
     @staticmethod
     def lock_path(path: Path) -> Path:
@@ -224,6 +286,7 @@ class DiskCache:
             self.counters["result_misses"] += 1
             return None
         self.counters["result_hits"] += 1
+        self._touch(path)
         return result
 
     def store_result(self, key: str, result: SimResult) -> None:
@@ -254,6 +317,7 @@ class DiskCache:
             self.counters["trace_misses"] += 1
             return None
         self.counters["trace_hits"] += 1
+        self._touch(path)
         return trace
 
     def store_trace(self, key: str, trace: Trace) -> None:
@@ -287,6 +351,7 @@ class DiskCache:
             self.counters["plan_misses"] += 1
             return None
         self.counters["plan_hits"] += 1
+        self._touch(path)
         return arrays, meta
 
     def store_plan(self, key: str, arrays: Dict, meta: Dict) -> None:
@@ -312,7 +377,7 @@ class DiskCache:
 
         if not self.plans_dir.is_dir():
             return
-        for path in sorted(self.plans_dir.glob("*.npz")):
+        for path in sorted(self.plans_dir.rglob("*.npz")):
             try:
                 with np.load(str(path)) as npz:
                     meta = json.loads(str(npz["__meta__"]))
@@ -342,6 +407,104 @@ class DiskCache:
         )
 
     # -- maintenance --------------------------------------------------------
+
+    def _iter_entries(self, tier: str):
+        """Yield ``(path, stat)`` for every entry of *tier*, sweeping
+        abandoned write state on the way through.
+
+        ``.lock`` sentinels older than :data:`STALE_LOCK_SECONDS` and
+        orphaned ``.tmp-*`` spill files are removed here — the write
+        path only breaks a stale lock when the *same key* is written
+        again, so without this sweep a killed writer's sentinel for a
+        never-rewritten key would linger forever. Fresh locks (a writer
+        may be live) are left alone, as are the temp files next to them.
+        """
+        tier_root = self.tier_dir(tier)
+        if not tier_root.is_dir():
+            return
+        now = time.time()
+        for path in sorted(tier_root.rglob("*")):
+            if not path.is_file():
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # raced with a concurrent eviction/writer
+            age = max(0.0, now - stat.st_mtime)
+            if path.name.endswith(".lock") or path.name.startswith(".tmp-"):
+                if age > STALE_LOCK_SECONDS:
+                    self._drop(path)
+                    self.counters["locks_swept"] = (
+                        self.counters.get("locks_swept", 0) + 1
+                    )
+                continue
+            yield path, stat
+
+    def tier_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-tier entry counts and byte sizes (``repro-sim cache stats``).
+
+        Returns ``{tier: {"entries": n, "bytes": b}}`` for every member
+        of :data:`TIERS` plus a ``"total"`` rollup. Stale ``.lock``
+        sentinels and orphaned temp files encountered during the walk
+        are swept (see :meth:`_iter_entries`); the count removed is
+        reported under ``counters["locks_swept"]``.
+        """
+        stats: Dict[str, Dict[str, int]] = {}
+        total_entries = total_bytes = 0
+        for tier in TIERS:
+            entries = size = 0
+            for _path, stat in self._iter_entries(tier):
+                entries += 1
+                size += stat.st_size
+            stats[tier] = {"entries": entries, "bytes": size}
+            total_entries += entries
+            total_bytes += size
+        stats["total"] = {"entries": total_entries, "bytes": total_bytes}
+        return stats
+
+    def prune(
+        self, max_bytes: int, tiers: Optional[Sequence[str]] = None
+    ) -> Dict[str, int]:
+        """Evict least-recently-used entries until the store fits *max_bytes*.
+
+        Recency is the entry's mtime, which loads refresh on every hit
+        (:meth:`_touch`), so a hot entry survives a prune that removes a
+        colder but newer one. Only the named *tiers* (default: all) are
+        measured and evicted. Entries guarded by a fresh ``.lock`` are
+        skipped — a live writer owns them. Returns eviction counters:
+        ``{"evicted": n, "evicted_bytes": b, "kept": n, "kept_bytes": b}``.
+        """
+        chosen = list(tiers) if tiers is not None else list(TIERS)
+        entries = []
+        for tier in chosen:
+            entries.extend(self._iter_entries(tier))
+        total = sum(stat.st_size for _p, stat in entries)
+        evicted = evicted_bytes = 0
+        if total > max_bytes:
+            entries.sort(key=lambda item: (item[1].st_mtime, str(item[0])))
+            for path, stat in entries:
+                if total - evicted_bytes <= max_bytes:
+                    break
+                lock = lock_path(path)
+                if lock.exists():
+                    try:
+                        if time.time() - lock.stat().st_mtime < STALE_LOCK_SECONDS:
+                            continue  # live writer: not ours to evict
+                    except OSError:
+                        pass
+                self._drop(path)
+                evicted += 1
+                evicted_bytes += stat.st_size
+        self.counters["evicted"] = self.counters.get("evicted", 0) + evicted
+        self.counters["evicted_bytes"] = (
+            self.counters.get("evicted_bytes", 0) + evicted_bytes
+        )
+        return {
+            "evicted": evicted,
+            "evicted_bytes": evicted_bytes,
+            "kept": len(entries) - evicted,
+            "kept_bytes": total - evicted_bytes,
+        }
 
     def clear(self) -> None:
         """Remove every cached entry, including stale schema versions."""

@@ -37,7 +37,7 @@ import traceback as traceback_module
 from dataclasses import dataclass, field
 from math import ceil
 from multiprocessing import connection as mp_connection
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import MachineConfig, build_simulator
 from repro.core.exec.cachekey import CACHE_SCHEMA, digest, result_key, trace_key
@@ -89,14 +89,17 @@ _plan_memo: Dict[Tuple, object] = {}
 
 
 def configure_disk_cache(
-    enabled: bool = True, root=None
+    enabled: bool = True, root=None, shard: Optional[bool] = None
 ) -> Optional[DiskCache]:
     """Install (or disable) the process-wide persistent cache.
 
-    Returns the active :class:`DiskCache`, or ``None`` when disabled.
+    *shard* opts the store into the 256-way directory layout (``None``
+    defers to ``REPRO_CACHE_SHARDS``; the service daemon shards by
+    default). Returns the active :class:`DiskCache`, or ``None`` when
+    disabled.
     """
     global _disk_cache, _disk_cache_configured
-    _disk_cache = DiskCache(root) if enabled else None
+    _disk_cache = DiskCache(root, shard=shard) if enabled else None
     _disk_cache_configured = True
     _trace_memo.clear()
     _plan_memo.clear()
@@ -344,7 +347,7 @@ def _classify_exception(exc: BaseException) -> str:
     )
 
 
-def _worker_main(conn, cache_root) -> None:
+def _worker_main(conn, cache_root, cache_shard: bool = False) -> None:
     """Persistent worker loop: run chunks until told to shut down.
 
     The worker reconfigures its own disk cache from the shipped root so
@@ -370,7 +373,9 @@ def _worker_main(conn, cache_root) -> None:
     Every message carries a cumulative counter snapshot: if the process
     is killed mid-chunk the parent still folds in the last one seen.
     """
-    disk = configure_disk_cache(enabled=cache_root is not None, root=cache_root)
+    disk = configure_disk_cache(
+        enabled=cache_root is not None, root=cache_root, shard=cache_shard
+    )
     snap = (lambda: disk.snapshot()) if disk is not None else (lambda: {})
     try:
         while True:
@@ -419,12 +424,26 @@ def _worker_main(conn, cache_root) -> None:
             pass
 
 
-def resolve_jobs(jobs: int) -> int:
+#: Default worker count for CLI sweeps when ``--jobs`` is not given.
+ENV_JOBS = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Normalize a job count; ``0`` auto-detects the usable CPU count.
 
-    Uses :func:`os.process_cpu_count` (affinity-aware, Python >= 3.13)
-    when available, falling back to :func:`os.cpu_count`.
+    ``None`` (the CLI's "flag not given") consults the ``REPRO_JOBS``
+    environment variable, defaulting to ``1``; an unparsable value is
+    ignored. An **explicit** ``0`` always auto-detects, overriding
+    ``REPRO_JOBS``. Auto-detection uses :func:`os.process_cpu_count`
+    (affinity-aware, Python >= 3.13) when available, falling back to
+    :func:`os.cpu_count`.
     """
+    if jobs is None:
+        env = os.environ.get(ENV_JOBS, "").strip()
+        try:
+            jobs = int(env) if env else 1
+        except ValueError:
+            jobs = 1
     jobs = int(jobs)
     if jobs == 0:
         probe = getattr(os, "process_cpu_count", None) or os.cpu_count
@@ -530,10 +549,12 @@ class _SweepState:
         policy: RetryPolicy,
         journal: Optional[SweepJournal],
         resume: bool,
+        on_outcome: Optional[Callable[[PointOutcome], None]] = None,
     ) -> None:
         self.points = list(points)
         self.policy = policy
         self.journal = journal
+        self.on_outcome = on_outcome
         self.report = SweepReport()
         self.report.bump("points", len(self.points))
         self.attempts: Dict[int, int] = {}
@@ -543,6 +564,20 @@ class _SweepState:
 
     def now(self) -> float:
         return time.monotonic() - self.t0
+
+    def _notify(self, index: int) -> None:
+        """Stream one *final* outcome to the submission hook.
+
+        The hook serves live progress consumers (the ``repro-sim serve``
+        daemon streams these into job event feeds), so it must never be
+        able to poison the sweep: exceptions are swallowed.
+        """
+        if self.on_outcome is None:
+            return
+        try:
+            self.on_outcome(self.outcomes[index])
+        except Exception:
+            pass
 
     def _resume_filter(self, resume: bool) -> List[Tuple[int, SweepPoint]]:
         """Skip journaled points whose cached result still loads."""
@@ -564,6 +599,7 @@ class _SweepState:
                     )
                     self.report.bump("resumed")
                     self.report.record(self.now(), "resume_skip", index=index)
+                    self._notify(index)
                     continue
                 # Journal says done but the artifact is unreadable:
                 # classified cache-corrupt, transparently re-run.
@@ -587,6 +623,7 @@ class _SweepState:
         self.report.bump("ok")
         if self.journal is not None:
             self.journal.record(point_key(point))
+        self._notify(index)
 
     def point_failed(
         self, index: int, point: SweepPoint, kind: str, message: str, tb: str = ""
@@ -616,6 +653,7 @@ class _SweepState:
             attempts=self.attempts[index],
         )
         self.report.bump("failed")
+        self._notify(index)
         return False
 
     def finish(self) -> SweepReport:
@@ -719,6 +757,7 @@ def _run_parallel_resilient(
     ctx = multiprocessing.get_context()
     disk = get_disk_cache()
     cache_root = str(disk.root) if disk is not None else None
+    cache_shard = bool(disk.shard) if disk is not None else False
     allowance = policy.allowance()
 
     pending: List[_PendingChunk] = []
@@ -742,7 +781,9 @@ def _run_parallel_resilient(
     def spawn() -> _LiveWorker:
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         proc = ctx.Process(
-            target=_worker_main, args=(child_conn, cache_root), daemon=True
+            target=_worker_main,
+            args=(child_conn, cache_root, cache_shard),
+            daemon=True,
         )
         proc.start()
         child_conn.close()
@@ -1034,6 +1075,7 @@ def run_points(
     resume: bool = False,
     batch: Optional[int] = None,
     recycle: int = 0,
+    on_outcome: Optional[Callable[[PointOutcome], None]] = None,
 ):
     """Execute every point; results are positionally ordered like *points*.
 
@@ -1057,17 +1099,34 @@ def run_points(
     results plus classified failures, never an exception. *journal*
     (with ``resume=True``) skips points whose completion was
     checkpointed by a previous run and whose cached result still loads.
+
+    *on_outcome* is the async-submission hook used by the service
+    daemon (``repro-sim serve``): it is called once per point with the
+    **final** :class:`~repro.core.exec.resilience.PointOutcome` — after
+    a success, after retries are exhausted, or on a resume skip — from
+    the dispatching thread, as outcomes stream in. Exceptions it raises
+    are swallowed; it must never block for long.
     """
     points = list(points)
     jobs = resolve_jobs(jobs)
     if jobs == 1 or len(points) <= 1:
-        if strict and policy is None and journal is None and not resume:
+        if (
+            strict
+            and policy is None
+            and journal is None
+            and not resume
+            and on_outcome is None
+        ):
             # Legacy fast path: zero resilience overhead.
             return [execute_point(point) for point in points]
-        state = _SweepState(points, policy or DEFAULT_POLICY, journal, resume)
+        state = _SweepState(
+            points, policy or DEFAULT_POLICY, journal, resume, on_outcome
+        )
         report = _run_serial_resilient(state) if state.pairs else state.finish()
     else:
-        state = _SweepState(points, policy or DEFAULT_POLICY, journal, resume)
+        state = _SweepState(
+            points, policy or DEFAULT_POLICY, journal, resume, on_outcome
+        )
         report = (
             _run_parallel_resilient(state, jobs, batch, recycle)
             if state.pairs

@@ -239,6 +239,41 @@ def sweep_compare(
     return compared, report, failed_names
 
 
+def sweep_results_payload(
+    compared: Sequence[ComparedConfig], baseline_label: str
+) -> dict:
+    """Deterministic per-point results document.
+
+    Used by ``repro-sim sweep --out`` and by the service daemon's sweep
+    jobs: fault-injected runs must produce byte-identical output to
+    clean runs, and a coalesced service sweep must match the one-shot
+    CLI, so everything is plain sorted JSON derived from SimResults.
+    """
+    configs = {}
+    relative = {}
+    for cc in compared:
+        per_workload = {}
+        for result in cc.results:
+            per_workload[result.name] = {
+                "instructions": result.instructions,
+                "cycles": result.cycles,
+                "ipc": result.ipc,
+                "branch_mpki": result.branch_mpki,
+                "misfetch_pki": result.misfetch_pki,
+                "stats": result.stats,
+            }
+        configs[cc.config.label] = per_workload
+        relative[cc.config.label] = {
+            r.name: rel for r, rel in zip(cc.results, cc.relative_ipc)
+        }
+    return {
+        "schema": 1,
+        "baseline": baseline_label,
+        "configs": configs,
+        "relative_ipc": relative,
+    }
+
+
 # -- internals ---------------------------------------------------------------
 
 

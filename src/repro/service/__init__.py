@@ -1,0 +1,41 @@
+"""Sweep-as-a-service: the ``repro-sim serve`` simulation daemon.
+
+A long-running asyncio HTTP/JSON front end over the sweep engine
+(:mod:`repro.core.exec`), turning the one-shot CLI into a server that
+can absorb heavy simulation traffic (see ``docs/service.md``):
+
+* :mod:`repro.service.coalesce` — single-flight request deduplication:
+  concurrent identical points (same content-hash cache key) coalesce
+  onto one in-flight execution;
+* :mod:`repro.service.limits` — per-client token-bucket rate limiting;
+* :mod:`repro.service.metrics` — service-level counters plus the rollup
+  of engine resilience and cache counters;
+* :mod:`repro.service.jobs` — job lifecycle: admission control over a
+  bounded queue, batch dispatch onto ``run_points(strict=False)``, live
+  per-point event feeds, and the result-cache size budget;
+* :mod:`repro.service.server` — the HTTP server itself: ``/v1/run``,
+  ``/v1/sweep``, ``/v1/jobs/<id>``, ``/v1/jobs/<id>/events`` (NDJSON),
+  ``/v1/healthz``, ``/v1/metrics``, and graceful SIGTERM drain.
+
+Everything is standard library only (asyncio + hand-rolled HTTP/1.1);
+the daemon adds no dependencies over the simulator itself.
+"""
+
+from repro.service.coalesce import Flight, SingleFlight
+from repro.service.jobs import AdmissionError, Job, JobManager
+from repro.service.limits import ClientLimiter, TokenBucket
+from repro.service.metrics import ServiceMetrics
+from repro.service.server import Service, ServiceConfig
+
+__all__ = [
+    "AdmissionError",
+    "ClientLimiter",
+    "Flight",
+    "Job",
+    "JobManager",
+    "Service",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "SingleFlight",
+    "TokenBucket",
+]

@@ -1,0 +1,103 @@
+"""Single-flight coalescing of concurrent identical simulation points.
+
+The engine already deduplicates *across* invocations through the
+content-hash disk cache; this table deduplicates *within* the daemon's
+in-flight window. Every submitted point is identified by its persistent
+cache key (:func:`repro.core.exec.point_key`), so "identical" has
+exactly the cache's meaning: same config, workload, length, warmup and
+seed, with observability intentionally excluded.
+
+A :class:`Flight` is one pending execution of one unique point. The
+first job to request a key becomes the flight's *leader* and puts it on
+the execution queue; every later job requesting the same key while the
+flight is unresolved *attaches* as a subscriber instead of executing
+anything. When the outcome arrives, all subscribers are notified and
+the flight leaves the table — a later request for the same key starts a
+new flight, which the disk cache then satisfies without re-simulating.
+
+All methods run on the event-loop thread; there is no locking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: A subscriber: ``(callback, context)`` — the callback receives
+#: ``(context, outcome)`` when the flight resolves.
+Subscriber = Tuple[Callable[[Any, Any], None], Any]
+
+
+@dataclass
+class Flight:
+    """One in-flight unique point and everyone waiting on it."""
+
+    key: str
+    point: Any  # SweepPoint (kept loose to avoid an import cycle)
+    subscribers: List[Subscriber] = field(default_factory=list)
+    resolved: bool = False
+    outcome: Any = None
+
+    def subscribe(self, callback: Callable[[Any, Any], None], context: Any) -> None:
+        if self.resolved:  # pragma: no cover - resolved flights leave the table
+            callback(context, self.outcome)
+            return
+        self.subscribers.append((callback, context))
+
+    def resolve(self, outcome: Any) -> None:
+        self.resolved = True
+        self.outcome = outcome
+        subscribers, self.subscribers = self.subscribers, []
+        for callback, context in subscribers:
+            callback(context, outcome)
+
+
+class SingleFlight:
+    """The key → :class:`Flight` table with coalescing counters."""
+
+    def __init__(self) -> None:
+        self._flights: Dict[str, Flight] = {}
+        #: Unique flights created (each is executed at most once).
+        self.started = 0
+        #: Requests that attached to an existing flight instead of
+        #: executing — the daemon's headline deduplication metric.
+        self.coalesced = 0
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+    def get(self, key: str) -> Optional[Flight]:
+        return self._flights.get(key)
+
+    def admit(self, key: str, point: Any) -> Tuple[Flight, bool]:
+        """The flight for *key*, creating one if none is in flight.
+
+        Returns ``(flight, leader)``: ``leader`` is ``True`` when the
+        caller created the flight and owns putting it on the execution
+        queue; ``False`` means the caller coalesced onto existing work.
+        """
+        flight = self._flights.get(key)
+        if flight is not None:
+            self.coalesced += 1
+            return flight, False
+        flight = Flight(key=key, point=point)
+        self._flights[key] = flight
+        self.started += 1
+        return flight, True
+
+    def resolve(self, key: str, outcome: Any) -> None:
+        """Resolve and retire the flight for *key* (idempotent)."""
+        flight = self._flights.pop(key, None)
+        if flight is not None:
+            flight.resolve(outcome)
+
+    def abort_all(self, outcome_factory: Callable[[Flight], Any]) -> int:
+        """Resolve every remaining flight with a synthesized outcome.
+
+        Used on drain timeout so no subscriber waits forever. Returns
+        the number of flights aborted.
+        """
+        flights, self._flights = list(self._flights.values()), {}
+        for flight in flights:
+            flight.resolve(outcome_factory(flight))
+        return len(flights)

@@ -1,0 +1,493 @@
+"""Job lifecycle for the service daemon: admission → batches → results.
+
+A *job* is one client request — a single point (``POST /v1/run``) or a
+config × workload sweep grid (``POST /v1/sweep``). Jobs never execute
+anything themselves: every point is admitted into the single-flight
+table (:mod:`repro.service.coalesce`) under its content-hash cache key,
+and only flight *leaders* reach the execution queue. The executor loop
+drains that queue in batches onto the engine's resilient pool —
+``run_points(strict=False)`` with the daemon's worker count — so
+concurrent jobs share one warm pool and one pass over any shared
+points, and an injected worker crash surfaces as a classified per-point
+error in the job report instead of a dead daemon.
+
+Admission control is two-layered and enforced before any state is
+created: a per-client token bucket (:mod:`repro.service.limits`) and a
+bound on concurrently active jobs; both reject with ``429`` and a
+``Retry-After``. A draining daemon rejects with ``503``.
+
+Per-point progress streams through the engine's ``on_outcome``
+async-submission hook: final outcomes hop from the dispatcher thread
+onto the event loop, resolve their flight, and fan out to every
+subscribed job's NDJSON event feed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.exec import (
+    PointError,
+    PointOutcome,
+    RetryPolicy,
+    SweepPoint,
+    get_disk_cache,
+    point_key,
+    resolve_jobs,
+    run_points,
+)
+from repro.core.runner import ComparedConfig, sweep_results_payload
+from repro.core.simulator import SimResult
+from repro.service.coalesce import SingleFlight
+from repro.service.limits import ClientLimiter
+from repro.service.metrics import ServiceMetrics
+
+
+class AdmissionError(RuntimeError):
+    """A rejected submission: carries the HTTP status to send back."""
+
+    def __init__(
+        self, status: int, reason: str, retry_after: Optional[float] = None
+    ) -> None:
+        super().__init__(reason)
+        self.status = int(status)
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+def result_json(result: SimResult) -> dict:
+    """Full JSONable view of one :class:`SimResult`."""
+    return {
+        "name": result.name,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "branch_mpki": result.branch_mpki,
+        "misfetch_pki": result.misfetch_pki,
+        "stats": result.stats,
+        "structure": result.structure,
+    }
+
+
+def outcome_json(outcome: PointOutcome) -> dict:
+    """Compact JSONable view of one final :class:`PointOutcome`."""
+    if outcome.ok:
+        return {
+            "status": "ok",
+            "attempts": outcome.attempts,
+            "duration_s": round(outcome.duration, 6),
+            "resumed": outcome.resumed,
+        }
+    err = outcome.error
+    return {
+        "status": "error",
+        "kind": err.kind if err else "exception",
+        "message": err.message if err else "",
+        "attempts": outcome.attempts,
+    }
+
+
+class Job:
+    """One submitted request and its per-point bookkeeping.
+
+    ``points``/``keys`` are positionally aligned; for sweep jobs the
+    grid order is ``[baseline, *configs] × workloads`` — exactly the
+    grid ``repro-sim sweep`` executes, so the finished job's ``result``
+    document is byte-identical to ``sweep --out`` for the same inputs.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        kind: str,
+        points: Sequence[SweepPoint],
+        keys: Sequence[str],
+        client: str,
+        spec: dict,
+        configs: Optional[Sequence[Any]] = None,
+        workloads: Optional[Sequence[str]] = None,
+        baseline_label: Optional[str] = None,
+    ) -> None:
+        self.id = job_id
+        self.kind = kind
+        self.points = list(points)
+        self.keys = list(keys)
+        self.client = client
+        self.spec = spec
+        self.configs = list(configs or [])
+        self.workloads = list(workloads or [])
+        self.baseline_label = baseline_label
+        self.status = "running"
+        self.created = time.time()
+        self.finished: Optional[float] = None
+        self.coalesced = 0
+        self.failed_points = 0
+        self.pending = len(self.points)
+        self.outcomes: List[Optional[dict]] = [None] * len(self.points)
+        self.results: List[Optional[SimResult]] = [None] * len(self.points)
+        self.result: Optional[dict] = None
+        self.events: List[dict] = []
+        self.done = asyncio.Event()
+
+    # -- event feed ---------------------------------------------------------
+
+    def _emit(self, event: str, **fields: Any) -> None:
+        self.events.append(
+            {"event": event, "ts": round(time.time(), 6), "job": self.id, **fields}
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def point_done(self, index: int, outcome: PointOutcome) -> bool:
+        """Record one point's final outcome; ``True`` when it finished
+        the job."""
+        if self.outcomes[index] is not None:  # pragma: no cover - defensive
+            return False
+        view = outcome_json(outcome)
+        self.outcomes[index] = view
+        if outcome.ok:
+            self.results[index] = outcome.result
+        else:
+            self.failed_points += 1
+        self.pending -= 1
+        point = self.points[index]
+        self._emit(
+            "point",
+            index=index,
+            key=self.keys[index][:16],
+            config=point.config.label,
+            workload=point.workload,
+            **view,
+        )
+        if self.pending:
+            return False
+        self._finalize()
+        return True
+
+    def _finalize(self) -> None:
+        self.finished = time.time()
+        self.status = "failed" if self.failed_points else "done"
+        if not self.failed_points:
+            if self.kind == "run":
+                self.result = result_json(self.results[0])
+            else:
+                self.result = self._sweep_payload()
+        self._emit(
+            "done",
+            status=self.status,
+            points=len(self.points),
+            failed=self.failed_points,
+            coalesced=self.coalesced,
+            seconds=round(self.finished - self.created, 6),
+        )
+        self.done.set()
+
+    def _sweep_payload(self) -> dict:
+        """The ``sweep --out`` document for a completed sweep grid."""
+        nw = len(self.workloads)
+        base = self.results[0:nw]
+        compared = []
+        for ci, config in enumerate(self.configs):
+            results = self.results[nw * (ci + 1) : nw * (ci + 2)]
+            relative = [r.ipc / b.ipc for r, b in zip(results, base)]
+            compared.append(
+                ComparedConfig(
+                    config=config, results=results, relative_ipc=relative
+                )
+            )
+        return sweep_results_payload(compared, self.baseline_label)
+
+    # -- views --------------------------------------------------------------
+
+    def to_json(self, include_result: bool = True) -> dict:
+        doc = {
+            "id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "client": self.client,
+            "created": round(self.created, 6),
+            "finished": round(self.finished, 6) if self.finished else None,
+            "spec": self.spec,
+            "points": len(self.points),
+            "pending": self.pending,
+            "failed": self.failed_points,
+            "coalesced": self.coalesced,
+            "outcomes": self.outcomes,
+        }
+        if include_result:
+            doc["result"] = self.result
+        return doc
+
+
+class JobManager:
+    """Admission control, the execution queue, and the executor loop."""
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 2,
+        queue_limit: int = 16,
+        batch_max: int = 256,
+        policy: Optional[RetryPolicy] = None,
+        batch: Optional[int] = None,
+        recycle: int = 0,
+        limiter: Optional[ClientLimiter] = None,
+        metrics: Optional[ServiceMetrics] = None,
+        cache_max_bytes: int = 0,
+        history_limit: int = 256,
+    ) -> None:
+        self.worker_jobs = resolve_jobs(jobs)
+        self.queue_limit = int(queue_limit)
+        self.batch_max = max(1, int(batch_max))
+        self.policy = policy or RetryPolicy()
+        self.batch = batch
+        self.recycle = int(recycle)
+        self.limiter = limiter or ClientLimiter(rate=0.0, burst=1.0)
+        self.metrics = metrics or ServiceMetrics()
+        self.cache_max_bytes = int(cache_max_bytes)
+        self.history_limit = int(history_limit)
+        self.singleflight = SingleFlight()
+        self.jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self.draining = False
+        self._pending: Deque = deque()
+        self._inflight = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._work: Optional[asyncio.Event] = None
+        self._drained: Optional[asyncio.Event] = None
+        self._task: Optional[asyncio.Task] = None
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-exec"
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind to the running loop and start the executor task."""
+        self._loop = asyncio.get_running_loop()
+        self._work = asyncio.Event()
+        self._drained = asyncio.Event()
+        self._task = self._loop.create_task(self._executor_loop())
+
+    def begin_drain(self) -> None:
+        """Stop admitting; the executor exits once the queue is dry."""
+        self.draining = True
+        if self._work is not None:
+            self._work.set()
+
+    async def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        """Wait for queued + in-flight work to finish; ``False`` on timeout."""
+        if self._drained is None:  # pragma: no cover - drain before start
+            return True
+        try:
+            await asyncio.wait_for(self._drained.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    def abort_remaining(self) -> int:
+        """Fail every unresolved flight (drain timeout): jobs finalize
+        with ``worker-crash``-style errors instead of hanging forever."""
+
+        def aborted(flight):
+            return PointOutcome(
+                index=0,
+                point=flight.point,
+                error=PointError(
+                    kind="exception",
+                    point_key=flight.key,
+                    attempts=0,
+                    message="service drained before this point completed",
+                ),
+            )
+
+        self._pending.clear()
+        return self.singleflight.abort_all(aborted)
+
+    def shutdown(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+        self._pool.shutdown(wait=False)
+
+    # -- gauges -------------------------------------------------------------
+
+    @property
+    def active_jobs(self) -> int:
+        return sum(1 for job in self.jobs.values() if job.status == "running")
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending) + self._inflight
+
+    # -- admission + submission ---------------------------------------------
+
+    def _admit(self, client: str) -> None:
+        if self.draining:
+            self.metrics.bump("jobs_rejected_draining")
+            raise AdmissionError(503, "service is draining")
+        ok, retry_after = self.limiter.admit(client)
+        if not ok:
+            self.metrics.bump("jobs_rejected_rate_limited")
+            raise AdmissionError(
+                429, f"rate limit exceeded for client {client!r}", retry_after
+            )
+        if self.active_jobs >= self.queue_limit:
+            self.metrics.bump("jobs_rejected_queue_full")
+            raise AdmissionError(
+                429,
+                f"job queue full ({self.active_jobs} active, "
+                f"limit {self.queue_limit})",
+                retry_after=2.0,
+            )
+
+    def submit(
+        self,
+        kind: str,
+        points: Sequence[SweepPoint],
+        client: str,
+        spec: dict,
+        configs: Optional[Sequence[Any]] = None,
+        workloads: Optional[Sequence[str]] = None,
+        baseline_label: Optional[str] = None,
+    ) -> Job:
+        """Admit one job: coalesce its points and queue the leaders.
+
+        Raises :class:`AdmissionError` when the daemon is draining, the
+        client is over its rate limit, or the job queue is full.
+        """
+        self._admit(client)
+        keys = [point_key(point) for point in points]
+        job = Job(
+            job_id=f"j{os.urandom(6).hex()}",
+            kind=kind,
+            points=points,
+            keys=keys,
+            client=client,
+            spec=spec,
+            configs=configs,
+            workloads=workloads,
+            baseline_label=baseline_label,
+        )
+        self.jobs[job.id] = job
+        self._trim_history()
+        self.metrics.bump("jobs_submitted")
+        self.metrics.bump("points_requested", len(points))
+        for index, (key, point) in enumerate(zip(keys, points)):
+            flight, leader = self.singleflight.admit(key, point)
+            flight.subscribe(self._deliver, (job, index))
+            if leader:
+                self._pending.append(flight)
+                self.metrics.bump("points_scheduled")
+            else:
+                job.coalesced += 1
+                self.metrics.bump("points_coalesced")
+        job._emit(
+            "submitted",
+            kind=kind,
+            points=len(points),
+            coalesced=job.coalesced,
+            client=client,
+        )
+        if self._work is not None:
+            self._work.set()
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)
+
+    def _trim_history(self) -> None:
+        """Drop the oldest *finished* jobs beyond the history bound."""
+        excess = len(self.jobs) - self.history_limit
+        if excess <= 0:
+            return
+        for job_id in [
+            jid for jid, job in self.jobs.items() if job.status != "running"
+        ][:excess]:
+            del self.jobs[job_id]
+
+    # -- execution ----------------------------------------------------------
+
+    def _deliver(self, context: Tuple[Job, int], outcome: PointOutcome) -> None:
+        job, index = context
+        if job.point_done(index, outcome):
+            self.metrics.bump(
+                "jobs_failed" if job.status == "failed" else "jobs_completed"
+            )
+
+    def _resolve_flight(self, key: str, outcome: PointOutcome) -> None:
+        flight = self.singleflight.get(key)
+        if flight is None or flight.resolved:
+            return
+        self.metrics.bump("points_ok" if outcome.ok else "points_failed")
+        self.singleflight.resolve(key, outcome)
+
+    def _run_batch(self, flights):
+        """Execute one batch on the engine pool (worker thread).
+
+        The ``on_outcome`` hook hops each final outcome onto the event
+        loop as it streams in, so job event feeds update while the
+        batch is still running.
+        """
+        keys = [flight.key for flight in flights]
+
+        def hook(outcome: PointOutcome) -> None:
+            try:
+                self._loop.call_soon_threadsafe(
+                    self._resolve_flight, keys[outcome.index], outcome
+                )
+            except RuntimeError:  # pragma: no cover - loop closed mid-drain
+                pass
+
+        return run_points(
+            [flight.point for flight in flights],
+            jobs=self.worker_jobs,
+            strict=False,
+            policy=self.policy,
+            batch=self.batch,
+            recycle=self.recycle,
+            on_outcome=hook,
+        )
+
+    async def _executor_loop(self) -> None:
+        """Drain the leader queue in batches until told to drain."""
+        while True:
+            await self._work.wait()
+            self._work.clear()
+            while self._pending:
+                batch = [
+                    self._pending.popleft()
+                    for _ in range(min(len(self._pending), self.batch_max))
+                ]
+                self._inflight = len(batch)
+                try:
+                    report = await self._loop.run_in_executor(
+                        self._pool, self._run_batch, batch
+                    )
+                finally:
+                    self._inflight = 0
+                self.metrics.bump("batches")
+                self.metrics.fold_resilience(report.counters)
+                # Safety net: resolve anything the streaming hook missed
+                # (it is best-effort by design).
+                for flight, outcome in zip(batch, report.outcomes):
+                    self._resolve_flight(flight.key, outcome)
+                await self._maybe_prune()
+            if self.draining:
+                break
+        self._drained.set()
+
+    async def _maybe_prune(self) -> None:
+        """Enforce the result-store byte budget between batches."""
+        disk = get_disk_cache()
+        if not self.cache_max_bytes or disk is None:
+            return
+        pruned = await self._loop.run_in_executor(
+            self._pool, disk.prune, self.cache_max_bytes
+        )
+        if pruned["evicted"]:
+            self.metrics.bump("cache_evicted", pruned["evicted"])
+            self.metrics.bump("cache_evicted_bytes", pruned["evicted_bytes"])

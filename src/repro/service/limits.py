@@ -1,0 +1,84 @@
+"""Per-client token-bucket rate limiting for the service daemon.
+
+Each client (the ``X-Client-Id`` header, falling back to the peer
+address) owns one :class:`TokenBucket`: *burst* tokens of capacity,
+refilled continuously at *rate* tokens/second. A submission costs one
+token; an empty bucket yields a ``429`` with a ``Retry-After`` telling
+the client exactly when the next token lands. ``rate <= 0`` disables
+limiting entirely (the single-user default).
+
+The bucket map is bounded: when more than ``max_clients`` distinct
+clients have been seen, the least-recently-active bucket is dropped —
+an idle client's bucket refills to full long before it matters again,
+so eviction never penalizes anyone.
+
+Time is injected (``clock``) so tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+
+class TokenBucket:
+    """A continuously refilling token bucket."""
+
+    def __init__(self, rate: float, burst: float, now: float = 0.0) -> None:
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self.tokens = self.burst
+        self.updated = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+
+    def take(self, now: float) -> Tuple[bool, float]:
+        """Spend one token; ``(False, retry_after_seconds)`` when empty."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        if self.rate <= 0:  # pragma: no cover - guarded by ClientLimiter
+            return False, float("inf")
+        return False, (1.0 - self.tokens) / self.rate
+
+
+class ClientLimiter:
+    """Bounded map of per-client :class:`TokenBucket` instances."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        max_clients: int = 4096,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_clients = int(max_clients)
+        self._clock = clock or time.monotonic
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def admit(self, client: str) -> Tuple[bool, float]:
+        """``(True, 0.0)`` to admit, else ``(False, retry_after_seconds)``."""
+        if not self.enabled:
+            return True, 0.0
+        now = self._clock()
+        bucket = self._buckets.pop(client, None)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, now)
+        # Re-insert to keep dict order = recency (LRU eviction below).
+        self._buckets[client] = bucket
+        if len(self._buckets) > self.max_clients:
+            oldest = next(iter(self._buckets))
+            if oldest != client:
+                del self._buckets[oldest]
+        ok, retry_after = bucket.take(now)
+        return ok, retry_after

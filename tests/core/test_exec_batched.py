@@ -160,6 +160,29 @@ def test_resolve_jobs():
     assert resolve_jobs(0) == max(1, probe() or 1)
 
 
+def test_resolve_jobs_env_default(monkeypatch):
+    """jobs=None consults $REPRO_JOBS; an explicit value always wins."""
+    from repro.core.exec import ENV_JOBS
+
+    monkeypatch.delenv(ENV_JOBS, raising=False)
+    assert resolve_jobs(None) == 1
+    monkeypatch.setenv(ENV_JOBS, "6")
+    assert resolve_jobs(None) == 6
+    # Explicit values ignore the env var entirely...
+    assert resolve_jobs(2) == 2
+    # ...including explicit 0, which still means auto-detect the CPUs.
+    probe = getattr(os, "process_cpu_count", None) or os.cpu_count
+    assert resolve_jobs(0) == max(1, probe() or 1)
+    # Env auto-detect and clamping mirror the explicit forms.
+    monkeypatch.setenv(ENV_JOBS, "0")
+    assert resolve_jobs(None) == max(1, probe() or 1)
+    monkeypatch.setenv(ENV_JOBS, "-4")
+    assert resolve_jobs(None) == 1
+    # Unparsable env values fall back to serial rather than crashing.
+    monkeypatch.setenv(ENV_JOBS, "many")
+    assert resolve_jobs(None) == 1
+
+
 def test_jobs_zero_runs_the_sweep(monkeypatch):
     pts = _points()[:2]
     ref = run_points(pts, jobs=1)

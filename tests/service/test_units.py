@@ -1,0 +1,241 @@
+"""Unit tests for the service building blocks: coalescing, rate
+limiting, metrics and admission control (no sockets, no event loop)."""
+
+import pytest
+
+from repro.core.config import ibtb, rbtb
+from repro.core.exec import PointError, PointOutcome, SweepPoint, point_key
+from repro.service import (
+    AdmissionError,
+    ClientLimiter,
+    JobManager,
+    ServiceMetrics,
+    SingleFlight,
+    TokenBucket,
+)
+
+
+def _point(config=None, workload="web_frontend"):
+    return SweepPoint(config or ibtb(16), workload, 4_000, 1_000, 7)
+
+
+def _ok_outcome(point, index=0):
+    from repro.core.simulator import SimResult
+
+    return PointOutcome(
+        index=index,
+        point=point,
+        result=SimResult(name=point.workload, instructions=10, cycles=20),
+        attempts=1,
+    )
+
+
+# -- SingleFlight ------------------------------------------------------------
+
+
+def test_single_flight_leader_and_coalesce():
+    table = SingleFlight()
+    p = _point()
+    key = point_key(p)
+    f1, leader1 = table.admit(key, p)
+    f2, leader2 = table.admit(key, p)
+    assert leader1 and not leader2
+    assert f1 is f2
+    assert table.started == 1 and table.coalesced == 1
+    assert len(table) == 1
+
+
+def test_single_flight_fanout_and_retire():
+    table = SingleFlight()
+    p = _point()
+    key = point_key(p)
+    flight, _ = table.admit(key, p)
+    got = []
+    flight.subscribe(lambda ctx, out: got.append((ctx, out)), "a")
+    flight.subscribe(lambda ctx, out: got.append((ctx, out)), "b")
+    outcome = _ok_outcome(p)
+    table.resolve(key, outcome)
+    assert [ctx for ctx, _ in got] == ["a", "b"]
+    assert all(out is outcome for _, out in got)
+    assert len(table) == 0  # retired: a new admit starts a fresh flight
+    _, leader = table.admit(key, p)
+    assert leader
+    table.resolve(key, outcome)
+    table.resolve(key, outcome)  # idempotent
+
+
+def test_single_flight_distinct_points_do_not_coalesce():
+    table = SingleFlight()
+    a, b = _point(ibtb(16)), _point(rbtb(3))
+    _, l1 = table.admit(point_key(a), a)
+    _, l2 = table.admit(point_key(b), b)
+    assert l1 and l2
+    assert table.coalesced == 0
+
+
+def test_single_flight_abort_all():
+    table = SingleFlight()
+    p = _point()
+    flight, _ = table.admit(point_key(p), p)
+    got = []
+    flight.subscribe(lambda ctx, out: got.append(out), None)
+
+    def aborted(fl):
+        return PointOutcome(
+            index=0,
+            point=fl.point,
+            error=PointError(
+                kind="exception", point_key=fl.key, attempts=0, message="drained"
+            ),
+        )
+
+    assert table.abort_all(aborted) == 1
+    assert len(table) == 0
+    assert len(got) == 1 and not got[0].ok
+
+
+# -- token buckets -----------------------------------------------------------
+
+
+def test_token_bucket_spends_and_refills():
+    bucket = TokenBucket(rate=1.0, burst=2.0, now=0.0)
+    assert bucket.take(0.0) == (True, 0.0)
+    assert bucket.take(0.0) == (True, 0.0)
+    ok, retry = bucket.take(0.0)
+    assert not ok and retry == pytest.approx(1.0)
+    # Half a second later: still short, retry shrinks accordingly.
+    ok, retry = bucket.take(0.5)
+    assert not ok and retry == pytest.approx(0.5)
+    assert bucket.take(1.5) == (True, 0.0)
+
+
+def test_token_bucket_never_exceeds_burst():
+    bucket = TokenBucket(rate=100.0, burst=2.0, now=0.0)
+    bucket.take(1000.0)  # long idle: capped at burst, not rate*idle
+    assert bucket.tokens == pytest.approx(1.0)
+
+
+def test_client_limiter_disabled_at_zero_rate():
+    limiter = ClientLimiter(rate=0.0, burst=1.0)
+    assert not limiter.enabled
+    for _ in range(100):
+        assert limiter.admit("c") == (True, 0.0)
+
+
+def test_client_limiter_per_client_isolation():
+    clock = {"t": 0.0}
+    limiter = ClientLimiter(rate=1.0, burst=1.0, clock=lambda: clock["t"])
+    assert limiter.admit("a")[0]
+    ok, retry = limiter.admit("a")
+    assert not ok and retry > 0
+    assert limiter.admit("b")[0]  # b has its own bucket
+
+
+def test_client_limiter_bounded_lru():
+    clock = {"t": 0.0}
+    limiter = ClientLimiter(
+        rate=1.0, burst=5.0, max_clients=3, clock=lambda: clock["t"]
+    )
+    for name in "abcd":  # d evicts a (oldest)
+        limiter.admit(name)
+    assert set(limiter._buckets) == {"b", "c", "d"}
+    limiter.admit("b")  # refresh b's recency
+    limiter.admit("e")  # evicts c now, not b
+    assert set(limiter._buckets) == {"b", "d", "e"}
+
+
+# -- metrics -----------------------------------------------------------------
+
+
+def test_metrics_snapshot_shape():
+    metrics = ServiceMetrics()
+    metrics.bump("jobs_submitted")
+    metrics.bump("points_requested", 12)
+    metrics.fold_resilience({"retries": 2})
+    metrics.fold_resilience({"retries": 1, "worker_crashes": 1})
+    snap = metrics.snapshot({"result_hits": 3}, queue_depth=4)
+    assert snap["schema"] == 1
+    assert snap["service"]["jobs_submitted"] == 1
+    assert snap["service"]["points_requested"] == 12
+    assert snap["service"]["queue_depth"] == 4
+    # Every declared key renders even when untouched.
+    for key in ServiceMetrics.SERVICE_KEYS:
+        assert key in snap["service"]
+    assert snap["resilience"] == {"retries": 3, "worker_crashes": 1}
+    assert snap["cache"] == {"result_hits": 3}
+
+
+# -- admission control (JobManager without a loop) ---------------------------
+
+
+def test_admission_rejects_while_draining():
+    manager = JobManager(queue_limit=4)
+    manager.begin_drain()
+    with pytest.raises(AdmissionError) as exc:
+        manager.submit("run", [_point()], "c", {})
+    assert exc.value.status == 503
+    assert manager.metrics.service["jobs_rejected_draining"] == 1
+
+
+def test_admission_rejects_when_queue_full():
+    manager = JobManager(queue_limit=1)
+    manager.submit("run", [_point()], "c", {})  # stays running: no executor
+    with pytest.raises(AdmissionError) as exc:
+        manager.submit("run", [_point(rbtb(3))], "c", {})
+    assert exc.value.status == 429
+    assert exc.value.retry_after is not None
+    assert manager.metrics.service["jobs_rejected_queue_full"] == 1
+
+
+def test_admission_rate_limit_carries_retry_after():
+    clock = {"t": 0.0}
+    manager = JobManager(
+        queue_limit=10,
+        limiter=ClientLimiter(rate=0.5, burst=1.0, clock=lambda: clock["t"]),
+    )
+    manager.submit("run", [_point()], "alice", {})
+    with pytest.raises(AdmissionError) as exc:
+        manager.submit("run", [_point(rbtb(3))], "alice", {})
+    assert exc.value.status == 429
+    assert exc.value.retry_after == pytest.approx(2.0)
+    # A different client is unaffected.
+    manager.submit("run", [_point(rbtb(3))], "bob", {})
+
+
+def test_duplicate_points_within_one_job_coalesce():
+    manager = JobManager(queue_limit=4)
+    p = _point()
+    job = manager.submit("run", [p, p, p], "c", {})
+    assert job.coalesced == 2
+    assert manager.metrics.service["points_scheduled"] == 1
+    assert manager.metrics.service["points_coalesced"] == 2
+    # One resolution completes all three indices and finalizes the job.
+    manager._resolve_flight(job.keys[0], _ok_outcome(p))
+    assert job.status == "done"
+    assert job.pending == 0
+    assert manager.metrics.service["jobs_completed"] == 1
+    assert manager.metrics.service["points_ok"] == 1  # one execution
+
+
+def test_failed_point_fails_job_with_classified_error():
+    manager = JobManager(queue_limit=4)
+    p = _point()
+    job = manager.submit("run", [p], "c", {})
+    manager._resolve_flight(
+        job.keys[0],
+        PointOutcome(
+            index=0,
+            point=p,
+            error=PointError(
+                kind="worker-crash",
+                point_key=job.keys[0],
+                attempts=3,
+                message="killed",
+            ),
+            attempts=3,
+        ),
+    )
+    assert job.status == "failed"
+    assert job.result is None
+    assert job.outcomes[0]["kind"] == "worker-crash"
+    assert manager.metrics.service["jobs_failed"] == 1
