@@ -16,6 +16,14 @@ the format of ``repro-sim sweep --out`` so the caller can ``cmp`` it
 against a clean one-shot CLI sweep — including runs where
 ``REPRO_FAULT_SPEC`` (inherited by the daemon) injects worker crashes.
 
+``--chaos-daemon`` switches to the durability drill instead: the daemon
+is booted with ``REPRO_FAULT_DAEMON_AFTER=N`` so it SIGKILLs *itself*
+between write-ahead journal appends mid-job, a second daemon is started
+on the same ``--state-dir``, and the script asserts the job is reported
+``recovered: true`` and converges to the same ``--out`` document a
+clean run would produce (the CI job ``cmp``\\ s it against a one-shot
+CLI sweep).
+
 Stdlib only; exits non-zero with a diagnostic on any violated invariant.
 """
 
@@ -61,6 +69,122 @@ def _wait_job(port, job_id, timeout):
     raise SystemExit(f"FAIL: job {job_id} still running after {timeout}s")
 
 
+def _boot_daemon(args, env, state_dir=None):
+    """Start one daemon subprocess; returns ``(process, port)``."""
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", "0",
+        "--jobs", str(args.jobs),
+        "--cache-dir", args.cache_dir,
+        "--drain-timeout", "300",
+        "--timeout", "60",  # hung (faulted) workers get killed + retried
+    ]
+    if state_dir is not None:
+        cmd += ["--state-dir", str(state_dir)]
+    daemon = subprocess.Popen(
+        cmd,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    line = daemon.stdout.readline()
+    while line and "listening on http://" not in line:
+        line = daemon.stdout.readline()  # skip recovery log lines
+    if "listening on http://" not in line:
+        daemon.kill()
+        daemon.wait()
+        raise SystemExit(f"FAIL: unexpected daemon banner: {line!r}")
+    port = int(line.split("listening on http://", 1)[1]
+               .split()[0].rsplit(":", 1)[1])
+    print(f"daemon up on port {port} (pid {daemon.pid})")
+    return daemon, port
+
+
+def _chaos_daemon(args, env) -> int:
+    """The durability drill: SIGKILL the daemon mid-journal, recover."""
+    state_dir = Path(args.cache_dir) / "service-state"
+    fault_dir = Path(args.cache_dir) / "fault-daemon"
+    sentinel = fault_dir / "daemon.killed"
+    if sentinel.exists():
+        sentinel.unlink()  # make reruns on a warm dir deterministic
+    env = dict(env)
+    env["REPRO_FAULT_DAEMON_AFTER"] = str(args.kill_after)
+    env["REPRO_FAULT_DIR"] = str(fault_dir)
+
+    spec = {
+        "configs": args.configs,
+        "workloads": args.workloads,
+        "length": args.length,
+    }
+    daemon, port = _boot_daemon(args, env, state_dir=state_dir)
+    try:
+        status, doc = _request(port, "POST", "/v1/sweep", spec)
+        if status != 202:
+            raise SystemExit(f"FAIL: submission got HTTP {status}: {doc}")
+        job_id = doc["job"]
+        print(f"submitted sweep {job_id}; waiting for the injected SIGKILL")
+        rc = daemon.wait(timeout=args.timeout)
+        if rc != -signal.SIGKILL:
+            raise SystemExit(
+                f"FAIL: daemon exited {rc}, expected SIGKILL "
+                f"(-{int(signal.SIGKILL)}) after "
+                f"{args.kill_after} journal appends"
+            )
+        if not sentinel.exists():
+            raise SystemExit("FAIL: daemon died without claiming the "
+                             "kill sentinel")
+        print(f"daemon SIGKILLed itself after {args.kill_after} appends")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+    # Same env on purpose: the claimed sentinel must protect the
+    # restarted daemon from the still-armed kill switch.
+    daemon, port = _boot_daemon(args, env, state_dir=state_dir)
+    try:
+        status, doc = _request(port, "GET", f"/v1/jobs/{job_id}")
+        if status != 200:
+            raise SystemExit(
+                f"FAIL: pre-crash job unknown after restart (HTTP {status})"
+            )
+        if not doc.get("recovered"):
+            raise SystemExit(f"FAIL: job not marked recovered: {doc}")
+        print(f"job {job_id} recovered (status {doc['status']})")
+
+        doc = _wait_job(port, job_id, args.timeout)
+        if doc["status"] != "done" or doc["failed"]:
+            raise SystemExit(f"FAIL: recovered job did not converge: {doc}")
+
+        _status, metrics = _request(port, "GET", "/v1/metrics")
+        service = metrics["service"]
+        if service.get("jobs_recovered", 0) < 1:
+            raise SystemExit(
+                f"FAIL: jobs_recovered not counted: {service}"
+            )
+        status, ready = _request(port, "GET", "/v1/healthz/ready")
+        if status != 200:
+            raise SystemExit(f"FAIL: recovered daemon not ready: {ready}")
+
+        Path(args.out).write_text(
+            json.dumps(doc["result"], indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.out}")
+
+        daemon.send_signal(signal.SIGTERM)
+        rc = daemon.wait(timeout=120)
+        tail = daemon.stdout.read()
+        if rc != 0:
+            raise SystemExit(f"FAIL: daemon exited {rc} on SIGTERM: {tail}")
+        print("ok: killed mid-journal, recovered, converged, drained")
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", required=True, help="result document path")
@@ -81,33 +205,27 @@ def main(argv=None) -> int:
         help="assert exactly one cache miss per unique point "
         "(start this run on an empty --cache-dir)",
     )
+    parser.add_argument(
+        "--chaos-daemon",
+        action="store_true",
+        help="run the daemon-kill durability drill instead of the "
+        "coalescing smoke",
+    )
+    parser.add_argument(
+        "--kill-after", type=int, default=3, metavar="N",
+        help="journal appends before the injected daemon SIGKILL "
+        "(--chaos-daemon only; default 3: mid-job for any multi-point "
+        "sweep)",
+    )
     parser.add_argument("--timeout", type=float, default=600.0)
     args = parser.parse_args(argv)
 
     env = dict(os.environ)
     env["PYTHONPATH"] = f"{REPO / 'src'}{os.pathsep}" + env.get("PYTHONPATH", "")
-    daemon = subprocess.Popen(
-        [
-            sys.executable, "-m", "repro", "serve",
-            "--port", "0",
-            "--jobs", str(args.jobs),
-            "--cache-dir", args.cache_dir,
-            "--drain-timeout", "300",
-            "--timeout", "60",  # hung (faulted) workers get killed + retried
-        ],
-        env=env,
-        stdout=subprocess.PIPE,
-        stderr=subprocess.STDOUT,
-        text=True,
-    )
+    if args.chaos_daemon:
+        return _chaos_daemon(args, env)
+    daemon, port = _boot_daemon(args, env)
     try:
-        line = daemon.stdout.readline()
-        if "listening on http://" not in line:
-            raise SystemExit(f"FAIL: unexpected daemon banner: {line!r}")
-        port = int(line.split("listening on http://", 1)[1]
-                   .split()[0].rsplit(":", 1)[1])
-        print(f"daemon up on port {port} (pid {daemon.pid})")
-
         spec = {
             "configs": args.configs,
             "workloads": args.workloads,

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List
 
 from repro.analysis.report import format_table, whisker_table
@@ -437,12 +438,18 @@ def _cmd_serve(args) -> int:
     from repro.service import Service, ServiceConfig
 
     kernel_mode()  # validate REPRO_KERNEL before accepting traffic
+    cache_root = args.cache_dir or env_cache_root()
     if not args.no_disk_cache:
         # The daemon is long-lived: default to the sharded layout so the
         # store scales past what a one-shot sweep ever writes.
-        configure_disk_cache(
-            True, args.cache_dir or env_cache_root(), shard=args.shard
-        )
+        configure_disk_cache(True, cache_root, shard=args.shard)
+    state_dir = args.state_dir
+    if state_dir is None and not args.no_disk_cache:
+        # Durable by default when we already own a persistent directory:
+        # the job journal lives beside the result cache it references.
+        state_dir = str(Path(cache_root) / "service")
+    elif state_dir is not None and state_dir.lower() == "none":
+        state_dir = None
     service = Service(
         ServiceConfig(
             host=args.host,
@@ -457,6 +464,10 @@ def _cmd_serve(args) -> int:
             recycle=args.recycle,
             cache_max_bytes=int(args.cache_max_mb * (1 << 20)),
             drain_timeout=args.drain_timeout,
+            state_dir=state_dir,
+            job_ttl=args.job_ttl,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
         )
     )
     return asyncio.run(service.run())
@@ -861,6 +872,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
         help="grace for in-flight work on SIGTERM before aborting it "
         "(default 30)",
+    )
+    p.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="write-ahead job store root; accepted jobs are journaled "
+        "here and replayed after a crash (default: <cache-root>/service "
+        "when the disk cache is on; 'none' disables)",
+    )
+    p.add_argument(
+        "--job-ttl", type=float, default=0.0, metavar="SECONDS",
+        help="evict finished jobs (memory + journal) after this long "
+        "(default 0: keep until the history limit trims them)",
+    )
+    p.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive crash/timeout outcomes for one point before "
+        "its circuit breaker opens (default 3)",
+    )
+    p.add_argument(
+        "--breaker-cooldown", type=float, default=60.0, metavar="SECONDS",
+        help="how long an open breaker fails fast before admitting one "
+        "half-open trial (default 60)",
     )
     p.set_defaults(func=_cmd_serve)
 

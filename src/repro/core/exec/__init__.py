@@ -61,6 +61,7 @@ from repro.core.exec.faults import (
     InjectedFault,
 )
 from repro.core.exec.resilience import (
+    DEADLINE_MESSAGE,
     DEFAULT_POLICY,
     ERROR_KINDS,
     PointError,
@@ -73,6 +74,7 @@ from repro.core.exec.resilience import (
 
 __all__ = [
     "CACHE_SCHEMA",
+    "DEADLINE_MESSAGE",
     "DEFAULT_CACHE_DIR",
     "DEFAULT_POLICY",
     "DiskCache",

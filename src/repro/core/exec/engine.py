@@ -44,6 +44,7 @@ from repro.core.exec.cachekey import CACHE_SCHEMA, digest, result_key, trace_key
 from repro.core.exec.diskcache import DiskCache
 from repro.core.exec.faults import InjectedCacheCorruption, maybe_fault
 from repro.core.exec.resilience import (
+    DEADLINE_MESSAGE,
     DEFAULT_POLICY,
     PointError,
     PointOutcome,
@@ -385,10 +386,21 @@ def _worker_main(conn, cache_root, cache_shard: bool = False) -> None:
                 return
             if job is None:
                 return
-            pairs, timeout = job
+            pairs, timeout, deadline_remaining = job
             budget = timeout * len(pairs) if timeout is not None else None
             start = time.monotonic()
+            deadline_at = (
+                start + deadline_remaining
+                if deadline_remaining is not None
+                else None
+            )
             for position, (index, point) in enumerate(pairs):
+                # Hard deadline check: every point past it (first
+                # included — an expired deadline guarantees nothing) is
+                # handed back undone; the parent classifies it.
+                if deadline_at is not None and time.monotonic() >= deadline_at:
+                    conn.send(("defer", index, snap()))
+                    continue
                 # Soft budget check between points: the first point
                 # always runs (guaranteeing progress), later ones are
                 # handed back if earlier ones consumed the chunk's
@@ -550,11 +562,17 @@ class _SweepState:
         journal: Optional[SweepJournal],
         resume: bool,
         on_outcome: Optional[Callable[[PointOutcome], None]] = None,
+        deadline: Optional[float] = None,
     ) -> None:
         self.points = list(points)
         self.policy = policy
         self.journal = journal
         self.on_outcome = on_outcome
+        #: Absolute ``time.monotonic()`` instant past which no further
+        #: point may start (and running points are killed): the sweep's
+        #: hard deadline, propagated by the service daemon from
+        #: per-request deadlines. ``None`` disables it.
+        self.deadline = deadline
         self.report = SweepReport()
         self.report.bump("points", len(self.points))
         self.attempts: Dict[int, int] = {}
@@ -564,6 +582,15 @@ class _SweepState:
 
     def now(self) -> float:
         return time.monotonic() - self.t0
+
+    def deadline_expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    def deadline_remaining(self) -> Optional[float]:
+        """Seconds left before the deadline (``None`` when unbounded)."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
 
     def _notify(self, index: int) -> None:
         """Stream one *final* outcome to the submission hook.
@@ -656,6 +683,32 @@ class _SweepState:
         self._notify(index)
         return False
 
+    def point_deadline(self, index: int, point: SweepPoint) -> None:
+        """Fail one point terminally because the sweep deadline passed.
+
+        Never retried (more attempts cannot beat an expired deadline)
+        and idempotent: a point that already has an outcome keeps it.
+        """
+        if index in self.outcomes:
+            return
+        attempts = self.attempts.get(index, 0)
+        self.outcomes[index] = PointOutcome(
+            index=index,
+            point=point,
+            error=PointError(
+                kind="timeout",
+                point_key=point_key(point),
+                attempts=attempts,
+                message=f"{DEADLINE_MESSAGE}: sweep deadline passed "
+                "before this point completed",
+            ),
+            attempts=attempts,
+        )
+        self.report.bump("deadline_exceeded")
+        self.report.bump("failed")
+        self.report.record(self.now(), "deadline_exceeded", index=index)
+        self._notify(index)
+
     def finish(self) -> SweepReport:
         """Assemble the positionally ordered outcome list."""
         for index, point in enumerate(self.points):
@@ -683,6 +736,12 @@ def _run_serial_resilient(state: _SweepState) -> SweepReport:
     try:
         for index, point in state.pairs:
             while True:
+                if state.deadline_expired():
+                    # Past the deadline nothing more is dispatched —
+                    # remaining points fail fast with a classified
+                    # timeout instead of burning more wall-clock.
+                    state.point_deadline(index, point)
+                    break
                 t0 = time.monotonic()
                 try:
                     result = _attempt_once(point)
@@ -798,7 +857,9 @@ def _run_parallel_resilient(
     def assign(worker: _LiveWorker, chunk: _PendingChunk) -> bool:
         """Hand *chunk* to an idle worker; False if its pipe is dead."""
         try:
-            worker.conn.send((chunk.pairs, policy.timeout))
+            worker.conn.send(
+                (chunk.pairs, policy.timeout, state.deadline_remaining())
+            )
         except (BrokenPipeError, OSError):
             worker.eof = True
             return False
@@ -921,6 +982,13 @@ def _run_parallel_resilient(
         ]
         if not unreported:
             return
+        if state.deadline_expired():
+            # The sweep deadline killed this worker: every unfinished
+            # point of its chunk fails terminally as deadline-exceeded —
+            # no blame game, no retries, no re-dispatch.
+            for index, point in unreported:
+                state.point_deadline(index, point)
+            return
         kind = "timeout" if worker.killed else "worker-crash"
         suspect_index, suspect_point = unreported[0]
         retrying = state.point_failed(
@@ -954,6 +1022,19 @@ def _run_parallel_resilient(
     try:
         while pending or any(w.chunk is not None for w in live.values()):
             now = state.now()
+            if state.deadline_expired():
+                # Deadline passed: fail everything still queued without
+                # dispatching a single worker, and kill workers mid-
+                # chunk — reap() classifies their unfinished points as
+                # deadline-exceeded timeouts.
+                for chunk in pending:
+                    for index, point in chunk.pairs:
+                        state.point_deadline(index, point)
+                pending.clear()
+                for worker in live.values():
+                    if worker.chunk is not None and not worker.killed:
+                        worker.killed = True
+                        worker.proc.kill()
             # Dispatch every eligible chunk: reuse an idle warm worker,
             # spawn a fresh one only while the pool is below *jobs*.
             # Affinity rules keep each trace loaded by as few workers as
@@ -1001,6 +1082,10 @@ def _run_parallel_resilient(
                     pending.append(chunk)
                     break
             if not live:
+                if not pending:
+                    # Deadline expiry just drained the whole queue with
+                    # no worker ever spawned: re-check the loop guard.
+                    continue
                 # Everything is waiting out a backoff delay.
                 wake = min(chunk.not_before for chunk in pending)
                 time.sleep(min(max(wake - state.now(), 0.0), 0.5) + 0.001)
@@ -1009,7 +1094,8 @@ def _run_parallel_resilient(
             # wait immediately; the timeout only paces backoff wakeups
             # and hang detection, so relax it when neither is armed.
             busy = any(w.chunk is not None for w in live.values())
-            poll = 0.05 if (pending or (allowance is not None and busy)) else 0.25
+            armed = allowance is not None or state.deadline is not None
+            poll = 0.05 if (pending or (armed and busy)) else 0.25
             ready = mp_connection.wait(list(live), timeout=poll)
             for conn in ready:
                 worker = live[conn]
@@ -1076,6 +1162,7 @@ def run_points(
     batch: Optional[int] = None,
     recycle: int = 0,
     on_outcome: Optional[Callable[[PointOutcome], None]] = None,
+    deadline: Optional[float] = None,
 ):
     """Execute every point; results are positionally ordered like *points*.
 
@@ -1106,26 +1193,41 @@ def run_points(
     a success, after retries are exhausted, or on a resume skip — from
     the dispatching thread, as outcomes stream in. Exceptions it raises
     are swallowed; it must never block for long.
+
+    *deadline* is an absolute :func:`time.monotonic` instant: once it
+    passes, queued points fail fast (classified ``timeout`` with a
+    ``deadline-exceeded`` message, **no worker dispatched**) and running
+    workers are killed — their unfinished points classify the same way.
+    It is the bottom of the service daemon's per-request deadline
+    plumbing (``X-Deadline-Ms`` / job ``timeout_s``), layered on the
+    per-point ``RetryPolicy.timeout`` machinery, not replacing it.
     """
     points = list(points)
     jobs = resolve_jobs(jobs)
-    if jobs == 1 or len(points) <= 1:
+    # A deadline must be able to preempt a *running* point, which only
+    # the process pool can do (kill the worker); in-process serial
+    # execution enforces it between points only. So with a deadline and
+    # jobs > 1, even a single point goes through the pool.
+    if jobs == 1 or (len(points) <= 1 and deadline is None):
         if (
             strict
             and policy is None
             and journal is None
             and not resume
             and on_outcome is None
+            and deadline is None
         ):
             # Legacy fast path: zero resilience overhead.
             return [execute_point(point) for point in points]
         state = _SweepState(
-            points, policy or DEFAULT_POLICY, journal, resume, on_outcome
+            points, policy or DEFAULT_POLICY, journal, resume, on_outcome,
+            deadline,
         )
         report = _run_serial_resilient(state) if state.pairs else state.finish()
     else:
         state = _SweepState(
-            points, policy or DEFAULT_POLICY, journal, resume, on_outcome
+            points, policy or DEFAULT_POLICY, journal, resume, on_outcome,
+            deadline,
         )
         report = (
             _run_parallel_resilient(state, jobs, batch, recycle)

@@ -52,6 +52,12 @@ ENV_FAULT_SPEC = "REPRO_FAULT_SPEC"
 ENV_FAULT_DIR = "REPRO_FAULT_DIR"
 #: Seconds a ``hang`` fault sleeps before giving up and raising.
 ENV_FAULT_HANG = "REPRO_FAULT_HANG_S"
+#: Daemon-level chaos: SIGKILL the *service process itself* (not a
+#: worker) once, immediately after its Nth durable journal append —
+#: i.e. between appends, with the Nth record already fsynced. A one-shot
+#: sentinel under ``REPRO_FAULT_DIR`` makes the restarted daemon immune,
+#: so the CI chaos rig can prove crash recovery deterministically.
+ENV_FAULT_DAEMON = "REPRO_FAULT_DAEMON_AFTER"
 
 FAULT_KINDS = ("raise", "hang", "kill", "corrupt")
 
@@ -221,6 +227,40 @@ def _trigger(rule: FaultRule, point, pid: str, attempt: int) -> None:
     if rule.kind == "kill":
         os.kill(os.getpid(), signal.SIGKILL)
     raise AssertionError(f"unhandled fault kind {rule.kind!r}")  # pragma: no cover
+
+
+def maybe_kill_daemon(appends: int) -> None:
+    """SIGKILL this process after its *appends*-th journal append, once.
+
+    No-op (one environment lookup) unless ``REPRO_FAULT_DAEMON_AFTER``
+    is a positive integer. The kill fires at most once per fault-state
+    directory: the first process to reach the threshold claims an
+    ``O_CREAT|O_EXCL`` sentinel and dies; the restarted daemon finds the
+    sentinel claimed and runs to completion. Called by the service job
+    store (:mod:`repro.service.store`) right after each fsynced append.
+    """
+    spec = os.environ.get(ENV_FAULT_DAEMON, "").strip()
+    if not spec:
+        return
+    try:
+        threshold = int(spec)
+    except ValueError:
+        raise FaultSpecError(
+            f"{ENV_FAULT_DAEMON} must be an integer, got {spec!r}"
+        ) from None
+    if threshold <= 0 or appends < threshold:
+        return
+    state_dir = os.environ.get(ENV_FAULT_DIR, "").strip() or os.path.join(
+        tempfile.gettempdir(), "repro-faults-daemon"
+    )
+    os.makedirs(state_dir, exist_ok=True)
+    sentinel = os.path.join(state_dir, "daemon.killed")
+    try:
+        fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return  # already fired once: the recovered daemon survives
+    os.close(fd)
+    os.kill(os.getpid(), signal.SIGKILL)
 
 
 def _corrupt_cached_result(point) -> None:

@@ -127,7 +127,14 @@ COUNTER_NAMES = (
     "cache_corrupt",
     "resumed",
     "deferred",
+    "deadline_exceeded",
 )
+
+#: Message prefix of every deadline failure (``PointError.kind`` stays
+#: ``"timeout"`` — the taxonomy is closed — but callers that need to
+#: distinguish "the sweep's deadline passed" from "one point overran its
+#: budget" can match on this prefix, as the service daemon does).
+DEADLINE_MESSAGE = "deadline-exceeded"
 
 
 def _zero_counters() -> Dict[str, int]:

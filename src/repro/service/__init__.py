@@ -13,19 +13,27 @@ can absorb heavy simulation traffic (see ``docs/service.md``):
 * :mod:`repro.service.jobs` — job lifecycle: admission control over a
   bounded queue, batch dispatch onto ``run_points(strict=False)``, live
   per-point event feeds, and the result-cache size budget;
+* :mod:`repro.service.store` — the write-ahead job store: every
+  accepted job is fsync-journaled (submit → outcomes → terminal state)
+  and replayed on restart, making a SIGKILLed daemon crash-recoverable;
+* :mod:`repro.service.breaker` — poison-point circuit breakers that
+  fail fast on points which crash-looped across jobs;
 * :mod:`repro.service.server` — the HTTP server itself: ``/v1/run``,
-  ``/v1/sweep``, ``/v1/jobs/<id>``, ``/v1/jobs/<id>/events`` (NDJSON),
-  ``/v1/healthz``, ``/v1/metrics``, and graceful SIGTERM drain.
+  ``/v1/sweep``, ``/v1/jobs``, ``/v1/jobs/<id>``,
+  ``/v1/jobs/<id>/events`` (NDJSON), ``/v1/healthz`` (+ ``/live`` and
+  ``/ready`` probes), ``/v1/metrics``, and graceful SIGTERM drain.
 
 Everything is standard library only (asyncio + hand-rolled HTTP/1.1);
 the daemon adds no dependencies over the simulator itself.
 """
 
+from repro.service.breaker import PoisonBreaker
 from repro.service.coalesce import Flight, SingleFlight
 from repro.service.jobs import AdmissionError, Job, JobManager
 from repro.service.limits import ClientLimiter, TokenBucket
 from repro.service.metrics import ServiceMetrics
 from repro.service.server import Service, ServiceConfig
+from repro.service.store import JobStore, StoredJob
 
 __all__ = [
     "AdmissionError",
@@ -33,9 +41,12 @@ __all__ = [
     "Flight",
     "Job",
     "JobManager",
+    "JobStore",
+    "PoisonBreaker",
     "Service",
     "ServiceConfig",
     "ServiceMetrics",
     "SingleFlight",
+    "StoredJob",
     "TokenBucket",
 ]

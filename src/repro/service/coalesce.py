@@ -30,13 +30,30 @@ Subscriber = Tuple[Callable[[Any, Any], None], Any]
 
 @dataclass
 class Flight:
-    """One in-flight unique point and everyone waiting on it."""
+    """One in-flight unique point and everyone waiting on it.
+
+    ``deadline`` is the loosest (latest) deadline of every subscribed
+    job — an absolute ``time.monotonic()`` instant, ``None`` meaning
+    unbounded. Coalescing widens it: a twin with no deadline removes the
+    bound entirely, so one impatient job can never shorten the run a
+    patient job coalesced onto.
+    """
 
     key: str
     point: Any  # SweepPoint (kept loose to avoid an import cycle)
     subscribers: List[Subscriber] = field(default_factory=list)
     resolved: bool = False
     outcome: Any = None
+    deadline: Optional[float] = None
+
+    def widen_deadline(self, deadline: Optional[float]) -> None:
+        """Fold one more subscriber's deadline in (``None`` = unbounded)."""
+        if self.deadline is None:
+            return
+        if deadline is None:
+            self.deadline = None
+        else:
+            self.deadline = max(self.deadline, deadline)
 
     def subscribe(self, callback: Callable[[Any, Any], None], context: Any) -> None:
         if self.resolved:  # pragma: no cover - resolved flights leave the table

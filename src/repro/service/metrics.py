@@ -29,6 +29,8 @@ class ServiceMetrics:
         "jobs_submitted",
         "jobs_completed",
         "jobs_failed",
+        "jobs_recovered",
+        "jobs_evicted",
         "jobs_rejected_queue_full",
         "jobs_rejected_rate_limited",
         "jobs_rejected_draining",
@@ -37,6 +39,9 @@ class ServiceMetrics:
         "points_coalesced",
         "points_ok",
         "points_failed",
+        "points_fast_failed",
+        "points_deadline_rejected",
+        "orphaned_flights",
         "batches",
         "events_streamed",
         "cache_evicted",

@@ -10,10 +10,20 @@ Routes (see ``docs/service.md`` for the full API reference)::
 
     POST /v1/run              submit one (config, workload) point
     POST /v1/sweep            submit a sweep grid (baseline-normalized)
+    GET  /v1/jobs             paginated job list (?state=&limit=&after=)
     GET  /v1/jobs/<id>        job status + outcomes (+ result when done)
     GET  /v1/jobs/<id>/events NDJSON live per-point progress
-    GET  /v1/healthz          liveness/drain state
+    GET  /v1/healthz          combined health document
+    GET  /v1/healthz/live     liveness probe (200 while the process runs)
+    GET  /v1/healthz/ready    readiness probe (503 draining/degraded/dead)
     GET  /v1/metrics          service + resilience + cache counters
+
+Submissions may carry a deadline (``X-Deadline-Ms`` header or a
+``timeout_s`` spec field) that propagates into the engine. On startup
+the daemon replays its write-ahead job store
+(:mod:`repro.service.store`): finished pre-crash jobs are served from
+the journal, unfinished ones are re-admitted through the normal
+executor path and marked ``recovered``.
 
 SIGTERM/SIGINT trigger a graceful drain: new submissions get ``503``,
 queued and in-flight points finish (their results are already in the
@@ -26,15 +36,19 @@ import asyncio
 import json
 import signal
 import sys
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs
 
 from repro.core.config import IDEAL_IBTB16
-from repro.core.exec import RetryPolicy, SweepPoint, get_disk_cache
+from repro.core.exec import RetryPolicy, SweepPoint, get_disk_cache, point_key
 from repro.corpus import is_corpus_workload
+from repro.service.breaker import PoisonBreaker
 from repro.service.jobs import AdmissionError, Job, JobManager
 from repro.service.limits import ClientLimiter
 from repro.service.metrics import ServiceMetrics
+from repro.service.store import JobStore, StoredJob
 
 
 class BadRequest(ValueError):
@@ -60,6 +74,10 @@ class ServiceConfig:
     drain_timeout: float = 30.0
     max_body: int = 1 << 20
     history_limit: int = 256
+    state_dir: Optional[str] = None  # write-ahead job store root; None = off
+    job_ttl: float = 0.0  # evict finished jobs after N seconds; 0 = never
+    breaker_threshold: int = 3  # crash/timeout outcomes before tripping
+    breaker_cooldown: float = 60.0  # seconds open before a half-open trial
 
 
 class Service:
@@ -71,6 +89,11 @@ class Service:
         self.config = config or ServiceConfig()
         self.quiet = quiet
         self.metrics = ServiceMetrics()
+        store = (
+            JobStore(self.config.state_dir)
+            if self.config.state_dir
+            else None
+        )
         self.manager = JobManager(
             jobs=self.config.jobs,
             queue_limit=self.config.queue_limit,
@@ -85,6 +108,12 @@ class Service:
             metrics=self.metrics,
             cache_max_bytes=self.config.cache_max_bytes,
             history_limit=self.config.history_limit,
+            store=store,
+            breaker=PoisonBreaker(
+                threshold=self.config.breaker_threshold,
+                cooldown=self.config.breaker_cooldown,
+            ),
+            job_ttl=self.config.job_ttl,
         )
         self.port: Optional[int] = None
         self.aborted_on_drain = 0
@@ -98,6 +127,7 @@ class Service:
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
         self.manager.start()
+        self._recover_jobs()
         server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -152,6 +182,86 @@ class Service:
                 # Non-main-thread loops (tests) and platforms without
                 # loop signal support fall back to request_drain().
                 pass
+
+    # -- crash recovery -----------------------------------------------------
+
+    def _recover_jobs(self) -> None:
+        """Replay the write-ahead job store into the manager.
+
+        Runs on the loop thread before the listener opens, so every
+        pre-crash job id answers ``GET /v1/jobs/<id>`` from the first
+        accepted connection. Finished jobs are adopted verbatim (result
+        document straight from the journal); unfinished ones re-enter
+        through :meth:`JobManager.submit` with ``recovered=True`` — the
+        normal executor path, where the disk cache satisfies every point
+        that completed before the crash. Pre-crash deadlines are
+        dropped: a budget granted against a dead wall-clock is
+        meaningless after restart. Unparseable journals (e.g. a corpus
+        workload since deleted) are evicted with a warning, never fatal.
+        """
+        store = self.manager.store
+        if store is None:
+            return
+        for stored in store.load_all():
+            try:
+                job = self._recover_one(stored)
+            except Exception as exc:
+                self.metrics.bump("jobs_recovery_failed")
+                store.evict(stored.job_id)
+                if not self.quiet:
+                    print(
+                        f"repro-sim serve: dropped unrecoverable job "
+                        f"{stored.job_id}: {exc}",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+                continue
+            if not self.quiet:
+                print(
+                    f"repro-sim serve: recovered job {job.id} "
+                    f"({job.status}, {len(job.points)} point(s))",
+                    flush=True,
+                )
+
+    def _recover_one(self, stored: StoredJob) -> Job:
+        if stored.kind == "run":
+            points, extras = _parse_run_spec(stored.spec)
+        else:
+            points, extras = _parse_sweep_spec(stored.spec)
+        if not stored.terminal:
+            return self.manager.submit(
+                stored.kind,
+                points,
+                stored.client,
+                stored.spec,
+                **extras,
+                job_id=stored.job_id,
+                created=stored.created,
+                recovered=True,
+            )
+        job = Job(
+            job_id=stored.job_id,
+            kind=stored.kind,
+            points=points,
+            keys=[point_key(point) for point in points],
+            client=stored.client,
+            spec=stored.spec,
+            recovered=True,
+            **extras,
+        )
+        job.created = stored.created
+        job.finished = stored.finished
+        job.status = stored.status
+        job.failed_points = stored.failed
+        job.result = stored.result
+        job.pending = 0
+        for index, view in stored.outcomes.items():
+            if 0 <= index < len(job.outcomes):
+                job.outcomes[index] = view
+        job._emit("recovered", status=job.status, points=len(job.points))
+        job.done.set()
+        self.manager.adopt(job)
+        return job
 
     # -- HTTP plumbing ------------------------------------------------------
 
@@ -249,9 +359,16 @@ class Service:
         body: bytes,
         client: str,
     ) -> None:
-        path = target.split("?", 1)[0]
+        path, _, query = target.partition("?")
         if path == "/v1/healthz" and method == "GET":
             await self._respond(writer, 200, self._healthz())
+            return
+        if path == "/v1/healthz/live" and method == "GET":
+            await self._respond(writer, 200, self._liveness())
+            return
+        if path == "/v1/healthz/ready" and method == "GET":
+            ready, doc = self._readiness()
+            await self._respond(writer, 200 if ready else 503, doc)
             return
         if path == "/v1/metrics" and method == "GET":
             await self._respond(writer, 200, self._metrics_doc())
@@ -260,7 +377,10 @@ class Service:
             if method != "POST":
                 await self._respond(writer, 405, {"error": "POST required"})
                 return
-            await self._submit(writer, path, body, client)
+            await self._submit(writer, path, body, client, headers)
+            return
+        if path == "/v1/jobs" and method == "GET":
+            await self._list_jobs(writer, query)
             return
         if path.startswith("/v1/jobs/") and method == "GET":
             rest = path[len("/v1/jobs/"):]
@@ -280,21 +400,29 @@ class Service:
         await self._respond(writer, 404, {"error": f"no route for {path}"})
 
     async def _submit(
-        self, writer: asyncio.StreamWriter, path: str, body: bytes, client: str
+        self,
+        writer: asyncio.StreamWriter,
+        path: str,
+        body: bytes,
+        client: str,
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         try:
             spec = json.loads(body.decode() or "{}")
             if not isinstance(spec, dict):
                 raise BadRequest("request body must be a JSON object")
+            deadline_s = _parse_deadline(spec, headers or {})
             if path == "/v1/run":
                 points, extras = _parse_run_spec(spec)
                 job = self.manager.submit(
-                    "run", points, client, spec, **extras
+                    "run", points, client, spec, deadline_s=deadline_s,
+                    **extras
                 )
             else:
                 points, extras = _parse_sweep_spec(spec)
                 job = self.manager.submit(
-                    "sweep", points, client, spec, **extras
+                    "sweep", points, client, spec, deadline_s=deadline_s,
+                    **extras
                 )
         except AdmissionError as exc:
             await self._respond(
@@ -345,24 +473,120 @@ class Service:
             except asyncio.TimeoutError:
                 pass
 
+    async def _list_jobs(
+        self, writer: asyncio.StreamWriter, query: str
+    ) -> None:
+        """``GET /v1/jobs``: paginated summaries, oldest first."""
+        params = parse_qs(query)
+        state = params.get("state", [None])[0]
+        if state is not None and state not in ("running", "done", "failed"):
+            await self._respond(
+                writer,
+                400,
+                {"error": f"unknown state filter {state!r} "
+                 "(running | done | failed)"},
+            )
+            return
+        try:
+            limit = int(params.get("limit", ["50"])[0])
+        except ValueError:
+            await self._respond(writer, 400, {"error": "limit must be an int"})
+            return
+        after = params.get("after", [None])[0]
+        jobs, next_after = self.manager.list_jobs(state, after, limit)
+        await self._respond(
+            writer,
+            200,
+            {
+                "jobs": [job.summary_json() for job in jobs],
+                "next_after": next_after,
+                "total": len(self.manager.jobs),
+            },
+        )
+
     # -- documents ----------------------------------------------------------
 
     def _healthz(self) -> dict:
+        """Combined health document (back-compat `status` + both probes)."""
+        ready, readiness = self._readiness()
+        status = "ok"
+        if self.manager.degraded:
+            status = "degraded"
+        elif self.manager.draining:
+            status = "draining"
         return {
-            "status": "draining" if self.manager.draining else "ok",
+            "status": status,
+            "ready": ready,
             "jobs_active": self.manager.active_jobs,
             "queue_depth": self.manager.queue_depth,
             "worker_jobs": self.manager.worker_jobs,
+            "readiness": readiness,
         }
+
+    def _liveness(self) -> dict:
+        """The process is up and the loop answered — nothing else.
+
+        Draining and degraded daemons stay *live* (they are finishing or
+        serving read-only work); orchestrators must not kill them for it.
+        """
+        return {
+            "status": "alive",
+            "uptime_s": round(time.time() - self.metrics.started, 3),
+        }
+
+    def _readiness(self) -> Tuple[bool, dict]:
+        """Should a load balancer route new work here?
+
+        ``False`` while draining (shutting down), degraded (journal or
+        cache storage faulted — read-only-cache mode), or with a dead
+        executor task (no batch would ever run). The document carries
+        the evidence: executor heartbeat age, journal writability, and
+        the degraded reason when one exists.
+        """
+        manager = self.manager
+        journal_writable = None
+        if manager.store is not None:
+            journal_writable = manager.store.probe()
+        executor_alive = manager.executor_alive
+        ready = (
+            not manager.draining
+            and not manager.degraded
+            and executor_alive
+        )
+        doc = {
+            "ready": ready,
+            "draining": manager.draining,
+            "degraded": manager.degraded,
+            "executor_alive": executor_alive,
+            "heartbeat_age_s": round(
+                max(0.0, time.time() - manager.last_heartbeat), 3
+            ),
+            "journal_writable": journal_writable,
+            "breaker_open_points": manager.breaker.counters()[
+                "breaker_open_points"
+            ],
+        }
+        if manager.degraded:
+            doc["degraded_reason"] = manager.store.degraded_reason
+        return ready, doc
 
     def _metrics_doc(self) -> dict:
         disk = get_disk_cache()
+        manager = self.manager
+        store_gauges = {}
+        if manager.store is not None:
+            store_gauges = {
+                "store_appends": manager.store.appends,
+                "store_degraded": int(manager.store.degraded),
+            }
         return self.metrics.snapshot(
             disk.snapshot() if disk is not None else None,
-            queue_depth=self.manager.queue_depth,
-            jobs_active=self.manager.active_jobs,
-            flights_inflight=len(self.manager.singleflight),
-            draining=int(self.manager.draining),
+            queue_depth=manager.queue_depth,
+            jobs_active=manager.active_jobs,
+            flights_inflight=len(manager.singleflight),
+            draining=int(manager.draining),
+            **manager.breaker.counters(),
+            **store_gauges,
         )
 
 
@@ -391,6 +615,34 @@ def _check_workload(name: str) -> str:
     raise BadRequest(
         f"unknown workload {name!r} (synthetic suite or corpus:<name>)"
     )
+
+
+def _parse_deadline(spec: dict, headers: Dict[str, str]) -> Optional[float]:
+    """The request deadline in seconds, or ``None`` for unbounded.
+
+    ``X-Deadline-Ms`` (header, milliseconds) wins over ``timeout_s``
+    (spec field, seconds); both must be non-negative numbers. ``0``
+    means "already expired" — the job is admitted and every point fails
+    fast with ``deadline-exceeded``, which is the cheapest way to probe
+    what a sweep *would* schedule.
+    """
+    raw = headers.get("x-deadline-ms")
+    if raw is not None:
+        try:
+            millis = float(raw)
+        except ValueError:
+            raise BadRequest(f"X-Deadline-Ms must be a number, got {raw!r}")
+        if millis < 0:
+            raise BadRequest("X-Deadline-Ms must be >= 0")
+        return millis / 1000.0
+    raw = spec.get("timeout_s")
+    if raw is None:
+        return None
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+        raise BadRequest(f"timeout_s must be a number, got {raw!r}")
+    if raw < 0:
+        raise BadRequest("timeout_s must be >= 0")
+    return float(raw)
 
 
 def _parse_run_spec(spec: dict):

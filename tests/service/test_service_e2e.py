@@ -195,7 +195,10 @@ def test_worker_faults_surface_as_retries_not_daemon_death(
         doc = daemon.wait_job(sub["job"])
         assert doc["status"] == "done"  # retries converged
         assert doc["failed"] == 0
-        _, metrics, _ = daemon.request("GET", "/v1/metrics")
+        # wait_batches, not a bare metrics GET: the job finishes via the
+        # streaming hook strictly before the batch returns and folds its
+        # resilience counters.
+        metrics = daemon.wait_batches(1)
         assert metrics["resilience"].get("retries", 0) >= 1
         # The daemon is alive and well after worker kills.
         status, health, _ = daemon.request("GET", "/v1/healthz")
