@@ -9,6 +9,10 @@ Subcommands::
                                                Chrome/Perfetto + CSV export
     repro-sim compare CONFIG [CONFIG...]       whisker table vs ideal I-BTB 16
     repro-sim sweep [CONFIG...] --jobs N       parallel, disk-cached sweep
+    repro-sim sweep ... --dist HOST:PORT       drain the sweep onto a
+                                               remote worker fleet
+                                               (docs/distributed.md)
+    repro-sim worker --connect tcp://H:P       dist sweep worker
     repro-sim serve --port N --jobs N          async simulation daemon
                                                (coalescing, admission
                                                control, NDJSON job events
@@ -281,6 +285,12 @@ def _cmd_sweep(args) -> int:
 
     engine = kernel_mode()  # validate REPRO_KERNEL before any work
     args.jobs = resolve_jobs(args.jobs)  # 0 = auto-detect CPU count
+    if args.dist and args.bench_out:
+        print(
+            "error: --bench-out times the local backends; use "
+            "scripts/dist_bench.py for fleet scaling", file=sys.stderr,
+        )
+        return 2
     configs = [parse_config(s) for s in (args.configs or SWEEP_DEFAULT_SPECS)]
     names = args.workloads or SERVER_SUITE
     warmup = args.warmup if args.warmup is not None else args.length // 4
@@ -312,11 +322,24 @@ def _cmd_sweep(args) -> int:
         if not args.resume:
             journal.discard()
 
+    if args.dist:
+        # Start (and announce) the coordinator before the sweep blocks
+        # on it, so workers know where to connect even with --dist :0.
+        from repro.dist import get_coordinator
+
+        coordinator = get_coordinator(args.dist)
+        print(
+            f"dist: coordinator listening on tcp://{coordinator.address} "
+            f"({coordinator.workers_live()} worker(s) connected)",
+            flush=True,
+        )
+
     def sweep(jobs: int):
         return sweep_compare(
             configs, IDEAL_IBTB16, names, length=args.length, warmup=warmup,
             jobs=jobs, policy=policy, journal=journal, resume=args.resume,
             strict=args.strict, batch=args.batch, recycle=args.recycle,
+            dispatch=args.dist,
         )
 
     def timed(jobs: int, purge_disk: bool):
@@ -431,6 +454,23 @@ def _cmd_sweep(args) -> int:
     return 1 if (report is not None and report.failures) else 0
 
 
+def _cmd_worker(args) -> int:
+    """Dist worker supervisor (``repro-sim worker``)."""
+    from repro.dist.worker import run_worker
+
+    kernel_mode()  # validate REPRO_KERNEL before leasing work
+    return run_worker(
+        args.connect,
+        jobs=args.jobs,
+        lease_max=args.lease,
+        worker_name=args.name,
+        cache_root=args.cache_dir or env_cache_root(),
+        cache_enabled=not args.no_disk_cache,
+        corpus_root=args.corpus_dir,
+        retry_window=args.retry_window,
+    )
+
+
 def _cmd_serve(args) -> int:
     """Run the sweep-as-a-service daemon (repro.service)."""
     import asyncio
@@ -468,6 +508,7 @@ def _cmd_serve(args) -> int:
             job_ttl=args.job_ttl,
             breaker_threshold=args.breaker_threshold,
             breaker_cooldown=args.breaker_cooldown,
+            dist_listen=args.dist_listen,
         )
     )
     return asyncio.run(service.run())
@@ -809,7 +850,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the sweep scheduler timeline (chunks, retries, "
         "crashes) as Chrome trace_event JSON",
     )
+    p.add_argument(
+        "--dist", default=None, metavar="HOST:PORT",
+        help="drain the sweep onto remote workers instead of local "
+        "processes: host a work-stealing coordinator at this address "
+        "and wait for 'repro-sim worker' processes to connect "
+        "(docs/distributed.md); --jobs is ignored",
+    )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "worker", help="dist sweep worker: connect to a coordinator, "
+        "lease points, stream results back (docs/distributed.md)"
+    )
+    p.add_argument(
+        "--connect", required=True, metavar="URL",
+        help="coordinator address (tcp://host:port)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="session processes (default: $REPRO_JOBS on *this* host, "
+        "else this host's CPU count — the coordinator's job count is "
+        "never consulted)",
+    )
+    p.add_argument(
+        "--lease", type=int, default=0, metavar="N",
+        help="max points per lease (default 0: coordinator decides)",
+    )
+    p.add_argument(
+        "--name", default=None,
+        help="worker name for fleet logs (default: <hostname>-<pid>)",
+    )
+    p.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="skip the persistent cache (~/.cache/repro-btb)",
+    )
+    p.add_argument("--cache-dir", default=None, help="persistent cache root")
+    p.add_argument(
+        "--corpus-dir", default=None, metavar="DIR",
+        help="local corpus store for fetched trace shards "
+        "(default: $REPRO_CORPUS_DIR, else the standard corpus root)",
+    )
+    p.add_argument(
+        "--retry-window", type=float, default=30.0, metavar="SECONDS",
+        help="keep retrying a lost coordinator connection this long "
+        "before exiting cleanly (default 30)",
+    )
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser(
         "serve", help="async simulation daemon (coalescing + admission "
@@ -893,6 +980,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--breaker-cooldown", type=float, default=60.0, metavar="SECONDS",
         help="how long an open breaker fails fast before admitting one "
         "half-open trial (default 60)",
+    )
+    p.add_argument(
+        "--dist-listen", default=None, metavar="HOST:PORT",
+        help="host a dist coordinator at this address and drain sweep "
+        "jobs onto connected 'repro-sim worker' fleets instead of the "
+        "local pool; fleet counters appear under /v1/metrics "
+        "(docs/distributed.md)",
     )
     p.set_defaults(func=_cmd_serve)
 

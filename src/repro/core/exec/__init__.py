@@ -49,16 +49,21 @@ from repro.core.exec.engine import (
     point_key,
     resolve_jobs,
     run_points,
+    set_remote_plan_fetcher,
 )
 from repro.core.exec.faults import (
+    ENV_FAULT_DELAY,
     ENV_FAULT_DIR,
     ENV_FAULT_HANG,
     ENV_FAULT_SPEC,
+    FAULT_KINDS,
+    NET_FAULT_KINDS,
     FaultPlan,
     FaultRule,
     FaultSpecError,
     InjectedCacheCorruption,
     InjectedFault,
+    maybe_net_fault,
 )
 from repro.core.exec.resilience import (
     DEADLINE_MESSAGE,
@@ -81,11 +86,14 @@ __all__ = [
     "ENV_CACHE_DIR",
     "ENV_CACHE_SHARDS",
     "ENV_DISK_CACHE",
+    "ENV_FAULT_DELAY",
     "ENV_FAULT_DIR",
     "ENV_FAULT_HANG",
     "ENV_FAULT_SPEC",
     "ENV_JOBS",
     "ERROR_KINDS",
+    "FAULT_KINDS",
+    "NET_FAULT_KINDS",
     "STALE_LOCK_SECONDS",
     "TIERS",
     "FaultPlan",
@@ -111,11 +119,13 @@ __all__ = [
     "fetch_batch_plan",
     "fetch_trace",
     "get_disk_cache",
+    "maybe_net_fault",
     "plan_key",
     "point_key",
     "resolve_jobs",
     "result_key",
     "run_points",
+    "set_remote_plan_fetcher",
     "sweep_key",
     "trace_key",
 ]

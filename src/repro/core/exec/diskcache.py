@@ -367,6 +367,29 @@ class DiskCache:
 
         self._atomic_write(self.plan_path(key), write)
 
+    def adopt_plan(self, key: str, blob: bytes) -> bool:
+        """Adopt raw plan-entry bytes fetched from a remote store.
+
+        The bytes are written atomically and then validated through the
+        normal load path; an unreadable blob is dropped (leaving the
+        entry absent, exactly like a corrupt on-disk entry) and ``False``
+        is returned so the caller falls back to building locally.
+        """
+        path = self.plan_path(key)
+        wrote = self._atomic_write(
+            path, lambda tmp: Path(tmp).write_bytes(blob)
+        )
+        if not wrote:
+            return False
+        probe = self.load_plan(key)
+        if probe is None:
+            return False  # load_plan already dropped the bad entry
+        # The probe load bumped plan_hits; the adopted entry has not
+        # served a real hit yet, so take it back.
+        self.counters["plan_hits"] -= 1
+        self.counters["plan_adopted"] = self.counters.get("plan_adopted", 0) + 1
+        return True
+
     def iter_plans(self):
         """Yield ``(path, meta)`` for every stored plan (for ``corpus gc``).
 

@@ -237,8 +237,25 @@ def plan_key(point: SweepPoint, geometry) -> str:
     )
 
 
+#: Optional hook for pulling batch plans from a remote store: a callable
+#: ``key -> Optional[bytes]`` returning raw ``.npz`` bytes (or ``None``).
+#: The dist worker installs one pointing at its coordinator, so a cold
+#: worker reuses plans the fleet already built instead of re-deriving
+#: them. Consulted only after a disk miss; a failed fetch falls back to
+#: the local build, so it can never change results.
+_remote_plan_fetcher: Optional[Callable[[str], Optional[bytes]]] = None
+
+
+def set_remote_plan_fetcher(
+    fetcher: Optional[Callable[[str], Optional[bytes]]]
+) -> None:
+    """Install (or clear, with ``None``) the remote batch-plan fetcher."""
+    global _remote_plan_fetcher
+    _remote_plan_fetcher = fetcher
+
+
 def fetch_batch_plan(point: SweepPoint, trace):
-    """Batch plan for *point*, via memo -> disk cache -> build.
+    """Batch plan for *point*, via memo -> disk cache -> remote -> build.
 
     The stored entry's ``__meta__`` carries a ``source`` marker —
     ``"synth"`` for synthetic workloads, the corpus content hash for
@@ -267,6 +284,23 @@ def fetch_batch_plan(point: SweepPoint, trace):
             _plan_memo[memo_key] = plan
             return plan
         plan = None
+    if disk is not None and _remote_plan_fetcher is not None:
+        # Remote tier between the disk cache and a local build: adopt
+        # the fetched bytes into the disk cache, then load through the
+        # normal (corruption-tolerant) path.
+        blob = _remote_plan_fetcher(key)
+        if blob and disk.adopt_plan(key, blob):
+            hit = disk.load_plan(key)
+            if hit is not None:
+                arrays, _meta = hit
+                try:
+                    plan = BatchPlan.from_payload(geometry, arrays)
+                except Exception:
+                    plan = None
+            if plan is not None and len(plan.line_ix) == len(trace):
+                _plan_memo[memo_key] = plan
+                return plan
+            plan = None
     plan = build_batch_plan(trace, geometry)
     if disk is not None:
         source = "synth"
@@ -440,7 +474,7 @@ def _worker_main(conn, cache_root, cache_shard: bool = False) -> None:
 ENV_JOBS = "REPRO_JOBS"
 
 
-def resolve_jobs(jobs: Optional[int] = None) -> int:
+def resolve_jobs(jobs: Optional[int] = None, default_auto: bool = False) -> int:
     """Normalize a job count; ``0`` auto-detects the usable CPU count.
 
     ``None`` (the CLI's "flag not given") consults the ``REPRO_JOBS``
@@ -449,13 +483,20 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     ``REPRO_JOBS``. Auto-detection uses :func:`os.process_cpu_count`
     (affinity-aware, Python >= 3.13) when available, falling back to
     :func:`os.cpu_count`.
+
+    *default_auto* flips the ``None``-and-no-env default from ``1`` to
+    auto-detect. The dist worker uses it so a remote worker sizes itself
+    to **its own** host: precedence there is explicit ``--jobs``, then
+    the worker host's ``REPRO_JOBS``, then the worker host's CPU count —
+    the coordinator's job count is never consulted (it does not travel
+    over the wire).
     """
     if jobs is None:
         env = os.environ.get(ENV_JOBS, "").strip()
         try:
-            jobs = int(env) if env else 1
+            jobs = int(env) if env else (0 if default_auto else 1)
         except ValueError:
-            jobs = 1
+            jobs = 0 if default_auto else 1
     jobs = int(jobs)
     if jobs == 0:
         probe = getattr(os, "process_cpu_count", None) or os.cpu_count
@@ -1163,6 +1204,7 @@ def run_points(
     recycle: int = 0,
     on_outcome: Optional[Callable[[PointOutcome], None]] = None,
     deadline: Optional[float] = None,
+    dispatch: Optional[str] = None,
 ):
     """Execute every point; results are positionally ordered like *points*.
 
@@ -1201,8 +1243,41 @@ def run_points(
     It is the bottom of the service daemon's per-request deadline
     plumbing (``X-Deadline-Ms`` / job ``timeout_s``), layered on the
     per-point ``RetryPolicy.timeout`` machinery, not replacing it.
+
+    *dispatch* selects a remote execution fabric instead of the local
+    backends: ``"dist://host:port"`` drains the points through the
+    work-stealing coordinator listening there (started in-process on
+    demand; ``repro-sim worker`` processes connect and execute). All
+    resilience semantics above — retries, taxonomy, journal/resume,
+    deadline, ``on_outcome`` streaming — apply unchanged, and results
+    stay bit-identical to local execution. *jobs* is ignored (worker
+    processes size themselves; see :func:`resolve_jobs`).
     """
     points = list(points)
+    if dispatch is not None:
+        for point in points:
+            if point.obs is not None:
+                raise ValueError(
+                    "observability capture is not supported with "
+                    "dispatch=dist:// (artifacts would land on remote "
+                    "workers); run observed points locally"
+                )
+        from repro.dist.coordinator import run_dist
+
+        state = _SweepState(
+            points, policy or DEFAULT_POLICY, journal, resume, on_outcome,
+            deadline,
+        )
+        report = (
+            run_dist(state, dispatch, batch) if state.pairs else state.finish()
+        )
+        if strict:
+            if report.interrupted:
+                raise KeyboardInterrupt
+            if report.failures:
+                raise SweepError(report)
+            return report.results
+        return report
     jobs = resolve_jobs(jobs)
     # A deadline must be able to preempt a *running* point, which only
     # the process pool can do (kill the worker); in-process serial

@@ -12,7 +12,9 @@ Spec grammar (entries separated by ``;``, first matching rule wins)::
 
     REPRO_FAULT_SPEC = entry[;entry...]
     entry            = kind ':' selector [':' attempts]
-    kind             = raise | hang | kill | corrupt
+    kind             = raise | hang | kill | corrupt      (process faults)
+                     | drop | delay | disconnect          (network faults,
+                                                           dist workers only)
     selector         = '*'                 every point
                      | 'mod<k>=<r>'        stable_hash(point) % k == r
                      | <substring>         of "<config label>|<workload>|..."
@@ -60,6 +62,24 @@ ENV_FAULT_HANG = "REPRO_FAULT_HANG_S"
 ENV_FAULT_DAEMON = "REPRO_FAULT_DAEMON_AFTER"
 
 FAULT_KINDS = ("raise", "hang", "kill", "corrupt")
+
+#: Network fault kinds, consumed by the *dist* worker loop
+#: (:mod:`repro.dist.worker`) via :func:`maybe_net_fault` — they share
+#: the spec grammar and the on-disk attempt counting with the process
+#: kinds above, but :func:`maybe_fault` ignores them (a network fault
+#: only makes sense where there is a network):
+#:
+#: * ``drop`` — execute the point but never send its outcome frame; the
+#:   coordinator requeues it blame-free at lease end.
+#: * ``delay`` — hold the outcome frame for ``REPRO_FAULT_DELAY_S``
+#:   seconds before sending (late-result tolerance).
+#: * ``disconnect`` — abruptly close the coordinator connection before
+#:   executing; the coordinator blames the in-flight point like a
+#:   crashed worker and the worker reconnects fresh.
+NET_FAULT_KINDS = ("drop", "delay", "disconnect")
+
+#: Seconds a ``delay`` network fault holds an outcome frame.
+ENV_FAULT_DELAY = "REPRO_FAULT_DELAY_S"
 
 
 class InjectedFault(RuntimeError):
@@ -129,10 +149,10 @@ class FaultPlan:
                     "(expected kind:selector[:attempts])"
                 )
             kind, selector = parts[0].strip(), parts[1].strip()
-            if kind not in FAULT_KINDS:
+            if kind not in FAULT_KINDS and kind not in NET_FAULT_KINDS:
                 raise FaultSpecError(
                     f"unknown fault kind {kind!r} in {entry!r}; "
-                    f"expected one of {FAULT_KINDS}"
+                    f"expected one of {FAULT_KINDS + NET_FAULT_KINDS}"
                 )
             if not selector:
                 raise FaultSpecError(f"empty selector in {entry!r}")
@@ -205,12 +225,51 @@ def maybe_fault(point) -> None:
         return
     pid = point_id(point)
     for rule_index, rule in enumerate(plan.rules):
+        if rule.kind in NET_FAULT_KINDS:
+            # Network kinds belong to the dist worker loop; skipping
+            # them here (without claiming an attempt) lets one spec mix
+            # process and network chaos.
+            continue
         if not rule.matches(pid):
             continue
         attempt = claim_attempt(plan, pid, rule_index)
         if attempt <= rule.attempts:
             _trigger(rule, point, pid, attempt)
         return  # first matching rule wins
+
+
+def maybe_net_fault(point) -> Optional[str]:
+    """The network fault kind to inject for *point*, or ``None``.
+
+    The dist worker's lease loop calls this once per point; the first
+    matching **network** rule wins, and attempts are claimed through the
+    same on-disk sentinels as process faults — so an injected disconnect
+    fires on exactly the first N attempts across reconnects and worker
+    respawns. Process-kind rules are skipped without claiming attempts,
+    mirroring :func:`maybe_fault`'s treatment of network kinds.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    pid = point_id(point)
+    for rule_index, rule in enumerate(plan.rules):
+        if rule.kind not in NET_FAULT_KINDS:
+            continue
+        if not rule.matches(pid):
+            continue
+        attempt = claim_attempt(plan, pid, rule_index)
+        if attempt <= rule.attempts:
+            return rule.kind
+        return None  # first matching net rule wins
+    return None
+
+
+def net_fault_delay() -> float:
+    """Seconds a ``delay`` fault holds an outcome (``REPRO_FAULT_DELAY_S``)."""
+    try:
+        return float(os.environ.get(ENV_FAULT_DELAY, "2.0"))
+    except ValueError:
+        return 2.0
 
 
 def _trigger(rule: FaultRule, point, pid: str, attempt: int) -> None:

@@ -186,6 +186,7 @@ def sweep_compare(
     strict: bool = True,
     batch: Optional[int] = None,
     recycle: int = 0,
+    dispatch: Optional[str] = None,
 ) -> Tuple[List[ComparedConfig], SweepReport, List[str]]:
     """Fault-tolerant sweep + comparison: the ``repro-sim sweep`` engine.
 
@@ -200,6 +201,10 @@ def sweep_compare(
     workloads with a failed point (baseline included) are dropped from
     the comparison and returned in the third element, and the
     :class:`SweepReport` carries the classified failures.
+
+    *dispatch* (``"dist://host:port"``) drains the missing points onto
+    the distributed worker fleet instead of local processes — results
+    and resilience semantics are identical (``docs/distributed.md``).
     """
     configs = list(configs)
     names = _suite_names(workloads)
@@ -221,6 +226,7 @@ def sweep_compare(
             resume=resume,
             batch=batch,
             recycle=recycle,
+            dispatch=dispatch,
         )
         for key, outcome in zip(missing, report.outcomes):
             if outcome.ok:

@@ -1,0 +1,33 @@
+"""Distributed sweep execution: coordinator, workers, shard transfer.
+
+The fabric mirrors the local parallel engine's resilience semantics over
+TCP: the coordinator owns the point queue and the ``_SweepState`` journal
+/ retry machinery, workers lease batches of points, stream outcomes back,
+and a dead or partitioned worker's lease is reassigned exactly like a
+crashed local worker process (first unreported point blamed, chunk-mates
+re-dispatched blame-free).  See ``docs/distributed.md``.
+"""
+
+from .protocol import (  # noqa: F401
+    DIST_SCHEMA,
+    ConnectionClosed,
+    ProtocolError,
+    config_from_wire,
+    config_to_wire,
+    parse_dist_url,
+    point_from_wire,
+    point_to_wire,
+    read_frame,
+    recv_frame,
+    result_from_wire,
+    result_to_wire,
+    send_frame,
+    write_frame,
+)
+from .coordinator import (  # noqa: F401
+    Coordinator,
+    get_coordinator,
+    run_dist,
+    shutdown_coordinators,
+)
+from .worker import WorkerSession, run_worker  # noqa: F401

@@ -285,8 +285,12 @@ class JobManager:
         store: Optional[JobStore] = None,
         breaker: Optional[PoisonBreaker] = None,
         job_ttl: float = 0.0,
+        dispatch: Optional[str] = None,
     ) -> None:
         self.worker_jobs = resolve_jobs(jobs)
+        #: "host:port" of a dist coordinator; when set, batches drain onto
+        #: the remote worker fleet instead of the local process pool.
+        self.dispatch = dispatch
         self.queue_limit = int(queue_limit)
         self.batch_max = max(1, int(batch_max))
         self.policy = policy or RetryPolicy()
@@ -708,6 +712,7 @@ class JobManager:
             recycle=self.recycle,
             on_outcome=hook,
             deadline=deadline,
+            dispatch=self.dispatch,
         )
 
     def _collect_groups(self):

@@ -62,12 +62,23 @@ class ServiceMetrics:
             self.resilience[key] = self.resilience.get(key, 0) + int(value)
 
     def snapshot(
-        self, cache_counters: Optional[Dict[str, int]] = None, **gauges
+        self,
+        cache_counters: Optional[Dict[str, int]] = None,
+        dist_counters: Optional[Dict[str, int]] = None,
+        **gauges,
     ) -> dict:
-        return {
+        """Metrics document. *dist_counters* (the coordinator's fleet
+        snapshot: workers live/lost, steals, shard bytes, fetch cache
+        hits, ...) adds a ``dist`` group — present only when the daemon
+        runs with ``--dist-listen``, so local-only deployments keep the
+        historical shape byte-for-byte."""
+        doc = {
             "schema": 1,
             "uptime_s": round(time.time() - self.started, 3),
             "service": {**self.service, **gauges},
             "resilience": dict(self.resilience),
             "cache": dict(cache_counters or {}),
         }
+        if dist_counters is not None:
+            doc["dist"] = dict(dist_counters)
+        return doc

@@ -78,6 +78,9 @@ class ServiceConfig:
     job_ttl: float = 0.0  # evict finished jobs after N seconds; 0 = never
     breaker_threshold: int = 3  # crash/timeout outcomes before tripping
     breaker_cooldown: float = 60.0  # seconds open before a half-open trial
+    #: Host a dist coordinator at "host:port" and drain sweep flights
+    #: onto connected `repro-sim worker` fleets (docs/distributed.md).
+    dist_listen: Optional[str] = None
 
 
 class Service:
@@ -115,6 +118,7 @@ class Service:
             ),
             job_ttl=self.config.job_ttl,
         )
+        self.coordinator = None  # dist coordinator when --dist-listen is set
         self.port: Optional[int] = None
         self.aborted_on_drain = 0
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -126,6 +130,23 @@ class Service:
         """Serve until drained; returns the process exit code."""
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
+        if self.config.dist_listen:
+            # Start the coordinator before the executor/recovery so even
+            # recovered jobs' batches drain onto the remote fleet.
+            from repro.dist import get_coordinator
+
+            self.coordinator = get_coordinator(self.config.dist_listen)
+            self.manager.dispatch = (
+                f"{self.coordinator.host}:{self.coordinator.port}"
+            )
+            if not self.quiet:
+                print(
+                    f"repro-sim serve: dist coordinator listening on "
+                    f"tcp://{self.coordinator.address} "
+                    f"({self.coordinator.workers_live()} worker(s) "
+                    f"connected)",
+                    flush=True,
+                )
         self.manager.start()
         self._recover_jobs()
         server = await asyncio.start_server(
@@ -159,6 +180,13 @@ class Service:
         server.close()
         await server.wait_closed()
         self.manager.shutdown()
+        if self.coordinator is not None:
+            from repro.dist import shutdown_coordinators
+
+            await asyncio.get_running_loop().run_in_executor(
+                None, shutdown_coordinators
+            )
+            self.coordinator = None
         if not self.quiet:
             print("repro-sim serve: drained, bye", flush=True)
         return 0 if drained else 1
@@ -581,6 +609,11 @@ class Service:
             }
         return self.metrics.snapshot(
             disk.snapshot() if disk is not None else None,
+            dist_counters=(
+                self.coordinator.counters()
+                if self.coordinator is not None
+                else None
+            ),
             queue_depth=manager.queue_depth,
             jobs_active=manager.active_jobs,
             flights_inflight=len(manager.singleflight),

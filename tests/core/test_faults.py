@@ -134,3 +134,73 @@ def test_maybe_fault_noop_without_spec(monkeypatch):
     monkeypatch.delenv(ENV_FAULT_SPEC, raising=False)
     assert active_plan() is None
     maybe_fault(POINT)  # must not touch the filesystem or raise
+
+
+# -- network fault kinds (dist workers) ---------------------------------------
+
+
+def test_parse_accepts_network_kinds(tmp_path):
+    from repro.core.exec.faults import NET_FAULT_KINDS
+
+    plan = FaultPlan.parse(
+        "drop:kv_store;delay:*:2;disconnect:mod3=1", state_dir=str(tmp_path)
+    )
+    assert [r.kind for r in plan.rules] == ["drop", "delay", "disconnect"]
+    assert set(r.kind for r in plan.rules) == set(NET_FAULT_KINDS)
+
+
+def test_maybe_fault_skips_net_kinds_without_claiming(monkeypatch, tmp_path):
+    """Process-side execution ignores network rules entirely — and must
+    not burn their attempt budget (the dist worker owns it)."""
+    from repro.core.exec.faults import maybe_net_fault
+
+    monkeypatch.setenv(ENV_FAULT_SPEC, "disconnect:*:1")
+    monkeypatch.setenv(ENV_FAULT_DIR, str(tmp_path))
+    for _ in range(3):
+        maybe_fault(POINT)  # no-op, no sentinel claimed
+    # The budget is intact: the net-side check still fires its 1 attempt.
+    assert maybe_net_fault(POINT) == "disconnect"
+    assert maybe_net_fault(POINT) is None
+
+
+def test_maybe_net_fault_fires_exactly_first_n_attempts(monkeypatch, tmp_path):
+    from repro.core.exec.faults import maybe_net_fault
+
+    monkeypatch.setenv(ENV_FAULT_SPEC, "drop:web_frontend:2")
+    monkeypatch.setenv(ENV_FAULT_DIR, str(tmp_path))
+    assert maybe_net_fault(POINT) == "drop"
+    assert maybe_net_fault(POINT) == "drop"
+    assert maybe_net_fault(POINT) is None
+
+
+def test_maybe_net_fault_skips_process_kinds(monkeypatch, tmp_path):
+    """A process rule listed first neither fires nor shadows the net
+    rule behind it."""
+    from repro.core.exec.faults import maybe_net_fault
+
+    monkeypatch.setenv(ENV_FAULT_SPEC, "kill:*:9;delay:web_frontend:1")
+    monkeypatch.setenv(ENV_FAULT_DIR, str(tmp_path))
+    assert maybe_net_fault(POINT) == "delay"  # kill ignored, not triggered
+
+
+def test_mixed_spec_counts_attempts_independently(monkeypatch, tmp_path):
+    from repro.core.exec.faults import maybe_net_fault
+
+    monkeypatch.setenv(ENV_FAULT_SPEC, "raise:*:1;drop:*:1")
+    monkeypatch.setenv(ENV_FAULT_DIR, str(tmp_path))
+    assert maybe_net_fault(POINT) == "drop"
+    with pytest.raises(InjectedFault):
+        maybe_fault(POINT)
+    assert maybe_net_fault(POINT) is None
+    maybe_fault(POINT)  # both budgets spent
+
+
+def test_net_fault_delay_env(monkeypatch):
+    from repro.core.exec.faults import ENV_FAULT_DELAY, net_fault_delay
+
+    monkeypatch.delenv(ENV_FAULT_DELAY, raising=False)
+    assert net_fault_delay() == 2.0
+    monkeypatch.setenv(ENV_FAULT_DELAY, "0.25")
+    assert net_fault_delay() == 0.25
+    monkeypatch.setenv(ENV_FAULT_DELAY, "soon")
+    assert net_fault_delay() == 2.0

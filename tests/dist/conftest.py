@@ -1,0 +1,112 @@
+"""Shared fixtures for the distributed-sweep tests."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.exec import configure_disk_cache
+from repro.core.runner import clear_cache
+from repro.dist import get_coordinator, shutdown_coordinators
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches():
+    clear_cache()
+    configure_disk_cache(False)
+    yield
+    clear_cache()
+    configure_disk_cache(False)
+    shutdown_coordinators()
+
+
+@pytest.fixture
+def coordinator():
+    """A live coordinator on an ephemeral port (torn down by the autouse
+    fixture's ``shutdown_coordinators``)."""
+    return get_coordinator("dist://127.0.0.1:0")
+
+
+class WorkerProc:
+    """A ``repro-sim worker`` subprocess and its teardown."""
+
+    def __init__(self, url, tmp_path, jobs=1, env=None, extra_args=()):
+        environ = dict(os.environ)
+        environ["PYTHONPATH"] = str(REPO_ROOT / "src")
+        environ.update(env or {})
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "worker",
+                "--connect",
+                url,
+                "--jobs",
+                str(jobs),
+                "--cache-dir",
+                str(tmp_path / "worker-cache"),
+                *extra_args,
+            ],
+            env=environ,
+            cwd=str(REPO_ROOT),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+
+    def stop(self, timeout=15):
+        self.proc.terminate()
+        try:
+            out, _ = self.proc.communicate(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            out, _ = self.proc.communicate()
+            raise AssertionError(f"worker did not exit on SIGTERM:\n{out}")
+        return out
+
+
+@pytest.fixture
+def spawn_worker(tmp_path):
+    """Factory: spawn worker subprocesses against a coordinator URL."""
+    workers = []
+
+    def factory(coord, jobs=1, env=None, extra_args=(), sub="w"):
+        url = f"127.0.0.1:{coord.port}"
+        wp = WorkerProc(
+            url, tmp_path / f"{sub}{len(workers)}", jobs=jobs, env=env,
+            extra_args=extra_args,
+        )
+        workers.append(wp)
+        return wp
+
+    yield factory
+    for wp in workers:
+        if wp.proc.poll() is None:
+            try:
+                wp.stop()
+            except AssertionError:
+                pass
+
+
+def wait_workers(coord, count, timeout=30.0):
+    assert coord.wait_for_workers(count, timeout), (
+        f"only {coord.workers_live()} of {count} workers registered "
+        f"within {timeout}s"
+    )
+
+
+def wait_gone(proc, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            return
+        time.sleep(0.05)
+    raise AssertionError("process still alive")

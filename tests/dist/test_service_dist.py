@@ -1,0 +1,63 @@
+"""``repro-sim serve --dist-listen``: the daemon drains onto the fleet.
+
+Reuses the service e2e harness (real daemon over real sockets) plus a
+real worker subprocess; the invariants are the service ones — the job's
+result document is byte-identical to the one-shot CLI sweep — with the
+execution happening on the remote fleet, observable via the ``dist``
+metrics group.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.exec import configure_disk_cache
+from repro.service import ServiceConfig
+from repro.service.metrics import ServiceMetrics
+
+from tests.service.test_service_e2e import (
+    SPEC,
+    Daemon,
+    _dump,
+    _expected_sweep_payload,
+)
+
+from .conftest import wait_workers
+
+
+def test_metrics_snapshot_dist_group_is_optional():
+    metrics = ServiceMetrics()
+    assert "dist" not in metrics.snapshot(None)
+    doc = metrics.snapshot(None, dist_counters={"workers_live": 2})
+    assert doc["dist"] == {"workers_live": 2}
+
+
+def test_serve_dist_listen_executes_on_fleet(tmp_path, spawn_worker):
+    configure_disk_cache(True, tmp_path / "cache", shard=True)
+    daemon = Daemon(
+        ServiceConfig(
+            jobs=1, drain_timeout=60, dist_listen="127.0.0.1:0"
+        )
+    )
+    try:
+        coordinator = daemon.service.coordinator
+        assert coordinator is not None
+        spawn_worker(coordinator, jobs=2)
+        wait_workers(coordinator, 2)
+
+        status, sub, _ = daemon.request("POST", "/v1/sweep", SPEC)
+        assert status == 202
+        doc = daemon.wait_job(sub["job"])
+        assert doc["status"] == "done"
+        assert doc["failed"] == 0
+
+        metrics = daemon.wait_batches(1)
+        dist = metrics["dist"]
+        assert dist["workers_total"] == 2
+        assert dist["outcomes_ok"] > 0
+        assert dist["points_leased"] >= dist["outcomes_ok"]
+        json.dumps(metrics)  # the whole document stays JSON-clean
+    finally:
+        assert daemon.drain() == 0
+
+    assert _dump(doc["result"]) == _dump(_expected_sweep_payload())
